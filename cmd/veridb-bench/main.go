@@ -1,0 +1,215 @@
+// Command veridb-bench regenerates the paper's evaluation figures (§6).
+// Each subcommand prints one figure's series; absolute numbers depend on
+// the host, but the relationships the paper reports (who wins, by what
+// factor, where curves cross) should reproduce. See EXPERIMENTS.md for the
+// recorded paper-vs-measured comparison.
+//
+// Usage:
+//
+//	veridb-bench fig9  [-rows N] [-ops N]
+//	veridb-bench fig10 [-rows N] [-ops N]
+//	veridb-bench fig11 [-rows N] [-ops N]
+//	veridb-bench fig12 [-lineitems N]
+//	veridb-bench fig13 [-warehouses N] [-seconds S]
+//	veridb-bench ablations [-rows N]
+//	veridb-bench all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"veridb/internal/bench"
+	"veridb/internal/vmem"
+	"veridb/internal/workload/tpcc"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	rows := fs.Int("rows", 100_000, "initial database rows (figs 9-11, ablations)")
+	ops := fs.Int("ops", 10_000, "mixed operations per run (figs 9-11)")
+	lineitems := fs.Int("lineitems", 60_000, "lineitem rows (fig 12); parts scale 1:30")
+	warehouses := fs.Int("warehouses", 20, "warehouses (fig 13)")
+	seconds := fs.Float64("seconds", 2, "seconds per throughput point (fig 13)")
+	fs.Parse(os.Args[2:])
+
+	run := func(name string, f func() error) {
+		if cmd == name || cmd == "all" {
+			if err := f(); err != nil {
+				fmt.Fprintf(os.Stderr, "veridb-bench %s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+	}
+	known := map[string]bool{"fig9": true, "fig10": true, "fig11": true,
+		"fig12": true, "fig13": true, "ablations": true, "all": true}
+	if !known[cmd] {
+		usage()
+		os.Exit(2)
+	}
+	run("fig9", func() error { return fig9(*rows, *ops) })
+	run("fig10", func() error { return fig10(*rows, *ops) })
+	run("fig11", func() error { return fig11(*rows, *ops) })
+	run("fig12", func() error { return fig12(*lineitems) })
+	run("fig13", func() error { return fig13(*warehouses, *seconds) })
+	run("ablations", func() error { return ablations(*rows) })
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `veridb-bench <fig9|fig10|fig11|fig12|fig13|ablations|all> [flags]`)
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+func fig9(rows, ops int) error {
+	fmt.Printf("== Figure 9: read/write latency by configuration (rows=%d, ops=%d) ==\n", rows, ops)
+	fmt.Printf("%-18s %10s %10s %10s %10s\n", "config", "Get(us)", "Insert(us)", "Delete(us)", "Update(us)")
+	var base, rsws bench.OpLatencies
+	for _, c := range bench.Fig9Configs() {
+		lat, err := bench.RunMicro(bench.MicroConfig{Vmem: c.Vmem, InitialRows: rows, Ops: ops})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-18s %10.2f %10.2f %10.2f %10.2f\n", c.Name,
+			us(lat.Get), us(lat.Insert), us(lat.Delete), us(lat.Update))
+		switch c.Name {
+		case "Baseline":
+			base = lat
+		case "RSWS":
+			rsws = lat
+		}
+	}
+	fmt.Printf("-- headline (§6.1): RSWS overhead vs Baseline: Get %+.2fus Insert %+.2fus Delete %+.2fus Update %+.2fus (paper: 1-2us)\n\n",
+		us(rsws.Get-base.Get), us(rsws.Insert-base.Insert),
+		us(rsws.Delete-base.Delete), us(rsws.Update-base.Update))
+	return nil
+}
+
+func fig10(rows, ops int) error {
+	fmt.Printf("== Figure 10: latency vs verification frequency (rows=%d, ops=%d) ==\n", rows, ops)
+	fmt.Printf("%-14s %10s %10s %10s %10s\n", "ops/page-scan", "Get(us)", "Insert(us)", "Delete(us)", "Update(us)")
+	for _, freq := range bench.Fig10Frequencies() {
+		lat, err := bench.RunMicro(bench.MicroConfig{InitialRows: rows, Ops: ops, VerifyEvery: freq})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-14d %10.2f %10.2f %10.2f %10.2f\n", freq,
+			us(lat.Get), us(lat.Insert), us(lat.Delete), us(lat.Update))
+	}
+	fmt.Println()
+	return nil
+}
+
+func fig11(rows, ops int) error {
+	fmt.Printf("== Figure 11: VeriDB vs MB-Tree (rows=%d, ops=%d) ==\n", rows, ops)
+	veri, err := bench.RunMicro(bench.MicroConfig{InitialRows: rows, Ops: ops, VerifyEvery: 1000})
+	if err != nil {
+		return err
+	}
+	mb, err := bench.RunMBTreeMicro(bench.MicroConfig{InitialRows: rows, Ops: ops})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %10s %10s %10s %10s\n", "system", "Get(us)", "Insert(us)", "Delete(us)", "Update(us)")
+	fmt.Printf("%-10s %10.2f %10.2f %10.2f %10.2f\n", "MHT", us(mb.Get), us(mb.Insert), us(mb.Delete), us(mb.Update))
+	fmt.Printf("%-10s %10.2f %10.2f %10.2f %10.2f\n", "VeriDB", us(veri.Get), us(veri.Insert), us(veri.Delete), us(veri.Update))
+	red := func(v, m time.Duration) float64 {
+		if m == 0 {
+			return 0
+		}
+		return 100 * (1 - float64(v)/float64(m))
+	}
+	fmt.Printf("-- headline (§6.2): latency reduction vs MB-Tree: Get %.0f%% Insert %.0f%% Delete %.0f%% Update %.0f%% (paper: 94-96%%)\n\n",
+		red(veri.Get, mb.Get), red(veri.Insert, mb.Insert), red(veri.Delete, mb.Delete), red(veri.Update, mb.Update))
+	return nil
+}
+
+func fig12(lineitems int) error {
+	fmt.Printf("== Figure 12: TPC-H execution time (lineitems=%d) ==\n", lineitems)
+	cfg := bench.TPCHConfig{Lineitems: lineitems}
+	withRSWS, err := bench.RunTPCH(cfg, vmem.Config{}, "w/ RSWS")
+	if err != nil {
+		return err
+	}
+	baseline, err := bench.RunTPCH(cfg, vmem.Config{Mode: vmem.ModeBaseline}, "w/o RSWS")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-22s %14s %14s %14s %14s %9s\n",
+		"query", "scan w/RSWS", "other w/RSWS", "scan w/o", "other w/o", "overhead")
+	for i, r := range withRSWS.Results {
+		b := baseline.Results[i]
+		ovh := 0.0
+		if b.Total > 0 {
+			ovh = 100 * (float64(r.Total)/float64(b.Total) - 1)
+		}
+		fmt.Printf("%-22s %12.1fms %12.1fms %12.1fms %12.1fms %8.1f%%\n",
+			r.Query,
+			float64(r.ScanNodes.Microseconds())/1e3, float64(r.Other.Microseconds())/1e3,
+			float64(b.ScanNodes.Microseconds())/1e3, float64(b.Other.Microseconds())/1e3,
+			ovh)
+	}
+	fmt.Println("-- headline (§6.3): paper reports 9% (Q19 NLJ) to 39% (Q1/Q6) relative overhead")
+	fmt.Println()
+	return nil
+}
+
+func fig13(warehouses int, seconds float64) error {
+	fmt.Printf("== Figure 13: TPC-C throughput vs clients (warehouses=%d, %.1fs/point) ==\n", warehouses, seconds)
+	cfg := bench.TPCCConfig{
+		Workload:    tpcc.Config{Warehouses: warehouses, Customers: 10, Items: 200},
+		Duration:    time.Duration(seconds * float64(time.Second)),
+		VerifyEvery: 1000,
+	}
+	clients := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	fmt.Printf("%-18s", "config\\clients")
+	for _, c := range clients {
+		fmt.Printf(" %8d", c)
+	}
+	fmt.Println()
+	for _, series := range bench.Fig13Series() {
+		fmt.Printf("%-18s", series.Name)
+		for _, c := range clients {
+			pt, err := bench.RunTPCCPoint(cfg, series.Vmem, series.Name, c)
+			if err != nil {
+				return err
+			}
+			fmt.Printf(" %8.0f", pt.TPS)
+		}
+		fmt.Println()
+	}
+	fmt.Println("-- headline (§6.3): paper reports ~3-4x overhead with 1024 RSWSs, worse with fewer")
+	fmt.Println()
+	return nil
+}
+
+func ablations(rows int) error {
+	fmt.Println("== Ablations (§4.3 design choices) ==")
+	comp, err := bench.RunAblationCompaction(rows/10, 5000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("compaction: delete latency eager=%.2fus deferred=%.2fus; scan-with-compaction pass=%v\n",
+		us(comp.EagerDelete), us(comp.DeferredDelete), comp.ScanWithWork)
+	touched, err := bench.RunAblationTouched(rows)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("touched-page tracking: warm verification pass full-scan=%v touched-only=%v (%d pages)\n",
+		touched.FullScan, touched.TouchedOnly, touched.Pages)
+	ecall, err := bench.RunAblationECall(rows/10, 5000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("enclave colocation: Get colocated=%.2fus with-ECall-per-call=%.2fus (§3.3 rationale)\n",
+		us(ecall.Colocated), us(ecall.Crossing))
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,136 @@
+// Command veridb-cli is an interactive SQL shell over a VeriDB instance
+// with verification enabled. Meta-commands:
+//
+//	\verify          run a full verification pass
+//	\explain <sql>   show the physical plan for a SELECT
+//	\stats           print verification counters
+//	\tamper <table>  simulate the adversary (flip bytes of one record)
+//	\tables          list tables
+//	\quit            exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"veridb"
+)
+
+func main() {
+	verifyEvery := flag.Int("verify-every", 1000, "background verifier pacing (ops per page scan; 0 = manual)")
+	partitions := flag.Int("rsws", 1, "number of RSWS partitions")
+	flag.Parse()
+
+	db, err := veridb.Open(veridb.Config{
+		RSWSPartitions: *partitions,
+		VerifyEveryOps: *verifyEvery,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "veridb-cli:", err)
+		os.Exit(1)
+	}
+	defer db.Close()
+
+	fmt.Println("VeriDB shell — SQL statements end with ';'. \\quit to exit.")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("veridb> ")
+		} else {
+			fmt.Print("   ...> ")
+		}
+	}
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\") {
+			if !meta(db, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if strings.HasSuffix(trimmed, ";") {
+			runSQL(db, buf.String())
+			buf.Reset()
+		}
+		prompt()
+	}
+}
+
+// meta handles backslash commands; returns false to quit.
+func meta(db *veridb.DB, cmd string) bool {
+	fields := strings.Fields(cmd)
+	switch fields[0] {
+	case "\\quit", "\\q":
+		return false
+	case "\\verify":
+		start := time.Now()
+		if err := db.Verify(); err != nil {
+			fmt.Println("VERIFICATION FAILED:", err)
+		} else {
+			fmt.Printf("verification passed (%v)\n", time.Since(start))
+		}
+	case "\\stats":
+		s := db.Stats()
+		fmt.Printf("ops=%d prf=%d pages=%d scans=%d fast=%d rotations=%d alarms=%d ecalls=%d epc=%dB\n",
+			s.Ops, s.PRFEvals, s.PagesAlive, s.Scans, s.FastScans, s.Rotations, s.Alarms, s.ECalls, s.EPCUsed)
+	case "\\tables":
+		for _, n := range db.TableNames() {
+			rows, _ := db.RowCount(n)
+			fmt.Printf("%s (%d rows)\n", n, rows)
+		}
+	case "\\tamper":
+		if len(fields) < 2 {
+			fmt.Println("usage: \\tamper <table>")
+			break
+		}
+		if err := db.InjectTamper(fields[1]); err != nil {
+			fmt.Println("tamper:", err)
+		} else {
+			fmt.Println("record corrupted in untrusted memory; run \\verify to detect it")
+		}
+	case "\\explain":
+		rest := strings.TrimSpace(strings.TrimPrefix(cmd, fields[0]))
+		out, err := db.Explain(strings.TrimSuffix(rest, ";"))
+		if err != nil {
+			fmt.Println("explain:", err)
+		} else {
+			fmt.Println(out)
+		}
+	default:
+		fmt.Println("unknown command", fields[0])
+	}
+	return true
+}
+
+func runSQL(db *veridb.DB, query string) {
+	start := time.Now()
+	res, err := db.Exec(strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(query), ";")))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if len(res.Columns) > 0 {
+		fmt.Println(strings.Join(res.Columns, " | "))
+		for _, row := range res.Rows {
+			parts := make([]string, len(row))
+			for i, v := range row {
+				parts[i] = v.String()
+			}
+			fmt.Println(strings.Join(parts, " | "))
+		}
+		fmt.Printf("(%d rows, %v)\n", len(res.Rows), time.Since(start))
+	} else {
+		fmt.Printf("OK, %d rows affected (%v)\n", res.Affected, time.Since(start))
+	}
+}

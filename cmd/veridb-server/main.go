@@ -1,0 +1,181 @@
+// Command veridb-server exposes a VeriDB instance over TCP with the
+// paper's client protocol (Fig. 2): newline-delimited JSON messages
+// carrying MAC-authenticated queries in and sequenced, MAC-endorsed
+// responses out, plus an attestation operation for session setup.
+//
+// Message formats (one JSON object per line):
+//
+//	→ {"op":"attest","nonce":"<base64>"}
+//	← {"measurement":"<base64>","publicKey":"<base64>","nonce":"<base64>","signature":"<base64>"}
+//
+//	→ {"op":"query","client":"alice","qid":1,"query":"SELECT ...","mac":"<base64>"}
+//	← {"qid":1,"seq":5,"columns":[...],"rows":[[...]],"affected":0,"err":"","mac":"<base64>"}
+//
+// Clients are provisioned with -client id:hexkey (repeatable).
+package main
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+
+	"veridb"
+	"veridb/internal/record"
+)
+
+type clientFlags []string
+
+func (c *clientFlags) String() string { return strings.Join(*c, ",") }
+func (c *clientFlags) Set(v string) error {
+	*c = append(*c, v)
+	return nil
+}
+
+type wireRequest struct {
+	Op     string `json:"op"`
+	Nonce  string `json:"nonce,omitempty"`
+	Client string `json:"client,omitempty"`
+	QID    uint64 `json:"qid,omitempty"`
+	Query  string `json:"query,omitempty"`
+	MAC    string `json:"mac,omitempty"`
+}
+
+type wireResponse struct {
+	QID      uint64     `json:"qid"`
+	Seq      uint64     `json:"seq"`
+	Columns  []string   `json:"columns,omitempty"`
+	Rows     [][]string `json:"rows,omitempty"`
+	Affected int        `json:"affected"`
+	Err      string     `json:"err,omitempty"`
+	MAC      string     `json:"mac"`
+}
+
+type wireQuote struct {
+	Measurement string `json:"measurement"`
+	PublicKey   string `json:"publicKey"`
+	Nonce       string `json:"nonce"`
+	Signature   string `json:"signature"`
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7788", "listen address")
+	verifyEvery := flag.Int("verify-every", 1000, "background verifier pacing")
+	partitions := flag.Int("rsws", 16, "RSWS partitions")
+	init := flag.String("init", "", "semicolon-separated SQL to run at startup")
+	var clients clientFlags
+	flag.Var(&clients, "client", "client credential id:hexkey (repeatable)")
+	flag.Parse()
+
+	db, err := veridb.Open(veridb.Config{
+		RSWSPartitions: *partitions,
+		VerifyEveryOps: *verifyEvery,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	for _, c := range clients {
+		id, keyHex, ok := strings.Cut(c, ":")
+		if !ok {
+			log.Fatalf("bad -client %q (want id:hexkey)", c)
+		}
+		key, err := hex.DecodeString(keyHex)
+		if err != nil {
+			log.Fatalf("bad key for client %q: %v", id, err)
+		}
+		db.ProvisionClient(id, key)
+	}
+	if *init != "" {
+		for _, stmt := range strings.Split(*init, ";") {
+			if strings.TrimSpace(stmt) == "" {
+				continue
+			}
+			if _, err := db.Exec(stmt); err != nil {
+				log.Fatalf("init statement %q: %v", stmt, err)
+			}
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("veridb-server listening on %s (%d clients provisioned)", ln.Addr(), len(clients))
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Print(err)
+			continue
+		}
+		go serve(db, conn)
+	}
+}
+
+func serve(db *veridb.DB, conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		var req wireRequest
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			enc.Encode(map[string]string{"err": "bad request: " + err.Error()})
+			continue
+		}
+		switch req.Op {
+		case "attest":
+			nonce, err := base64.StdEncoding.DecodeString(req.Nonce)
+			if err != nil {
+				enc.Encode(map[string]string{"err": "bad nonce"})
+				continue
+			}
+			q := db.Attest(nonce)
+			m := db.Measurement()
+			enc.Encode(wireQuote{
+				Measurement: base64.StdEncoding.EncodeToString(m[:]),
+				PublicKey:   base64.StdEncoding.EncodeToString(q.PublicKey),
+				Nonce:       base64.StdEncoding.EncodeToString(q.Nonce),
+				Signature:   base64.StdEncoding.EncodeToString(q.Signature),
+			})
+		case "query":
+			mac, err := base64.StdEncoding.DecodeString(req.MAC)
+			if err != nil {
+				enc.Encode(map[string]string{"err": "bad mac encoding"})
+				continue
+			}
+			resp, err := db.Serve(veridb.Request{
+				ClientID: req.Client, QID: req.QID, Query: req.Query, MAC: mac,
+			})
+			if err != nil {
+				// Authorisation failures have no authenticated response.
+				enc.Encode(map[string]string{"err": err.Error()})
+				continue
+			}
+			out := wireResponse{
+				QID: resp.QID, Seq: resp.Seq, Columns: resp.Columns,
+				Affected: resp.Affected, Err: resp.ErrMsg,
+				MAC: base64.StdEncoding.EncodeToString(resp.MAC),
+			}
+			for _, row := range resp.Rows {
+				out.Rows = append(out.Rows, renderRow(row))
+			}
+			enc.Encode(out)
+		default:
+			enc.Encode(map[string]string{"err": fmt.Sprintf("unknown op %q", req.Op)})
+		}
+	}
+}
+
+func renderRow(row record.Tuple) []string {
+	out := make([]string, len(row))
+	for i, v := range row {
+		out[i] = v.String()
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bufio"
+	"crypto/ed25519"
+	"encoding/base64"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+
+	"veridb"
+	"veridb/internal/enclave"
+	"veridb/internal/portal"
+)
+
+// TestServerProtocolRoundTrip spins the TCP server on an ephemeral port
+// and drives the full client protocol over the wire: attestation, an
+// authenticated query, and rejection of a forged request.
+func TestServerProtocolRoundTrip(t *testing.T) {
+	db, err := veridb.Open(veridb.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE t (a INT PRIMARY KEY, b TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO t VALUES (1, 'hello'), (2, 'world')`); err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("wire-secret")
+	db.ProvisionClient("alice", key)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go serve(db, conn)
+		}
+	}()
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	sc := bufio.NewScanner(conn)
+
+	// Attestation.
+	nonce := []byte("fresh-nonce")
+	if err := enc.Encode(wireRequest{Op: "attest", Nonce: base64.StdEncoding.EncodeToString(nonce)}); err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Scan() {
+		t.Fatal("no attestation response")
+	}
+	var q wireQuote
+	if err := json.Unmarshal(sc.Bytes(), &q); err != nil {
+		t.Fatal(err)
+	}
+	mBytes, _ := base64.StdEncoding.DecodeString(q.Measurement)
+	pub, _ := base64.StdEncoding.DecodeString(q.PublicKey)
+	sig, _ := base64.StdEncoding.DecodeString(q.Signature)
+	var m [32]byte
+	copy(m[:], mBytes)
+	if m != db.Measurement() {
+		t.Fatal("measurement mismatch over the wire")
+	}
+	if _, err := enclave.VerifyQuote(enclave.Quote{
+		Measurement: m, PublicKey: ed25519.PublicKey(pub), Nonce: nonce, Signature: sig,
+	}, db.Measurement(), nonce); err != nil {
+		t.Fatalf("wire quote rejected: %v", err)
+	}
+
+	// Authenticated query.
+	query := `SELECT b FROM t WHERE a = 2`
+	mac := portal.SignRequest(key, "alice", 1, query)
+	if err := enc.Encode(wireRequest{
+		Op: "query", Client: "alice", QID: 1, Query: query,
+		MAC: base64.StdEncoding.EncodeToString(mac),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Scan() {
+		t.Fatal("no query response")
+	}
+	var resp wireResponse
+	if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err != "" || len(resp.Rows) != 1 || resp.Rows[0][0] != "world" {
+		t.Fatalf("response %+v", resp)
+	}
+	if resp.Seq == 0 || resp.MAC == "" {
+		t.Fatalf("response missing sequencing/MAC: %+v", resp)
+	}
+
+	// Forged MAC is rejected without an authenticated response.
+	if err := enc.Encode(wireRequest{
+		Op: "query", Client: "alice", QID: 2, Query: query,
+		MAC: base64.StdEncoding.EncodeToString([]byte("forged")),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Scan() {
+		t.Fatal("no rejection response")
+	}
+	if !strings.Contains(sc.Text(), "authorization failed") {
+		t.Fatalf("forged request not rejected: %s", sc.Text())
+	}
+
+	// Unknown op.
+	enc.Encode(wireRequest{Op: "shutdown"})
+	if !sc.Scan() || !strings.Contains(sc.Text(), "unknown op") {
+		t.Fatalf("unknown op not rejected: %s", sc.Text())
+	}
+}

@@ -1,0 +1,116 @@
+// Tamper: the §3.1 adversary in action, twice.
+//
+//  1. Memory tampering — the compromised host flips bytes of a stored
+//     record directly, bypassing the protected read/write interfaces. The
+//     next verification pass finds h(RS) ≠ h(WS) and raises a sticky
+//     alarm (§4.1's offline memory checking).
+//  2. Rollback — the host "loses power", wipes the enclave state and
+//     replays an old database. The restarted portal reissues sequence
+//     numbers the client has already recorded, which the client's
+//     interval tracker flags (§5.1's rollback defence).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"veridb"
+)
+
+func seed(db *veridb.DB) {
+	for _, q := range []string{
+		`CREATE TABLE ledger (id INT PRIMARY KEY, entry TEXT, amount FLOAT)`,
+		`INSERT INTO ledger VALUES
+			(1, 'opening balance', 1000.00),
+			(2, 'invoice #1042', -250.00),
+			(3, 'payment received', 400.00)`,
+	} {
+		if _, err := db.Exec(q); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func main() {
+	fmt.Println("== attack 1: direct memory tampering ==")
+	db, err := veridb.Open(veridb.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	seed(db)
+	if err := db.Verify(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("initial verification: clean")
+
+	// The adversary writes around every protected interface.
+	if err := db.InjectTamper("ledger"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("adversary flipped bytes of a ledger record in untrusted memory")
+
+	if err := db.Verify(); err != nil {
+		fmt.Println("verification detected it:", err)
+	} else {
+		log.Fatal("BUG: tampering went undetected")
+	}
+	fmt.Println("alarm is sticky:", db.Alarm() != nil)
+	db.Close()
+
+	fmt.Println("\n== attack 2: rollback via forced restart ==")
+	honest, err := veridb.Open(veridb.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	seed(honest)
+	key := []byte("pre-exchanged-key")
+	honest.ProvisionClient("alice", key)
+	alice := veridb.NewClient("alice", key)
+	nonce := []byte("session-nonce")
+	if err := alice.Attest(honest.Attest(nonce), honest.Measurement(), nonce); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("alice attested the enclave and opened a session")
+	ask := func(db *veridb.DB, q string) error {
+		req := alice.NewRequest(q)
+		resp, err := db.Serve(req)
+		if err != nil {
+			return err
+		}
+		return alice.VerifyResponse(req, resp)
+	}
+	for i := 0; i < 3; i++ {
+		if err := ask(honest, `SELECT SUM(amount) FROM ledger`); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("alice ran 3 verified queries; sequence intervals:", alice.Tracker().Intervals())
+	honest.Close()
+
+	// The adversary restarts the machine with an old snapshot: a fresh
+	// enclave whose monotonic counter is back at zero.
+	rolledBack, err := veridb.Open(veridb.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rolledBack.Close()
+	seed(rolledBack)
+	rolledBack.ProvisionClient("alice", key)
+	fmt.Println("adversary replayed an old database state and restarted the portal")
+	detected := false
+	for i := 0; i < 4; i++ {
+		err := ask(rolledBack, `SELECT SUM(amount) FROM ledger`)
+		if err != nil {
+			if errors.Is(err, veridb.ErrRollback) {
+				fmt.Println("alice detected the rollback:", err)
+				detected = true
+				break
+			}
+			log.Fatal(err)
+		}
+	}
+	if !detected {
+		log.Fatal("BUG: rollback went undetected")
+	}
+}

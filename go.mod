@@ -1,0 +1,3 @@
+module veridb
+
+go 1.22

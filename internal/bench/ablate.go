@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"time"
+
+	"veridb/internal/enclave"
+	"veridb/internal/record"
+	"veridb/internal/storage"
+	"veridb/internal/vmem"
+)
+
+// AblationCompaction compares eager per-delete compaction against the
+// §4.3 design of deferring reclamation to the verification scan, under a
+// delete-heavy workload.
+type AblationCompaction struct {
+	EagerDelete    time.Duration // mean delete latency, eager compaction
+	DeferredDelete time.Duration // mean delete latency, deferred
+	ScanWithWork   time.Duration // one verification pass that also compacts
+}
+
+// RunAblationCompaction measures the compaction trade-off.
+func RunAblationCompaction(rows, churn int) (AblationCompaction, error) {
+	var out AblationCompaction
+	for _, eager := range []bool{true, false} {
+		cfg := MicroConfig{
+			Vmem:        vmem.Config{EagerCompaction: eager},
+			InitialRows: rows,
+			Ops:         churn,
+		}
+		cfg = cfg.withDefaults()
+		t, mem, rng, err := setupMicro(cfg)
+		if err != nil {
+			return out, err
+		}
+		// Interleave inserts and deletes so pages fragment.
+		var keys []int64
+		var delTotal time.Duration
+		var dels int
+		for i := 0; i < cfg.Ops; i++ {
+			if i%2 == 0 {
+				k := 2*rng.Int63n(int64(cfg.InitialRows)) + 1
+				if err := t.Insert(record.Tuple{record.Int(k), value500(rng)}); err == nil {
+					keys = append(keys, k)
+				}
+			} else if len(keys) > 0 {
+				k := keys[len(keys)-1]
+				keys = keys[:len(keys)-1]
+				start := time.Now()
+				if err := t.Delete(record.Int(k)); err != nil {
+					return out, err
+				}
+				delTotal += time.Since(start)
+				dels++
+			}
+		}
+		mean := delTotal / time.Duration(max(1, dels))
+		if eager {
+			out.EagerDelete = mean
+		} else {
+			out.DeferredDelete = mean
+			start := time.Now()
+			if err := mem.VerifyAll(); err != nil {
+				return out, err
+			}
+			out.ScanWithWork = time.Since(start)
+		}
+	}
+	return out, nil
+}
+
+// AblationTouched compares full-memory verification scans against
+// touched-page tracking (§4.3) when only a small fraction of pages is hot.
+type AblationTouched struct {
+	FullScan    time.Duration
+	TouchedOnly time.Duration
+	Pages       uint64
+}
+
+// RunAblationTouched loads rows, performs one cold verification pass, then
+// touches a handful of rows and measures the second pass both ways.
+func RunAblationTouched(rows int) (AblationTouched, error) {
+	var out AblationTouched
+	for _, full := range []bool{true, false} {
+		cfg := MicroConfig{Vmem: vmem.Config{FullScan: full}, InitialRows: rows}
+		cfg = cfg.withDefaults()
+		t, mem, rng, err := setupMicro(cfg)
+		if err != nil {
+			return out, err
+		}
+		if err := mem.VerifyAll(); err != nil { // cold pass
+			return out, err
+		}
+		for i := 0; i < 10; i++ { // touch a few pages
+			if _, _, err := t.SearchPK(record.Int(2 * (1 + rng.Int63n(int64(cfg.InitialRows))))); err != nil {
+				return out, err
+			}
+		}
+		start := time.Now()
+		if err := mem.VerifyAll(); err != nil {
+			return out, err
+		}
+		if full {
+			out.FullScan = time.Since(start)
+		} else {
+			out.TouchedOnly = time.Since(start)
+		}
+		out.Pages = mem.Stats().PagesAlive
+	}
+	return out, nil
+}
+
+// AblationECall quantifies the §3.3 colocation argument: what one storage
+// Get costs when the engine shares the enclave with the storage interface,
+// what one simulated ECall-grade boundary crossing costs, and therefore
+// what a per-call-crossing design would pay.
+type AblationECall struct {
+	Colocated time.Duration // mean Get, no crossing
+	ECall     time.Duration // mean simulated boundary crossing (~8000 cycles)
+	Crossing  time.Duration // Colocated + ECall: the non-colocated design
+}
+
+// RunAblationECall measures the op cost and the crossing cost separately
+// (summing them is deterministic; interleaving them would just add noise).
+func RunAblationECall(rows, ops int) (AblationECall, error) {
+	var out AblationECall
+	cfg := MicroConfig{InitialRows: rows, Ops: ops}
+	cfg = cfg.withDefaults()
+	t, _, rng, err := setupMicro(cfg)
+	if err != nil {
+		return out, err
+	}
+	start := time.Now()
+	for i := 0; i < cfg.Ops; i++ {
+		k := 2 * (1 + rng.Int63n(int64(cfg.InitialRows)))
+		if _, _, err := t.SearchPK(record.Int(k)); err != nil {
+			return out, err
+		}
+	}
+	out.Colocated = time.Since(start) / time.Duration(cfg.Ops)
+
+	crossEnc, err := enclave.New(enclave.Config{ECallCycles: enclave.DefaultECallCycles})
+	if err != nil {
+		return out, err
+	}
+	start = time.Now()
+	for i := 0; i < cfg.Ops; i++ {
+		crossEnc.ECall()
+	}
+	out.ECall = time.Since(start) / time.Duration(cfg.Ops)
+	out.Crossing = out.Colocated + out.ECall
+	return out, nil
+}
+
+// max avoids importing math for ints.
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+var _ = storage.ErrNotFound // bench reports storage errors upward

@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"veridb/internal/vmem"
+	"veridb/internal/workload/tpcc"
+)
+
+// The harness runs at tiny scale here: these tests pin that every figure's
+// code path executes cleanly and produces structurally sane numbers; the
+// real measurements come from veridb-bench / go test -bench.
+
+func TestRunMicroAllConfigs(t *testing.T) {
+	for _, c := range Fig9Configs() {
+		lat, err := RunMicro(MicroConfig{Vmem: c.Vmem, InitialRows: 500, Ops: 400})
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		for i, n := range lat.Counts {
+			if n == 0 {
+				t.Fatalf("%s: op kind %d never ran", c.Name, i)
+			}
+		}
+		if lat.Get <= 0 || lat.Insert <= 0 || lat.Delete <= 0 || lat.Update <= 0 {
+			t.Fatalf("%s: non-positive latency %+v", c.Name, lat)
+		}
+	}
+}
+
+func TestRunMicroWithVerifier(t *testing.T) {
+	for _, freq := range Fig10Frequencies() {
+		if _, err := RunMicro(MicroConfig{InitialRows: 300, Ops: 200, VerifyEvery: freq}); err != nil {
+			t.Fatalf("freq %d: %v", freq, err)
+		}
+	}
+}
+
+func TestRSWSCostsMoreThanBaseline(t *testing.T) {
+	// The one relationship that must hold even on noisy CI hardware:
+	// verification work is not free.
+	base, err := RunMicro(MicroConfig{Vmem: vmem.Config{Mode: vmem.ModeBaseline}, InitialRows: 2000, Ops: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsws, err := RunMicro(MicroConfig{InitialRows: 2000, Ops: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rsws.Get+rsws.Insert+rsws.Delete+rsws.Update <= base.Get+base.Insert+base.Delete+base.Update {
+		t.Fatalf("RSWS (%v) not slower than baseline (%v)", rsws, base)
+	}
+}
+
+func TestRunMBTreeMicro(t *testing.T) {
+	lat, err := RunMBTreeMicro(MicroConfig{InitialRows: 500, Ops: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat.Get <= 0 || lat.Insert <= 0 {
+		t.Fatalf("latencies %+v", lat)
+	}
+}
+
+func TestRunTPCHSmall(t *testing.T) {
+	run, err := RunTPCH(TPCHConfig{Lineitems: 1500, Parts: 50}, vmem.Config{}, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Results) != 4 {
+		t.Fatalf("queries %d", len(run.Results))
+	}
+	for _, r := range run.Results {
+		if r.Total <= 0 || r.ScanNodes < 0 || r.Other < 0 {
+			t.Fatalf("%s: %+v", r.Query, r)
+		}
+		if r.ScanNodes+r.Other != r.Total {
+			t.Fatalf("%s: decomposition does not add up", r.Query)
+		}
+	}
+	// Q1 returns grouped rows; Q6/Q19 return one row each.
+	if run.Results[0].Rows < 2 || run.Results[1].Rows != 1 {
+		t.Fatalf("row counts %v, %v", run.Results[0].Rows, run.Results[1].Rows)
+	}
+	// Both Q19 plans return the same single row.
+	if run.Results[2].Rows != 1 || run.Results[3].Rows != 1 {
+		t.Fatalf("Q19 rows %d/%d", run.Results[2].Rows, run.Results[3].Rows)
+	}
+}
+
+func TestRunTPCCPointSmall(t *testing.T) {
+	cfg := TPCCConfig{
+		Workload: tpcc.Config{Warehouses: 2, Customers: 3, Items: 30},
+		Duration: 200 * time.Millisecond,
+	}
+	pt, err := RunTPCCPoint(cfg, vmem.Config{Partitions: 4}, "test", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.TPS <= 0 || pt.Clients != 3 {
+		t.Fatalf("point %+v", pt)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	comp, err := RunAblationCompaction(500, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.EagerDelete <= 0 || comp.DeferredDelete <= 0 {
+		t.Fatalf("%+v", comp)
+	}
+	touched, err := RunAblationTouched(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if touched.FullScan <= 0 || touched.TouchedOnly <= 0 {
+		t.Fatalf("%+v", touched)
+	}
+	if touched.TouchedOnly >= touched.FullScan {
+		t.Logf("warning: touched-only pass (%v) not faster than full scan (%v) at this scale",
+			touched.TouchedOnly, touched.FullScan)
+	}
+	ecall, err := RunAblationECall(500, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ecall.ECall <= 0 || ecall.Crossing <= ecall.Colocated {
+		t.Fatalf("boundary crossing %+v inconsistent", ecall)
+	}
+}

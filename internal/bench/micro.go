@@ -1,0 +1,265 @@
+// Package bench implements the experiment harness that regenerates every
+// figure in the paper's evaluation (§6): the micro-benchmarks of Fig. 9
+// (read/write latency by configuration) and Fig. 10 (latency vs.
+// verification frequency), the MB-Tree comparison of Fig. 11, the TPC-H
+// macro-benchmark of Fig. 12 and the TPC-C concurrency experiment of
+// Fig. 13, plus ablations for the §4.3 design choices. Both the
+// veridb-bench binary and the repo-level testing.B benchmarks call into
+// this package, so numbers printed by either agree.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"veridb/internal/enclave"
+	"veridb/internal/mbtree"
+	"veridb/internal/record"
+	"veridb/internal/storage"
+	"veridb/internal/vmem"
+)
+
+// MicroConfig sizes the §6.1 micro-benchmark: an initial database of
+// integer-keyed records with 500-byte string values, then a mixed stream
+// of Get/Insert/Delete/Update operations in roughly equal shares.
+type MicroConfig struct {
+	Vmem        vmem.Config
+	InitialRows int // paper: 1 M; scaled default 100 k
+	Ops         int // paper: 10 k
+	VerifyEvery int // ops per page scan; 0 disables background verification
+	Seed        int64
+}
+
+func (c MicroConfig) withDefaults() MicroConfig {
+	if c.InitialRows <= 0 {
+		c.InitialRows = 100_000
+	}
+	if c.Ops <= 0 {
+		c.Ops = 10_000
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// OpLatencies reports mean per-operation latency by kind.
+type OpLatencies struct {
+	Get, Insert, Delete, Update time.Duration
+	Counts                      [4]int
+}
+
+// value500 builds the paper's 500-byte values.
+func value500(rng *rand.Rand) record.Value {
+	b := make([]byte, 500)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return record.Text(string(b))
+}
+
+// kvSpec is the micro-benchmark table: 4-byte-int-keyed 500-byte values.
+func kvSpec() storage.TableSpec {
+	return storage.TableSpec{
+		Name: "kv",
+		Schema: record.NewSchema(
+			record.Column{Name: "k", Type: record.TypeInt},
+			record.Column{Name: "v", Type: record.TypeText},
+		),
+		PrimaryKey: 0,
+	}
+}
+
+// setupMicro loads the initial state: keys 2,4,...,2N so inserted odd keys
+// always split an existing ⟨key, nKey⟩ interval, exercising the chain
+// maintenance the paper measures.
+func setupMicro(cfg MicroConfig) (*storage.Table, *vmem.Memory, *rand.Rand, error) {
+	mem, err := vmem.New(enclave.NewForTest(uint64(cfg.Seed)), cfg.Vmem)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	st := storage.NewStore(mem)
+	t, err := st.CreateTable(kvSpec())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 1; i <= cfg.InitialRows; i++ {
+		if err := t.Insert(record.Tuple{record.Int(int64(i) * 2), value500(rng)}); err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	return t, mem, rng, nil
+}
+
+// RunMicro executes the §6.1 workload and reports mean latencies.
+func RunMicro(cfg MicroConfig) (OpLatencies, error) {
+	cfg = cfg.withDefaults()
+	t, mem, rng, err := setupMicro(cfg)
+	if err != nil {
+		return OpLatencies{}, err
+	}
+	if cfg.VerifyEvery > 0 {
+		mem.StartVerifier(cfg.VerifyEvery)
+		defer mem.StopVerifier()
+	}
+	// Pre-generate values and key choices: only the storage operation
+	// itself belongs inside the timed section.
+	vals := make([]record.Value, 64)
+	for i := range vals {
+		vals[i] = value500(rng)
+	}
+	var total [4]time.Duration
+	var counts [4]int
+	inserted := make([]int64, 0, cfg.Ops) // odd keys currently present
+	maxEven := int64(cfg.InitialRows) * 2
+	for i := 0; i < cfg.Ops; i++ {
+		op := i % 4 // equal shares, interleaved
+		v := vals[i%len(vals)]
+		getKey := 2 * (1 + rng.Int63n(int64(cfg.InitialRows)))
+		oddKey := 2*rng.Int63n(maxEven/2) + 1
+		if op == 2 && len(inserted) == 0 {
+			// Ensure the delete has a victim; setup is untimed.
+			if err := t.Insert(record.Tuple{record.Int(oddKey), v}); err == nil {
+				inserted = append(inserted, oddKey)
+			}
+		}
+		start := time.Now()
+		switch op {
+		case 0: // Get
+			if _, _, err := t.SearchPK(record.Int(getKey)); err != nil {
+				return OpLatencies{}, err
+			}
+		case 1: // Insert (fresh odd key)
+			err := t.Insert(record.Tuple{record.Int(oddKey), v})
+			if err == nil {
+				inserted = append(inserted, oddKey)
+			} else if !errors.Is(err, storage.ErrDuplicateKey) {
+				return OpLatencies{}, err
+			}
+		case 2: // Delete (a previously inserted key)
+			if len(inserted) > 0 {
+				k := inserted[len(inserted)-1]
+				inserted = inserted[:len(inserted)-1]
+				if err := t.Delete(record.Int(k)); err != nil {
+					return OpLatencies{}, err
+				}
+			}
+		case 3: // Update (same-size value: in place)
+			if err := t.Update(record.Int(getKey), record.Tuple{record.Int(getKey), v}); err != nil {
+				return OpLatencies{}, err
+			}
+		}
+		total[op] += time.Since(start)
+		counts[op]++
+	}
+	if err := mem.Alarm(); err != nil {
+		return OpLatencies{}, fmt.Errorf("bench: verification alarm during clean run: %w", err)
+	}
+	out := OpLatencies{Counts: counts}
+	if counts[0] > 0 {
+		out.Get = total[0] / time.Duration(counts[0])
+	}
+	if counts[1] > 0 {
+		out.Insert = total[1] / time.Duration(counts[1])
+	}
+	if counts[2] > 0 {
+		out.Delete = total[2] / time.Duration(counts[2])
+	}
+	if counts[3] > 0 {
+		out.Update = total[3] / time.Duration(counts[3])
+	}
+	return out, nil
+}
+
+// Fig9Config names one Fig. 9 series.
+type Fig9Config struct {
+	Name string
+	Vmem vmem.Config
+}
+
+// Fig9Configs returns the paper's three configurations.
+func Fig9Configs() []Fig9Config {
+	return []Fig9Config{
+		{Name: "RSWS w/ Metadata", Vmem: vmem.Config{VerifyMetadata: true}},
+		{Name: "RSWS", Vmem: vmem.Config{}},
+		{Name: "Baseline", Vmem: vmem.Config{Mode: vmem.ModeBaseline}},
+	}
+}
+
+// Fig10Frequencies returns the paper's x-axis (operations per page scan).
+func Fig10Frequencies() []int { return []int{50, 100, 200, 500, 1000} }
+
+// RunMBTreeMicro executes the same workload against the MB-Tree baseline
+// (§6.2): writes rewrite the root-to-leaf hash path under the global root
+// lock; reads build the verification object.
+func RunMBTreeMicro(cfg MicroConfig) (OpLatencies, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tr := mbtree.New(mbtree.DefaultFanout)
+	root := tr.Root()
+	key := func(k int64) []byte {
+		return []byte{byte(k >> 24), byte(k >> 16), byte(k >> 8), byte(k)} // 4-byte keys, as §6.1
+	}
+	val := func() []byte {
+		b := make([]byte, 500)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		return b
+	}
+	for i := 1; i <= cfg.InitialRows; i++ {
+		root = tr.Insert(key(int64(i)*2), val())
+	}
+	vals := make([][]byte, 64)
+	for i := range vals {
+		vals[i] = val()
+	}
+	var total [4]time.Duration
+	var counts [4]int
+	var inserted []int64
+	maxEven := int64(cfg.InitialRows) * 2
+	for i := 0; i < cfg.Ops; i++ {
+		op := i % 4
+		v := vals[i%len(vals)]
+		getKey := 2 * (1 + rng.Int63n(int64(cfg.InitialRows)))
+		oddKey := 2*rng.Int63n(maxEven/2) + 1
+		if op == 2 && len(inserted) == 0 {
+			tr.Insert(key(oddKey), v)
+			inserted = append(inserted, oddKey)
+		}
+		start := time.Now()
+		switch op {
+		case 0:
+			// A read hands back a VO that must regenerate the root hash —
+			// that regeneration is the MB-Tree's verification work, the
+			// counterpart of VeriDB's RSWS maintenance.
+			got, proof, ok := tr.Get(key(getKey))
+			if !ok {
+				return OpLatencies{}, fmt.Errorf("bench: mbtree lost key %d", getKey)
+			}
+			if err := mbtree.Verify(root, key(getKey), got, true, proof); err != nil {
+				return OpLatencies{}, err
+			}
+		case 1:
+			root = tr.Insert(key(oddKey), v)
+			inserted = append(inserted, oddKey)
+		case 2:
+			k := inserted[len(inserted)-1]
+			inserted = inserted[:len(inserted)-1]
+			root, _ = tr.Delete(key(k))
+		case 3:
+			root = tr.Insert(key(getKey), v) // replace = update
+		}
+		total[op] += time.Since(start)
+		counts[op]++
+	}
+	out := OpLatencies{Counts: counts}
+	out.Get = total[0] / time.Duration(counts[0])
+	out.Insert = total[1] / time.Duration(counts[1])
+	out.Delete = total[2] / time.Duration(counts[2])
+	out.Update = total[3] / time.Duration(counts[3])
+	return out, nil
+}

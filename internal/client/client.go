@@ -1,0 +1,162 @@
+// Package client implements the user side of VeriDB's trust protocol
+// (paper §5.1): remote attestation of the enclave, request signing with
+// the pre-exchanged MAC key, response verification, and the rollback
+// defence — a compact interval set of received sequence numbers in which
+// any repetition is non-repudiable evidence of a rollback attack.
+package client
+
+import (
+	"crypto/ed25519"
+	"crypto/hmac"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"veridb/internal/enclave"
+	"veridb/internal/portal"
+)
+
+// Errors raised during response verification.
+var (
+	// ErrBadMAC means the response was not produced by the enclave holding
+	// the pre-exchanged key (or was modified in flight).
+	ErrBadMAC = errors.New("client: response MAC invalid")
+	// ErrRollback means a sequence number repeated: the server rolled the
+	// database back to an earlier state (§5.1).
+	ErrRollback = errors.New("client: repeated sequence number (rollback attack detected)")
+	// ErrWrongQID means the response answers a different request.
+	ErrWrongQID = errors.New("client: response does not match request qid")
+)
+
+// SeqTracker records received sequence numbers as merged intervals, the
+// paper's storage optimisation ("maintaining intervals of successive
+// sequence numbers instead of individual numbers"). Add returns
+// ErrRollback on any repeat. Out-of-order arrival (network reordering,
+// footnote 1) is tolerated.
+type SeqTracker struct {
+	mu        sync.Mutex
+	intervals [][2]uint64 // sorted, disjoint, non-adjacent [lo, hi]
+}
+
+// Add records seq, failing if it was seen before.
+func (s *SeqTracker) Add(seq uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := sort.Search(len(s.intervals), func(i int) bool { return s.intervals[i][1] >= seq })
+	if i < len(s.intervals) && s.intervals[i][0] <= seq {
+		return fmt.Errorf("%w: seq %d already in [%d,%d]", ErrRollback, seq, s.intervals[i][0], s.intervals[i][1])
+	}
+	// Merge with neighbours where adjacent.
+	mergeLeft := i > 0 && s.intervals[i-1][1]+1 == seq
+	mergeRight := i < len(s.intervals) && s.intervals[i][0] == seq+1
+	switch {
+	case mergeLeft && mergeRight:
+		s.intervals[i-1][1] = s.intervals[i][1]
+		s.intervals = append(s.intervals[:i], s.intervals[i+1:]...)
+	case mergeLeft:
+		s.intervals[i-1][1] = seq
+	case mergeRight:
+		s.intervals[i][0] = seq
+	default:
+		s.intervals = append(s.intervals, [2]uint64{})
+		copy(s.intervals[i+1:], s.intervals[i:])
+		s.intervals[i] = [2]uint64{seq, seq}
+	}
+	return nil
+}
+
+// Len returns the number of stored intervals (the client's storage cost).
+func (s *SeqTracker) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.intervals)
+}
+
+// Max returns the largest sequence number seen (0 if none) — the floor a
+// recovered portal must resume above.
+func (s *SeqTracker) Max() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.intervals) == 0 {
+		return 0
+	}
+	return s.intervals[len(s.intervals)-1][1]
+}
+
+// Intervals returns a copy of the interval set.
+func (s *SeqTracker) Intervals() [][2]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([][2]uint64(nil), s.intervals...)
+}
+
+// Client is one VeriDB user: it holds the pre-exchanged MAC key, a query
+// id counter, the sequence tracker, and the attested enclave identity.
+type Client struct {
+	ID  string
+	key []byte
+
+	mu      sync.Mutex
+	nextQID uint64
+	tracker SeqTracker
+
+	attested ed25519.PublicKey
+}
+
+// New builds a client with the pre-exchanged key (provisioned into the
+// enclave out of band, e.g. over the attested channel).
+func New(id string, key []byte) *Client {
+	return &Client{ID: id, key: append([]byte(nil), key...)}
+}
+
+// Attest verifies an enclave quote against the expected measurement and
+// pins the attestation key for endorsement checks.
+func (c *Client) Attest(q enclave.Quote, expectedMeasurement [32]byte, nonce []byte) error {
+	pub, err := enclave.VerifyQuote(q, expectedMeasurement, nonce)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.attested = pub
+	c.mu.Unlock()
+	return nil
+}
+
+// NewRequest signs a query with a fresh qid.
+func (c *Client) NewRequest(query string) portal.Request {
+	c.mu.Lock()
+	c.nextQID++
+	qid := c.nextQID
+	c.mu.Unlock()
+	return portal.Request{
+		ClientID: c.ID,
+		QID:      qid,
+		Query:    query,
+		MAC:      portal.SignRequest(c.key, c.ID, qid, query),
+	}
+}
+
+// VerifyResponse checks a response's MAC against the request and records
+// its sequence number, detecting rollbacks. A verified response whose
+// ErrMsg is non-empty is an authenticated execution error; the method
+// returns it as a plain error after verification succeeds.
+func (c *Client) VerifyResponse(req portal.Request, resp *portal.Response) error {
+	if resp.QID != req.QID {
+		return fmt.Errorf("%w: got %d want %d", ErrWrongQID, resp.QID, req.QID)
+	}
+	want := portal.SignResponse(c.key, resp)
+	if !hmac.Equal(want, resp.MAC) {
+		return ErrBadMAC
+	}
+	if err := c.tracker.Add(resp.Seq); err != nil {
+		return err
+	}
+	if resp.ErrMsg != "" {
+		return fmt.Errorf("client: server reported: %s", resp.ErrMsg)
+	}
+	return nil
+}
+
+// Tracker exposes the sequence tracker (for recovery floors and tests).
+func (c *Client) Tracker() *SeqTracker { return &c.tracker }

@@ -1,0 +1,113 @@
+package client
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestSeqTrackerSequential(t *testing.T) {
+	var s SeqTracker
+	for i := uint64(1); i <= 100; i++ {
+		if err := s.Add(i); err != nil {
+			t.Fatalf("Add(%d): %v", i, err)
+		}
+	}
+	if s.Len() != 1 {
+		t.Fatalf("sequential numbers not merged: %d intervals", s.Len())
+	}
+	if s.Max() != 100 {
+		t.Fatalf("Max = %d", s.Max())
+	}
+}
+
+func TestSeqTrackerDetectsRepeat(t *testing.T) {
+	var s SeqTracker
+	for _, n := range []uint64{5, 6, 7} {
+		if err := s.Add(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range []uint64{5, 6, 7} {
+		if err := s.Add(n); !errors.Is(err, ErrRollback) {
+			t.Fatalf("repeat of %d not detected: %v", n, err)
+		}
+	}
+}
+
+func TestSeqTrackerOutOfOrder(t *testing.T) {
+	// Footnote 1: network reordering means numbers may arrive out of
+	// order; only repetition is evidence.
+	var s SeqTracker
+	perm := rand.New(rand.NewSource(4)).Perm(500)
+	for _, i := range perm {
+		if err := s.Add(uint64(i + 1)); err != nil {
+			t.Fatalf("Add(%d): %v", i+1, err)
+		}
+	}
+	if s.Len() != 1 {
+		t.Fatalf("full permutation not merged into one interval: %d", s.Len())
+	}
+}
+
+func TestSeqTrackerGapsKeptSeparate(t *testing.T) {
+	var s SeqTracker
+	for _, n := range []uint64{1, 3, 5, 10} {
+		if err := s.Add(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 4 {
+		t.Fatalf("intervals = %v", s.Intervals())
+	}
+	// Filling the gap merges.
+	if err := s.Add(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(4); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Intervals()
+	if len(got) != 2 || got[0] != [2]uint64{1, 5} || got[1] != [2]uint64{10, 10} {
+		t.Fatalf("intervals = %v", got)
+	}
+}
+
+func TestSeqTrackerMergeLeftOnly(t *testing.T) {
+	var s SeqTracker
+	s.Add(1)
+	s.Add(2)
+	s.Add(7)
+	if err := s.Add(3); err != nil {
+		t.Fatal(err)
+	}
+	got := s.Intervals()
+	if len(got) != 2 || got[0] != [2]uint64{1, 3} {
+		t.Fatalf("intervals = %v", got)
+	}
+}
+
+func TestSeqTrackerInsideIntervalDetected(t *testing.T) {
+	var s SeqTracker
+	for i := uint64(10); i <= 20; i++ {
+		s.Add(i)
+	}
+	if err := s.Add(15); !errors.Is(err, ErrRollback) {
+		t.Fatalf("interior repeat not detected: %v", err)
+	}
+}
+
+func TestNewRequestQIDsUnique(t *testing.T) {
+	c := New("alice", []byte("key"))
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		r := c.NewRequest("SELECT 1")
+		if seen[r.QID] {
+			t.Fatalf("qid %d reused", r.QID)
+		}
+		seen[r.QID] = true
+		if len(r.MAC) == 0 || r.ClientID != "alice" {
+			t.Fatalf("bad request %+v", r)
+		}
+	}
+}

@@ -1,0 +1,395 @@
+// Package core is the VeriDB kernel: it wires the simulated enclave, the
+// write-read consistent memory, the verifiable storage, the query compiler
+// and the execution engine into one database instance, and executes parsed
+// SQL statements against it. The public veridb package wraps this.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"veridb/internal/enclave"
+	"veridb/internal/engine"
+	"veridb/internal/plan"
+	"veridb/internal/portal"
+	"veridb/internal/record"
+	"veridb/internal/sql"
+	"veridb/internal/storage"
+	"veridb/internal/vmem"
+)
+
+// Config assembles a database instance.
+type Config struct {
+	// Enclave configures the simulated SGX hardware.
+	Enclave enclave.Config
+	// Memory configures the write-read consistent memory (§4.1, §4.3).
+	Memory vmem.Config
+	// Join selects the default join strategy (§6.3 compares plans).
+	Join plan.JoinStrategy
+	// VerifyEveryOps starts the background verifier scanning one page per
+	// this many operations (Fig. 10's x). Zero leaves verification manual.
+	VerifyEveryOps int
+	// Seed, when nonzero, makes the enclave's PRF key deterministic
+	// (benchmarks and tests only).
+	Seed uint64
+}
+
+// DB is one VeriDB instance.
+type DB struct {
+	enc    *enclave.Enclave
+	mem    *vmem.Memory
+	store  *storage.Store
+	portal *portal.Portal
+	opts   plan.Options
+}
+
+// Open builds a database.
+func Open(cfg Config) (*DB, error) {
+	var enc *enclave.Enclave
+	var err error
+	if cfg.Seed != 0 {
+		enc = enclave.NewForTest(cfg.Seed)
+	} else if enc, err = enclave.New(cfg.Enclave); err != nil {
+		return nil, err
+	}
+	mem, err := vmem.New(enc, cfg.Memory)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{
+		enc:   enc,
+		mem:   mem,
+		store: storage.NewStore(mem),
+		opts:  plan.Options{Join: cfg.Join},
+	}
+	db.portal = portal.New(enc, db)
+	if cfg.VerifyEveryOps > 0 {
+		mem.StartVerifier(cfg.VerifyEveryOps)
+	}
+	return db, nil
+}
+
+// Enclave exposes the simulated enclave (attestation, key provisioning).
+func (db *DB) Enclave() *enclave.Enclave { return db.enc }
+
+// Memory exposes the write-read consistent memory (verification control).
+func (db *DB) Memory() *vmem.Memory { return db.mem }
+
+// Store exposes the verifiable storage (library-level access).
+func (db *DB) Store() *storage.Store { return db.store }
+
+// Portal exposes the query portal for authenticated client sessions.
+func (db *DB) Portal() *portal.Portal { return db.portal }
+
+// Close stops background verification.
+func (db *DB) Close() {
+	db.mem.StopVerifier()
+}
+
+// Execute parses and runs one SQL statement. It implements
+// portal.Executor, so authenticated requests route through the same path.
+func (db *DB) Execute(query string) (*portal.Result, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return db.ExecuteStmt(stmt)
+}
+
+// ExecuteStmt runs a parsed statement.
+func (db *DB) ExecuteStmt(stmt sql.Statement) (*portal.Result, error) {
+	switch s := stmt.(type) {
+	case *sql.CreateTable:
+		return db.createTable(s)
+	case *sql.DropTable:
+		if err := db.store.DropTable(s.Name); err != nil {
+			return nil, err
+		}
+		return &portal.Result{}, nil
+	case *sql.Insert:
+		return db.insert(s)
+	case *sql.Update:
+		return db.update(s)
+	case *sql.Delete:
+		return db.delete(s)
+	case *sql.Select:
+		return db.query(s)
+	case *sql.Explain:
+		op, err := db.Plan(s.Query)
+		if err != nil {
+			return nil, err
+		}
+		res := &portal.Result{Columns: []string{"plan"}}
+		for _, line := range strings.Split(strings.TrimRight(plan.Describe(op), "\n"), "\n") {
+			res.Rows = append(res.Rows, record.Tuple{record.Text(line)})
+		}
+		return res, nil
+	default:
+		return nil, fmt.Errorf("core: unsupported statement %T", stmt)
+	}
+}
+
+// Plan compiles a SELECT without running it (EXPLAIN support).
+func (db *DB) Plan(sel *sql.Select) (engine.Operator, error) {
+	return plan.PlanSelect(db.store, sel, db.opts)
+}
+
+func (db *DB) createTable(ct *sql.CreateTable) (*portal.Result, error) {
+	if len(ct.Columns) == 0 {
+		return nil, fmt.Errorf("core: table %q has no columns", ct.Name)
+	}
+	cols := make([]record.Column, len(ct.Columns))
+	pk := -1
+	for i, c := range ct.Columns {
+		cols[i] = record.Column{Name: c.Name, Type: c.Type}
+		if c.PrimaryKey {
+			if pk != -1 {
+				return nil, fmt.Errorf("core: table %q declares multiple primary keys", ct.Name)
+			}
+			pk = i
+		}
+	}
+	if pk == -1 {
+		pk = 0 // first column by convention
+	}
+	schema := record.NewSchema(cols...)
+	var chains []int
+	for _, idxCol := range ct.Indexes {
+		ci := schema.ColIndex(idxCol)
+		if ci < 0 {
+			return nil, fmt.Errorf("core: INDEX names unknown column %q", idxCol)
+		}
+		chains = append(chains, ci)
+	}
+	_, err := db.store.CreateTable(storage.TableSpec{
+		Name:         ct.Name,
+		Schema:       schema,
+		PrimaryKey:   pk,
+		ChainColumns: chains,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &portal.Result{}, nil
+}
+
+// evalConst evaluates an expression with no column references (INSERT
+// values, SET right-hand sides without references).
+func evalConst(e sql.Expr) (record.Value, error) {
+	c, err := engine.Compile(e, engine.Schema{})
+	if err != nil {
+		return record.Value{}, err
+	}
+	return c.Eval(nil)
+}
+
+func (db *DB) insert(ins *sql.Insert) (*portal.Result, error) {
+	t, err := db.store.Table(ins.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := t.Schema()
+	// Column ordering: explicit list or schema order.
+	order := make([]int, 0, schema.Len())
+	if len(ins.Columns) == 0 {
+		for i := 0; i < schema.Len(); i++ {
+			order = append(order, i)
+		}
+	} else {
+		for _, name := range ins.Columns {
+			ci := schema.ColIndex(name)
+			if ci < 0 {
+				return nil, fmt.Errorf("core: table %q has no column %q", ins.Table, name)
+			}
+			order = append(order, ci)
+		}
+	}
+	n := 0
+	for _, row := range ins.Rows {
+		if len(row) != len(order) {
+			return nil, fmt.Errorf("core: INSERT row has %d values for %d columns", len(row), len(order))
+		}
+		tup := make(record.Tuple, schema.Len())
+		for i := range tup {
+			tup[i] = record.Null(schema.Columns[i].Type)
+		}
+		for i, e := range row {
+			v, err := evalConst(e)
+			if err != nil {
+				return nil, err
+			}
+			tup[order[i]] = v
+		}
+		if err := t.Insert(tup); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &portal.Result{Affected: n}, nil
+}
+
+// matchingRows plans and materialises the rows of one table satisfying
+// where (the scan closes before any write begins, so DML never deadlocks
+// with its own read phase).
+func (db *DB) matchingRows(t *storage.Table, where sql.Expr) ([]record.Tuple, error) {
+	sel := &sql.Select{
+		Items: []sql.SelectItem{{Star: true}},
+		From:  []sql.TableRef{{Table: t.Name(), Alias: t.Name()}},
+		Where: where,
+		Limit: -1,
+	}
+	op, err := plan.PlanSelect(db.store, sel, db.opts)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Drain(op)
+}
+
+func (db *DB) update(up *sql.Update) (*portal.Result, error) {
+	t, err := db.store.Table(up.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := t.Schema()
+	scanSchema := make(engine.Schema, schema.Len())
+	for i, c := range schema.Columns {
+		scanSchema[i] = engine.Col{Table: up.Table, Name: c.Name, Type: c.Type}
+	}
+	type setter struct {
+		col  int
+		expr *engine.Compiled
+	}
+	setters := make([]setter, len(up.Set))
+	for i, a := range up.Set {
+		ci := schema.ColIndex(a.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("core: table %q has no column %q", up.Table, a.Column)
+		}
+		c, err := engine.Compile(a.Value, scanSchema)
+		if err != nil {
+			return nil, err
+		}
+		setters[i] = setter{col: ci, expr: c}
+	}
+	rows, err := db.matchingRows(t, up.Where)
+	if err != nil {
+		return nil, err
+	}
+	pkCol := t.PrimaryKeyColumn()
+	n := 0
+	for _, row := range rows {
+		newTup := row.Clone()
+		for _, s := range setters {
+			v, err := s.expr.Eval(row)
+			if err != nil {
+				return nil, err
+			}
+			newTup[s.col] = v
+		}
+		if err := t.Update(row[pkCol], newTup); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &portal.Result{Affected: n}, nil
+}
+
+func (db *DB) delete(del *sql.Delete) (*portal.Result, error) {
+	t, err := db.store.Table(del.Table)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := db.matchingRows(t, del.Where)
+	if err != nil {
+		return nil, err
+	}
+	pkCol := t.PrimaryKeyColumn()
+	n := 0
+	for _, row := range rows {
+		if err := t.Delete(row[pkCol]); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &portal.Result{Affected: n}, nil
+}
+
+func (db *DB) query(sel *sql.Select) (*portal.Result, error) {
+	op, err := plan.PlanSelect(db.store, sel, db.opts)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := engine.Drain(op)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]string, len(op.Schema()))
+	for i, c := range op.Schema() {
+		cols[i] = c.Name
+	}
+	return &portal.Result{Columns: cols, Rows: rows}, nil
+}
+
+// Recover rebuilds this (fresh) database from a replica by replaying its
+// schema and contents through the ordinary protected write interfaces
+// (§5.1 "Recovery from failure": "these repeated writes use the same
+// interfaces introduced in Section 4.2, and naturally update the states
+// stored in SGX"). The always-running verifier covers the replay itself.
+func (db *DB) Recover(replica *DB, seqFloor uint64) error {
+	for _, name := range replica.store.TableNames() {
+		src, err := replica.store.Table(name)
+		if err != nil {
+			return err
+		}
+		spec := storage.TableSpec{
+			Name:       name,
+			Schema:     src.Schema(),
+			PrimaryKey: src.PrimaryKeyColumn(),
+		}
+		for _, c := range src.ChainColumns()[1:] {
+			spec.ChainColumns = append(spec.ChainColumns, c)
+		}
+		dst, err := db.store.CreateTable(spec)
+		if err != nil {
+			return err
+		}
+		sc, err := src.NewScan(0, storage.ScanBounds{})
+		if err != nil {
+			return err
+		}
+		for {
+			tup, ok, err := sc.Next()
+			if err != nil {
+				return fmt.Errorf("core: recovery scan of %q: %w", name, err)
+			}
+			if !ok {
+				break
+			}
+			if err := dst.Insert(tup); err != nil {
+				return err
+			}
+		}
+	}
+	db.portal.ResumeAt(seqFloor)
+	return nil
+}
+
+// TableNames lists tables.
+func (db *DB) TableNames() []string { return db.store.TableNames() }
+
+// Explain returns a plan description for a SELECT.
+func (db *DB) Explain(query string) (string, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	sel, ok := stmt.(*sql.Select)
+	if !ok {
+		return "", fmt.Errorf("core: EXPLAIN supports only SELECT, got %T", stmt)
+	}
+	op, err := db.Plan(sel)
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(plan.Describe(op), "\n"), nil
+}

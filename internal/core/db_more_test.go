@@ -1,0 +1,124 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"veridb/internal/record"
+)
+
+func TestExplainStatement(t *testing.T) {
+	db := openTest(t)
+	seed(t, db)
+	res := exec(t, db, `EXPLAIN SELECT q.id FROM quote q, inventory i WHERE q.id = i.id`)
+	if len(res.Columns) != 1 || res.Columns[0] != "plan" {
+		t.Fatalf("columns %v", res.Columns)
+	}
+	var lines []string
+	for _, r := range res.Rows {
+		lines = append(lines, r[0].S)
+	}
+	planText := strings.Join(lines, "\n")
+	for _, want := range []string{"Project", "IndexJoin", "SeqScan"} {
+		if !strings.Contains(planText, want) {
+			t.Fatalf("plan missing %s:\n%s", want, planText)
+		}
+	}
+	if _, err := db.Execute(`EXPLAIN INSERT INTO quote VALUES (9,9,9.0)`); err == nil {
+		t.Fatal("EXPLAIN of DML accepted")
+	}
+}
+
+func TestDropTableSQL(t *testing.T) {
+	db := openTest(t)
+	seed(t, db)
+	if _, err := db.Execute(`DROP TABLE quote`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Execute(`SELECT * FROM quote`); err == nil {
+		t.Fatal("dropped table still queryable")
+	}
+	if _, err := db.Execute(`DROP TABLE quote`); err == nil {
+		t.Fatal("double drop succeeded")
+	}
+	if err := db.Memory().VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateChangingPrimaryKeySQL(t *testing.T) {
+	db := openTest(t)
+	seed(t, db)
+	res := exec(t, db, `UPDATE quote SET id = id + 100 WHERE id = 2`)
+	if res.Affected != 1 {
+		t.Fatalf("affected %d", res.Affected)
+	}
+	rows := exec(t, db, `SELECT id FROM quote ORDER BY id`).Rows
+	var ids []int64
+	for _, r := range rows {
+		ids = append(ids, r[0].I)
+	}
+	if len(ids) != 4 || ids[3] != 102 {
+		t.Fatalf("ids %v", ids)
+	}
+	if err := db.Memory().VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertNullIntoChainedColumn(t *testing.T) {
+	db := openTest(t)
+	exec(t, db, `CREATE TABLE t (a INT PRIMARY KEY, b INT, INDEX(b))`)
+	exec(t, db, `INSERT INTO t VALUES (1, NULL), (2, 5)`)
+	rows := exec(t, db, `SELECT a FROM t WHERE b = 5`).Rows
+	if len(rows) != 1 || rows[0][0].I != 2 {
+		t.Fatalf("rows %v", rows)
+	}
+	// NULL row reachable by primary key, absent from the secondary chain.
+	rows = exec(t, db, `SELECT a FROM t WHERE a = 1`).Rows
+	if len(rows) != 1 {
+		t.Fatalf("null-chained row lost: %v", rows)
+	}
+	if err := db.Memory().VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWhereOnTextAndBool(t *testing.T) {
+	db := openTest(t)
+	exec(t, db, `CREATE TABLE flags (name TEXT PRIMARY KEY, active BOOL)`)
+	exec(t, db, `INSERT INTO flags VALUES ('alpha', TRUE), ('beta', FALSE), ('gamma', TRUE)`)
+	rows := exec(t, db, `SELECT name FROM flags WHERE active ORDER BY name`).Rows
+	if len(rows) != 2 || rows[0][0].S != "alpha" || rows[1][0].S != "gamma" {
+		t.Fatalf("rows %v", rows)
+	}
+	rows = exec(t, db, `SELECT name FROM flags WHERE name BETWEEN 'b' AND 'h'`).Rows
+	if len(rows) != 2 {
+		t.Fatalf("text range rows %v", rows)
+	}
+}
+
+func TestArithmeticInProjectionAndWhere(t *testing.T) {
+	db := openTest(t)
+	seed(t, db)
+	// Exposures: id1=10000, id2=20000, id3=50000, id4=60000.
+	rows := exec(t, db, `SELECT id, count * price AS exposure FROM quote WHERE count * price >= 50000 ORDER BY exposure DESC`).Rows
+	if len(rows) != 2 {
+		t.Fatalf("rows %v", rows)
+	}
+	if rows[0][1].F != 60000 { // id=4: 600 * 100
+		t.Fatalf("top exposure %v", rows[0])
+	}
+}
+
+func TestResultTupleIndependence(t *testing.T) {
+	// Mutating returned rows must not corrupt stored data.
+	db := openTest(t)
+	seed(t, db)
+	res := exec(t, db, `SELECT id, count FROM quote WHERE id = 1`)
+	res.Rows[0][1] = record.Int(999999)
+	res2 := exec(t, db, `SELECT count FROM quote WHERE id = 1`)
+	if res2.Rows[0][0].I != 100 {
+		t.Fatalf("stored data mutated through result: %v", res2.Rows)
+	}
+}

@@ -1,0 +1,435 @@
+package engine
+
+import (
+	"veridb/internal/record"
+	"veridb/internal/storage"
+)
+
+// concatSchema joins two schemas side by side.
+func concatSchema(l, r Schema) Schema {
+	out := make(Schema, 0, len(l)+len(r))
+	out = append(out, l...)
+	out = append(out, r...)
+	return out
+}
+
+func concatTuples(l, r record.Tuple) record.Tuple {
+	out := make(record.Tuple, 0, len(l)+len(r))
+	out = append(out, l...)
+	out = append(out, r...)
+	return out
+}
+
+// NestedLoopJoin re-opens the inner operator for every outer row and emits
+// concatenated rows passing On (which may be nil for a cross product).
+// This is the Q19 "NestedLoopJoin" plan shape of §6.3.
+type NestedLoopJoin struct {
+	Outer, Inner Operator
+	On           *Compiled // compiled against the concatenated schema
+
+	cur       record.Tuple
+	innerOpen bool
+}
+
+// Schema concatenates outer and inner schemas.
+func (j *NestedLoopJoin) Schema() Schema {
+	return concatSchema(j.Outer.Schema(), j.Inner.Schema())
+}
+
+// Open opens the outer side.
+func (j *NestedLoopJoin) Open() error {
+	j.cur = nil
+	j.innerOpen = false
+	return j.Outer.Open()
+}
+
+// Next emits the next joined row.
+func (j *NestedLoopJoin) Next() (record.Tuple, bool, error) {
+	for {
+		if j.cur == nil {
+			t, ok, err := j.Outer.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			j.cur = t
+			if j.innerOpen {
+				j.Inner.Close()
+			}
+			if err := j.Inner.Open(); err != nil {
+				return nil, false, err
+			}
+			j.innerOpen = true
+		}
+		it, ok, err := j.Inner.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			j.cur = nil
+			continue
+		}
+		row := concatTuples(j.cur, it)
+		if j.On != nil {
+			pass, err := j.On.EvalBool(row)
+			if err != nil {
+				return nil, false, err
+			}
+			if !pass {
+				continue
+			}
+		}
+		return row, true, nil
+	}
+}
+
+// Close closes both sides.
+func (j *NestedLoopJoin) Close() error {
+	if j.innerOpen {
+		j.Inner.Close()
+		j.innerOpen = false
+	}
+	return j.Outer.Close()
+}
+
+// IndexJoin pulls, for each outer row, the matching inner rows through the
+// verified index search / range scan on the inner table's chain — the
+// paper's running example plan (Fig. 7: Join with IndexSearch on
+// inventory.id).
+type IndexJoin struct {
+	Outer      Operator
+	InnerTable *storage.Table
+	InnerAlias string
+	// InnerCol is the chained inner column the key probes.
+	InnerCol int
+	// OuterKey computes the probe value from the outer row.
+	OuterKey *Compiled
+	// Residual filters concatenated rows (nil: none).
+	Residual *Compiled
+
+	cur     record.Tuple
+	matches []record.Tuple
+	mi      int
+}
+
+// Schema concatenates outer and inner schemas.
+func (j *IndexJoin) Schema() Schema {
+	cols := j.InnerTable.Schema().Columns
+	inner := make(Schema, len(cols))
+	for i, c := range cols {
+		inner[i] = Col{Table: j.InnerAlias, Name: c.Name, Type: c.Type}
+	}
+	return concatSchema(j.Outer.Schema(), inner)
+}
+
+// Open opens the outer side.
+func (j *IndexJoin) Open() error {
+	j.cur, j.matches, j.mi = nil, nil, 0
+	return j.Outer.Open()
+}
+
+// Next emits the next joined row.
+func (j *IndexJoin) Next() (record.Tuple, bool, error) {
+	for {
+		for j.mi < len(j.matches) {
+			row := concatTuples(j.cur, j.matches[j.mi])
+			j.mi++
+			if j.Residual != nil {
+				pass, err := j.Residual.EvalBool(row)
+				if err != nil {
+					return nil, false, err
+				}
+				if !pass {
+					continue
+				}
+			}
+			return row, true, nil
+		}
+		t, ok, err := j.Outer.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		j.cur = t
+		key, err := j.OuterKey.Eval(t)
+		if err != nil {
+			return nil, false, err
+		}
+		j.matches, err = j.probe(key)
+		if err != nil {
+			return nil, false, err
+		}
+		j.mi = 0
+	}
+}
+
+// probe fetches verified matches for one key value.
+func (j *IndexJoin) probe(key record.Value) ([]record.Tuple, error) {
+	if key.Null {
+		return nil, nil // NULL joins nothing
+	}
+	if j.InnerCol == j.InnerTable.PrimaryKeyColumn() {
+		tup, ev, err := j.InnerTable.SearchPK(key)
+		if err != nil {
+			return nil, err
+		}
+		if !ev.Found {
+			return nil, nil
+		}
+		return []record.Tuple{tup}, nil
+	}
+	sc, err := j.InnerTable.ScanRange(j.InnerCol, &key, &key)
+	if err != nil {
+		return nil, err
+	}
+	defer sc.Close()
+	var out []record.Tuple
+	for {
+		t, ok, err := sc.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}
+
+// Close closes the outer side.
+func (j *IndexJoin) Close() error {
+	j.matches = nil
+	return j.Outer.Close()
+}
+
+// MergeJoin equi-joins two inputs already sorted on their join keys —
+// Q19's low-compute plan in §6.3. Duplicate key groups on the right are
+// buffered.
+type MergeJoin struct {
+	Left, Right        Operator
+	LeftKey, RightKey  *Compiled // compiled against the respective schemas
+	Residual           *Compiled // against the concatenated schema; may be nil
+	lrow               record.Tuple
+	lkey               record.Value
+	group              []record.Tuple // right rows sharing the current key
+	gi                 int
+	rrow               record.Tuple // right look-ahead
+	rkey               record.Value
+	leftDone, skipSame bool
+}
+
+// Schema concatenates the inputs.
+func (j *MergeJoin) Schema() Schema {
+	return concatSchema(j.Left.Schema(), j.Right.Schema())
+}
+
+// Open opens both inputs.
+func (j *MergeJoin) Open() error {
+	j.lrow, j.group, j.gi, j.rrow = nil, nil, 0, nil
+	j.leftDone, j.skipSame = false, false
+	if err := j.Left.Open(); err != nil {
+		return err
+	}
+	if err := j.Right.Open(); err != nil {
+		j.Left.Close()
+		return err
+	}
+	return j.advanceRight()
+}
+
+func (j *MergeJoin) advanceLeft() error {
+	t, ok, err := j.Left.Next()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		j.leftDone = true
+		j.lrow = nil
+		return nil
+	}
+	j.lrow = t
+	j.lkey, err = j.LeftKey.Eval(t)
+	return err
+}
+
+func (j *MergeJoin) advanceRight() error {
+	t, ok, err := j.Right.Next()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		j.rrow = nil
+		return nil
+	}
+	j.rrow = t
+	j.rkey, err = j.RightKey.Eval(t)
+	return err
+}
+
+// fillGroup collects all right rows equal to key into the group buffer.
+func (j *MergeJoin) fillGroup(key record.Value) error {
+	j.group = j.group[:0]
+	for j.rrow != nil {
+		c, err := j.rkey.Compare(key)
+		if err != nil {
+			return err
+		}
+		if c != 0 {
+			break
+		}
+		j.group = append(j.group, j.rrow)
+		if err := j.advanceRight(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Next emits the next joined row.
+func (j *MergeJoin) Next() (record.Tuple, bool, error) {
+	for {
+		for j.gi < len(j.group) {
+			row := concatTuples(j.lrow, j.group[j.gi])
+			j.gi++
+			if j.Residual != nil {
+				pass, err := j.Residual.EvalBool(row)
+				if err != nil {
+					return nil, false, err
+				}
+				if !pass {
+					continue
+				}
+			}
+			return row, true, nil
+		}
+		// Need a new left row.
+		prevKey := j.lkey
+		hadLeft := j.lrow != nil
+		if err := j.advanceLeft(); err != nil {
+			return nil, false, err
+		}
+		if j.leftDone {
+			return nil, false, nil
+		}
+		if j.lkey.Null {
+			j.group, j.gi = nil, 0 // NULL keys join nothing
+			continue
+		}
+		// Same key as the previous left row: reuse the group.
+		if hadLeft && !prevKey.Null {
+			if c, err := j.lkey.Compare(prevKey); err == nil && c == 0 {
+				j.gi = 0
+				continue
+			}
+		}
+		// Advance the right side to the new key.
+		for j.rrow != nil {
+			c, err := j.rkey.Compare(j.lkey)
+			if err != nil {
+				return nil, false, err
+			}
+			if c >= 0 {
+				break
+			}
+			if err := j.advanceRight(); err != nil {
+				return nil, false, err
+			}
+		}
+		if err := j.fillGroup(j.lkey); err != nil {
+			return nil, false, err
+		}
+		j.gi = 0
+		if len(j.group) == 0 {
+			continue
+		}
+	}
+}
+
+// Close closes both inputs.
+func (j *MergeJoin) Close() error {
+	err1 := j.Left.Close()
+	err2 := j.Right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// HashJoin builds a hash table on the right input and probes with the
+// left — the fallback equi-join when no chain serves the join column.
+type HashJoin struct {
+	Left, Right       Operator
+	LeftKey, RightKey *Compiled
+	Residual          *Compiled
+
+	table   map[string][]record.Tuple
+	cur     record.Tuple
+	matches []record.Tuple
+	mi      int
+}
+
+// Schema concatenates the inputs.
+func (j *HashJoin) Schema() Schema {
+	return concatSchema(j.Left.Schema(), j.Right.Schema())
+}
+
+// Open drains the right input into the hash table.
+func (j *HashJoin) Open() error {
+	j.table = make(map[string][]record.Tuple)
+	j.cur, j.matches, j.mi = nil, nil, 0
+	rows, err := Drain(j.Right)
+	if err != nil {
+		return err
+	}
+	for _, r := range rows {
+		k, err := j.RightKey.Eval(r)
+		if err != nil {
+			return err
+		}
+		if k.Null {
+			continue
+		}
+		gk := groupKey([]record.Value{k})
+		j.table[gk] = append(j.table[gk], r)
+	}
+	return j.Left.Open()
+}
+
+// Next probes the table with successive left rows.
+func (j *HashJoin) Next() (record.Tuple, bool, error) {
+	for {
+		for j.mi < len(j.matches) {
+			row := concatTuples(j.cur, j.matches[j.mi])
+			j.mi++
+			if j.Residual != nil {
+				pass, err := j.Residual.EvalBool(row)
+				if err != nil {
+					return nil, false, err
+				}
+				if !pass {
+					continue
+				}
+			}
+			return row, true, nil
+		}
+		t, ok, err := j.Left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		j.cur = t
+		k, err := j.LeftKey.Eval(t)
+		if err != nil {
+			return nil, false, err
+		}
+		if k.Null {
+			j.matches = nil
+			continue
+		}
+		j.matches = j.table[groupKey([]record.Value{k})]
+		j.mi = 0
+	}
+}
+
+// Close closes the left input and drops the table.
+func (j *HashJoin) Close() error {
+	j.table = nil
+	return j.Left.Close()
+}

@@ -1,0 +1,370 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"veridb/internal/record"
+	"veridb/internal/storage"
+)
+
+// Operator is the volcano iterator interface (§5.4: "the operators in the
+// execution engine, when triggered, output one tuple"). Open may be called
+// again after Close to restart the operator (nested-loop inners rely on
+// this).
+type Operator interface {
+	Schema() Schema
+	Open() error
+	Next() (record.Tuple, bool, error)
+	Close() error
+}
+
+// Drain runs an operator to completion and returns all rows.
+func Drain(op Operator) ([]record.Tuple, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []record.Tuple
+	for {
+		t, ok, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}
+
+// TableScan is the verified sequential/range scan leaf (§5.2). With no
+// bounds it scans the whole primary chain ("SeqScan, treated as RangeScan
+// for range (⊥,⊤)", §5.4); with bounds on a chained column it becomes a
+// verified range scan on that column's chain.
+type TableScan struct {
+	Table *storage.Table
+	Alias string
+	// Col is the bounded column index; -1 scans the primary chain fully.
+	Col    int
+	Lo, Hi *record.Value
+
+	sc      *storage.Scanner
+	visited int
+}
+
+// NewTableScan builds a full scan over the primary chain.
+func NewTableScan(t *storage.Table, alias string) *TableScan {
+	return &TableScan{Table: t, Alias: alias, Col: -1}
+}
+
+// NewRangeScan builds a verified range scan on col's chain.
+func NewRangeScan(t *storage.Table, alias string, col int, lo, hi *record.Value) *TableScan {
+	return &TableScan{Table: t, Alias: alias, Col: col, Lo: lo, Hi: hi}
+}
+
+// Schema exposes the table's columns under the scan's alias.
+func (s *TableScan) Schema() Schema {
+	cols := s.Table.Schema().Columns
+	out := make(Schema, len(cols))
+	for i, c := range cols {
+		out[i] = Col{Table: s.Alias, Name: c.Name, Type: c.Type}
+	}
+	return out
+}
+
+// Open starts (or restarts) the verified scan.
+func (s *TableScan) Open() error {
+	if s.sc != nil {
+		s.sc.Close()
+		s.sc = nil
+	}
+	var err error
+	if s.Col < 0 {
+		s.sc, err = s.Table.NewScan(0, storage.ScanBounds{})
+	} else {
+		s.sc, err = s.Table.ScanRange(s.Col, s.Lo, s.Hi)
+	}
+	return err
+}
+
+// Next returns the next verified tuple.
+func (s *TableScan) Next() (record.Tuple, bool, error) {
+	if s.sc == nil {
+		return nil, false, fmt.Errorf("engine: scan of %q not open", s.Table.Name())
+	}
+	t, ok, err := s.sc.Next()
+	if !ok {
+		s.visited = s.sc.Visited()
+	}
+	return t, ok, err
+}
+
+// Close releases the scan (and its shared table lock).
+func (s *TableScan) Close() error {
+	if s.sc != nil {
+		s.visited = s.sc.Visited()
+		s.sc.Close()
+		s.sc = nil
+	}
+	return nil
+}
+
+// Visited reports chain records read, including verification boundaries.
+func (s *TableScan) Visited() int { return s.visited }
+
+// Filter drops rows failing the predicate.
+type Filter struct {
+	Child Operator
+	Pred  *Compiled
+}
+
+// Schema returns the child schema.
+func (f *Filter) Schema() Schema { return f.Child.Schema() }
+
+// Open opens the child.
+func (f *Filter) Open() error { return f.Child.Open() }
+
+// Next returns the next passing row.
+func (f *Filter) Next() (record.Tuple, bool, error) {
+	for {
+		t, ok, err := f.Child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		pass, err := f.Pred.EvalBool(t)
+		if err != nil {
+			return nil, false, err
+		}
+		if pass {
+			return t, true, nil
+		}
+	}
+}
+
+// Close closes the child.
+func (f *Filter) Close() error { return f.Child.Close() }
+
+// Project computes output expressions per row.
+type Project struct {
+	Child Operator
+	Exprs []*Compiled
+	Names []string
+}
+
+// Schema derives from the compiled expressions.
+func (p *Project) Schema() Schema {
+	out := make(Schema, len(p.Exprs))
+	for i, e := range p.Exprs {
+		name := p.Names[i]
+		out[i] = Col{Name: name, Type: e.Type()}
+	}
+	return out
+}
+
+// Open opens the child.
+func (p *Project) Open() error { return p.Child.Open() }
+
+// Next projects the next row.
+func (p *Project) Next() (record.Tuple, bool, error) {
+	t, ok, err := p.Child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(record.Tuple, len(p.Exprs))
+	for i, e := range p.Exprs {
+		if out[i], err = e.Eval(t); err != nil {
+			return nil, false, err
+		}
+	}
+	return out, true, nil
+}
+
+// Close closes the child.
+func (p *Project) Close() error { return p.Child.Close() }
+
+// Limit stops after N rows.
+type Limit struct {
+	Child Operator
+	N     int
+	seen  int
+}
+
+// Schema returns the child schema.
+func (l *Limit) Schema() Schema { return l.Child.Schema() }
+
+// Open opens the child and resets the counter.
+func (l *Limit) Open() error {
+	l.seen = 0
+	return l.Child.Open()
+}
+
+// Next forwards until the limit is reached.
+func (l *Limit) Next() (record.Tuple, bool, error) {
+	if l.seen >= l.N {
+		return nil, false, nil
+	}
+	t, ok, err := l.Child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.seen++
+	return t, true, nil
+}
+
+// Close closes the child.
+func (l *Limit) Close() error { return l.Child.Close() }
+
+// SortKey is one ORDER BY key.
+type SortKey struct {
+	Expr *Compiled
+	Desc bool
+}
+
+// Sort materialises the child and emits rows in key order. Operator state
+// beyond a handful of rows conceptually spills to the verifiable storage
+// rather than EPC (§5.4 discusses the options); the simulation keeps it in
+// the enclave's accounted memory.
+type Sort struct {
+	Child Operator
+	Keys  []SortKey
+
+	rows []record.Tuple
+	pos  int
+}
+
+// Schema returns the child schema.
+func (s *Sort) Schema() Schema { return s.Child.Schema() }
+
+// Open drains and sorts the child.
+func (s *Sort) Open() error {
+	s.rows, s.pos = nil, 0
+	rows, err := Drain(s.Child)
+	if err != nil {
+		return err
+	}
+	keys := make([][]record.Value, len(rows))
+	for i, r := range rows {
+		keys[i] = make([]record.Value, len(s.Keys))
+		for j, k := range s.Keys {
+			v, err := k.Expr.Eval(r)
+			if err != nil {
+				return err
+			}
+			keys[i][j] = v
+		}
+	}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	var sortErr error
+	sort.SliceStable(idx, func(a, b int) bool {
+		for j, k := range s.Keys {
+			c, err := keys[idx[a]][j].Compare(keys[idx[b]][j])
+			if err != nil && sortErr == nil {
+				sortErr = err
+			}
+			if c != 0 {
+				if k.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	if sortErr != nil {
+		return sortErr
+	}
+	s.rows = make([]record.Tuple, len(rows))
+	for i, j := range idx {
+		s.rows[i] = rows[j]
+	}
+	return nil
+}
+
+// Next emits the next sorted row.
+func (s *Sort) Next() (record.Tuple, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	t := s.rows[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+// Close releases the materialised rows.
+func (s *Sort) Close() error {
+	s.rows = nil
+	return nil
+}
+
+// Materialize drains its child once and replays the buffered rows on every
+// subsequent Open — the materialisation point §6.3's NestedLoopJoin plan
+// puts on the inner loop so the inner table's verified scan runs once, not
+// once per outer row. The buffer conceptually lives in the verifiable
+// storage when it outgrows the EPC (§5.4).
+type Materialize struct {
+	Child Operator
+
+	rows   []record.Tuple
+	filled bool
+	pos    int
+}
+
+// Schema returns the child schema.
+func (m *Materialize) Schema() Schema { return m.Child.Schema() }
+
+// Open fills the buffer on first use and rewinds on every use.
+func (m *Materialize) Open() error {
+	if !m.filled {
+		rows, err := Drain(m.Child)
+		if err != nil {
+			return err
+		}
+		m.rows = rows
+		m.filled = true
+	}
+	m.pos = 0
+	return nil
+}
+
+// Next replays the next buffered row.
+func (m *Materialize) Next() (record.Tuple, bool, error) {
+	if m.pos >= len(m.rows) {
+		return nil, false, nil
+	}
+	t := m.rows[m.pos]
+	m.pos++
+	return t, true, nil
+}
+
+// Close keeps the buffer for re-opens; the operator is per-query.
+func (m *Materialize) Close() error { return nil }
+
+// Values is a constant-rows operator (tests and VALUES-style plumbing).
+type Values struct {
+	Cols Schema
+	Rows []record.Tuple
+	pos  int
+}
+
+// Schema returns the declared columns.
+func (v *Values) Schema() Schema { return v.Cols }
+
+// Open resets the cursor.
+func (v *Values) Open() error { v.pos = 0; return nil }
+
+// Next emits the next constant row.
+func (v *Values) Next() (record.Tuple, bool, error) {
+	if v.pos >= len(v.Rows) {
+		return nil, false, nil
+	}
+	t := v.Rows[v.pos]
+	v.pos++
+	return t, true, nil
+}
+
+// Close is a no-op.
+func (v *Values) Close() error { return nil }

@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"veridb/internal/record"
+	"veridb/internal/storage"
+)
+
+// spoolSeq distinguishes concurrently created spool tables.
+var spoolSeq atomic.Uint64
+
+// Spool is a materialisation point whose buffer lives in the *verifiable
+// storage* rather than enclave memory — the extension §5.4 sketches for
+// intermediate state that outgrows the EPC: "we can reuse the trusted
+// storage of VeriDB for storing the intermediate results (i.e., treat the
+// intermediate state as additional external data). Such approach avoids
+// heavy-weight secure swap."
+//
+// On first Open the child is drained into a temporary table keyed by row
+// number; every replay is a verified sequential scan of that table, so
+// spilled intermediates enjoy exactly the integrity guarantees of base
+// data: tampering with a spooled row is caught like tampering with any
+// other record. Close drops the temporary table (reading its rows back
+// out of the write-read consistent memory).
+type Spool struct {
+	Child Operator
+	// Store hosts the temporary table.
+	Store *storage.Store
+
+	table  *storage.Table
+	name   string
+	sc     *storage.Scanner
+	filled bool
+}
+
+// Schema returns the child schema.
+func (s *Spool) Schema() Schema { return s.Child.Schema() }
+
+// Open spills the child on first use and (re)starts a verified scan of
+// the spooled rows.
+func (s *Spool) Open() error {
+	if !s.filled {
+		if err := s.fill(); err != nil {
+			return err
+		}
+		s.filled = true
+	}
+	if s.sc != nil {
+		s.sc.Close()
+	}
+	var err error
+	s.sc, err = s.table.NewScan(0, storage.ScanBounds{})
+	return err
+}
+
+// fill creates the temporary table and drains the child into it.
+func (s *Spool) fill() error {
+	childSchema := s.Child.Schema()
+	cols := make([]record.Column, 0, len(childSchema)+1)
+	cols = append(cols, record.Column{Name: "__row", Type: record.TypeInt})
+	for i, c := range childSchema {
+		cols = append(cols, record.Column{
+			Name: fmt.Sprintf("c%d_%s", i, c.Name),
+			Type: c.Type,
+		})
+	}
+	s.name = fmt.Sprintf("__spool_%d", spoolSeq.Add(1))
+	t, err := s.Store.CreateTable(storage.TableSpec{
+		Name:       s.name,
+		Schema:     record.NewSchema(cols...),
+		PrimaryKey: 0,
+	})
+	if err != nil {
+		return err
+	}
+	s.table = t
+	if err := s.Child.Open(); err != nil {
+		return err
+	}
+	defer s.Child.Close()
+	row := int64(0)
+	for {
+		tup, ok, err := s.Child.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		spilled := make(record.Tuple, 0, len(tup)+1)
+		spilled = append(spilled, record.Int(row))
+		spilled = append(spilled, tup...)
+		if err := t.Insert(spilled); err != nil {
+			return err
+		}
+		row++
+	}
+}
+
+// Next replays the next spooled row through the verified scan, stripping
+// the row-number column.
+func (s *Spool) Next() (record.Tuple, bool, error) {
+	if s.sc == nil {
+		return nil, false, fmt.Errorf("engine: spool not open")
+	}
+	tup, ok, err := s.sc.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return tup[1:], true, nil
+}
+
+// Close releases the current scan; the spool table persists for re-opens
+// until Drop.
+func (s *Spool) Close() error {
+	if s.sc != nil {
+		s.sc.Close()
+		s.sc = nil
+	}
+	return nil
+}
+
+// Drop removes the temporary table from the store (and its pages from the
+// verified set). Callers run it when the query finishes.
+func (s *Spool) Drop() error {
+	s.Close()
+	if s.table == nil {
+		return nil
+	}
+	s.table = nil
+	s.filled = false
+	return s.Store.DropTable(s.name)
+}

@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"veridb/internal/enclave"
+	"veridb/internal/record"
+	"veridb/internal/storage"
+	"veridb/internal/vmem"
+)
+
+func spillFixture(t *testing.T) (*storage.Store, *storage.Table) {
+	t.Helper()
+	mem, err := vmem.New(enclave.NewForTest(31), vmem.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := storage.NewStore(mem)
+	tb, err := st.CreateTable(storage.TableSpec{
+		Name: "src",
+		Schema: record.NewSchema(
+			record.Column{Name: "id", Type: record.TypeInt},
+			record.Column{Name: "payload", Type: record.TypeText},
+		),
+		PrimaryKey: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 50; i++ {
+		if err := tb.Insert(record.Tuple{record.Int(int64(i)), record.Text(fmt.Sprintf("p%d", i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, tb
+}
+
+func TestSpoolMatchesMaterialize(t *testing.T) {
+	st, tb := spillFixture(t)
+	sp := &Spool{Child: NewTableScan(tb, "src"), Store: st}
+	m := &Materialize{Child: NewTableScan(tb, "src")}
+	for round := 0; round < 3; round++ { // replays included
+		got, err := Drain(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Drain(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) || len(got) != 50 {
+			t.Fatalf("round %d: %d vs %d rows", round, len(got), len(want))
+		}
+		for i := range got {
+			if len(got[i]) != len(want[i]) || got[i][0].I != want[i][0].I || got[i][1].S != want[i][1].S {
+				t.Fatalf("round %d row %d: %v vs %v", round, i, got[i], want[i])
+			}
+		}
+	}
+	if err := sp.Drop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Memory().VerifyAll(); err != nil {
+		t.Fatalf("spool lifecycle unbalanced the sets: %v", err)
+	}
+}
+
+func TestSpoolSchemaAndRowOrder(t *testing.T) {
+	st, tb := spillFixture(t)
+	sp := &Spool{Child: NewTableScan(tb, "src"), Store: st}
+	defer sp.Drop()
+	if got := sp.Schema(); len(got) != 2 || got[0].Name != "id" {
+		t.Fatalf("schema %v", got)
+	}
+	rows, err := Drain(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rows {
+		if r[0].I != int64(i+1) {
+			t.Fatalf("row %d out of spool order: %v", i, r)
+		}
+	}
+}
+
+// TestSpoolTamperDetected is the point of the extension: spilled
+// intermediate state is itself in the verified set, so an adversary who
+// corrupts a temp-table record is detected like any other tampering.
+func TestSpoolTamperDetected(t *testing.T) {
+	st, tb := spillFixture(t)
+	sp := &Spool{Child: NewTableScan(tb, "src"), Store: st}
+	if _, err := Drain(sp); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a record in whichever page holds spooled rows: pick any
+	// record and flip a byte via the adversary interface.
+	mem := st.Memory()
+	tampered := false
+	for _, pid := range mem.PageIDs() {
+		victim := -1
+		var payload []byte
+		mem.Slots(pid, func(slot int, rec []byte) bool {
+			victim = slot
+			payload = append([]byte(nil), rec...)
+			return false
+		})
+		if victim >= 0 && len(payload) > 0 {
+			payload[len(payload)-1] ^= 0xFF
+			if mem.TamperRecord(pid, victim, payload) == nil {
+				mem.Get(pid, victim) // mark touched
+				tampered = true
+				break
+			}
+		}
+	}
+	if !tampered {
+		t.Fatal("no record to tamper")
+	}
+	if err := mem.VerifyAll(); !errors.Is(err, vmem.ErrTamperDetected) {
+		t.Fatalf("spool tampering undetected: %v", err)
+	}
+}
+
+func TestSpoolOnEmptyChild(t *testing.T) {
+	st, _ := spillFixture(t)
+	sp := &Spool{Child: &Values{Cols: Schema{{Name: "a", Type: record.TypeInt}}}, Store: st}
+	defer sp.Drop()
+	rows, err := Drain(sp)
+	if err != nil || len(rows) != 0 {
+		t.Fatalf("empty spool: %v, %v", rows, err)
+	}
+}

@@ -1,0 +1,617 @@
+// Package mbtree implements the MB-Tree (Merkle B+-tree, Li et al.,
+// SIGMOD 2006) that the paper uses as the representative MHT-based
+// comparison system (§6.2). Every node carries the hash of its subtree;
+// the client trusts only the root hash. Reads return a verification
+// object (VO) — the target leaf's content plus the separator keys and
+// child hashes along the path — from which the client rebuilds the root.
+// Writes rewrite the hashes on the root-to-leaf path.
+//
+// The structural property the paper's comparison hinges on is retained
+// deliberately: every operation, read or write, runs under one global
+// lock, because each read's VO must be consistent with the current root
+// hash and each write replaces that root ("the root hash is essentially a
+// concurrency bottleneck", §1).
+package mbtree
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Hash is a subtree digest.
+type Hash [sha256.Size]byte
+
+// DefaultFanout is the default maximum number of keys per node.
+const DefaultFanout = 64
+
+// Tree is a Merkle B+-tree.
+type Tree struct {
+	mu      sync.Mutex // the global root-hash lock
+	fanout  int
+	root    *node
+	size    int
+	hashOps uint64 // node rehash count (overhead metric)
+}
+
+type node struct {
+	leaf     bool
+	keys     [][]byte
+	vals     [][]byte // leaves only
+	ehash    []Hash   // leaves only: per-entry H(key ‖ val)
+	children []*node  // internal only; len(keys)+1
+	hash     Hash
+}
+
+// New builds an empty tree. fanout ≤ 3 falls back to DefaultFanout.
+func New(fanout int) *Tree {
+	if fanout <= 3 {
+		fanout = DefaultFanout
+	}
+	t := &Tree{fanout: fanout, root: &node{leaf: true}}
+	t.rehash(t.root)
+	return t
+}
+
+// Len returns the number of records.
+func (t *Tree) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.size
+}
+
+// Root returns the current root hash; the client records it after every
+// acknowledged write.
+func (t *Tree) Root() Hash {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.root.hash
+}
+
+// HashOps returns how many node hashes have been computed (both for VOs
+// and for write-path maintenance).
+func (t *Tree) HashOps() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hashOps
+}
+
+func writeCounted(h interface{ Write([]byte) (int, error) }, b []byte) {
+	var n [4]byte
+	l := len(b)
+	n[0], n[1], n[2], n[3] = byte(l), byte(l>>8), byte(l>>16), byte(l>>24)
+	h.Write(n[:])
+	h.Write(b)
+}
+
+// entryHash digests one record: the leaf stores these per entry, so point
+// VOs ship 32-byte hashes instead of full values and the verifier only
+// re-hashes the one record it received.
+func entryHash(key, val []byte) Hash {
+	h := sha256.New()
+	h.Write([]byte{0x02})
+	writeCounted(h, key)
+	writeCounted(h, val)
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// hashLeaf digests a leaf: its keys and its per-entry hashes.
+func hashLeaf(keys [][]byte, ehash []Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{0x00})
+	for i := range keys {
+		writeCounted(h, keys[i])
+		h.Write(ehash[i][:])
+	}
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// hashInternal digests an internal node: separators and child hashes.
+func hashInternal(keys [][]byte, childHashes []Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{0x01})
+	for _, k := range keys {
+		writeCounted(h, k)
+	}
+	for _, c := range childHashes {
+		h.Write(c[:])
+	}
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+func (t *Tree) rehash(n *node) {
+	t.hashOps++
+	if n.leaf {
+		n.hash = hashLeaf(n.keys, n.ehash)
+		return
+	}
+	hs := make([]Hash, len(n.children))
+	for i, c := range n.children {
+		hs[i] = c.hash
+	}
+	n.hash = hashInternal(n.keys, hs)
+}
+
+// findChild returns the child index key descends into: the first separator
+// strictly greater than key.
+func (n *node) findChild(key []byte) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(n.keys[mid], key) <= 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// leafPos returns the position of key in a leaf and whether it is present.
+func (n *node) leafPos(key []byte) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(n.keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(n.keys) && bytes.Equal(n.keys[lo], key)
+}
+
+// PathStep is one internal node on a VO path, top-down.
+type PathStep struct {
+	Keys        [][]byte
+	ChildHashes []Hash
+	ChildIdx    int
+}
+
+// Proof is the verification object for a point read: the target leaf's
+// keys and per-entry hashes plus the path. It proves presence (key in
+// LeafKeys, with the returned value matching its entry hash) and absence
+// (key falls in this leaf's range but not among its keys) alike.
+type Proof struct {
+	LeafKeys   [][]byte
+	LeafHashes []Hash
+	Path       []PathStep // root first
+}
+
+// Get returns the value for key together with its VO.
+func (t *Tree) Get(key []byte) ([]byte, Proof, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var proof Proof
+	n := t.root
+	for !n.leaf {
+		i := n.findChild(key)
+		step := PathStep{
+			Keys:        append([][]byte(nil), n.keys...),
+			ChildHashes: make([]Hash, len(n.children)),
+			ChildIdx:    i,
+		}
+		for j, c := range n.children {
+			step.ChildHashes[j] = c.hash
+		}
+		proof.Path = append(proof.Path, step)
+		n = n.children[i]
+	}
+	proof.LeafKeys = append([][]byte(nil), n.keys...)
+	proof.LeafHashes = append([]Hash(nil), n.ehash...)
+	i, found := n.leafPos(key)
+	if !found {
+		return nil, proof, false
+	}
+	return append([]byte(nil), n.vals[i]...), proof, true
+}
+
+// Verify checks a Get result against a trusted root hash. found/val must
+// match what the server claimed; it returns an error when the VO does not
+// authenticate that claim.
+func Verify(root Hash, key, val []byte, found bool, proof Proof) error {
+	if len(proof.LeafKeys) != len(proof.LeafHashes) {
+		return errors.New("mbtree: malformed leaf proof")
+	}
+	cur := hashLeaf(proof.LeafKeys, proof.LeafHashes)
+	for i := len(proof.Path) - 1; i >= 0; i-- {
+		st := proof.Path[i]
+		if st.ChildIdx < 0 || st.ChildIdx >= len(st.ChildHashes) || len(st.ChildHashes) != len(st.Keys)+1 {
+			return errors.New("mbtree: malformed path step")
+		}
+		if st.ChildHashes[st.ChildIdx] != cur {
+			return errors.New("mbtree: path hash mismatch")
+		}
+		// The separators must route key into this child, otherwise the
+		// leaf shown is not the leaf responsible for key and an absence
+		// claim would be unsound.
+		if st.ChildIdx > 0 && bytes.Compare(st.Keys[st.ChildIdx-1], key) > 0 {
+			return errors.New("mbtree: path does not cover key (left separator)")
+		}
+		if st.ChildIdx < len(st.Keys) && bytes.Compare(st.Keys[st.ChildIdx], key) <= 0 {
+			return errors.New("mbtree: path does not cover key (right separator)")
+		}
+		cur = hashInternal(st.Keys, st.ChildHashes)
+	}
+	if cur != root {
+		return errors.New("mbtree: root hash mismatch")
+	}
+	for i, k := range proof.LeafKeys {
+		if bytes.Equal(k, key) {
+			if !found {
+				return errors.New("mbtree: server claimed absence for a present key")
+			}
+			if entryHash(key, val) != proof.LeafHashes[i] {
+				return errors.New("mbtree: value does not match authenticated leaf")
+			}
+			return nil
+		}
+	}
+	if found {
+		return errors.New("mbtree: server claimed presence for an absent key")
+	}
+	return nil
+}
+
+// Insert adds or replaces key → val and returns the new root hash.
+func (t *Tree) Insert(key, val []byte) Hash {
+	key = append([]byte(nil), key...)
+	val = append([]byte(nil), val...)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	promoted, right, added := t.insert(t.root, key, val)
+	if right != nil {
+		newRoot := &node{
+			keys:     [][]byte{promoted},
+			children: []*node{t.root, right},
+		}
+		t.rehash(newRoot)
+		t.root = newRoot
+	}
+	if added {
+		t.size++
+	}
+	return t.root.hash
+}
+
+func (t *Tree) insert(n *node, key, val []byte) (promoted []byte, right *node, added bool) {
+	if n.leaf {
+		i, found := n.leafPos(key)
+		if found {
+			n.vals[i] = val
+			n.ehash[i] = entryHash(key, val)
+			t.hashOps++
+		} else {
+			n.keys = append(n.keys, nil)
+			copy(n.keys[i+1:], n.keys[i:])
+			n.keys[i] = key
+			n.vals = append(n.vals, nil)
+			copy(n.vals[i+1:], n.vals[i:])
+			n.vals[i] = val
+			n.ehash = append(n.ehash, Hash{})
+			copy(n.ehash[i+1:], n.ehash[i:])
+			n.ehash[i] = entryHash(key, val)
+			t.hashOps++
+			added = true
+		}
+		if len(n.keys) > t.fanout {
+			mid := len(n.keys) / 2
+			r := &node{
+				leaf:  true,
+				keys:  append([][]byte(nil), n.keys[mid:]...),
+				vals:  append([][]byte(nil), n.vals[mid:]...),
+				ehash: append([]Hash(nil), n.ehash[mid:]...),
+			}
+			n.keys = n.keys[:mid]
+			n.vals = n.vals[:mid]
+			n.ehash = n.ehash[:mid]
+			t.rehash(n)
+			t.rehash(r)
+			return r.keys[0], r, added
+		}
+		t.rehash(n)
+		return nil, nil, added
+	}
+	i := n.findChild(key)
+	promoted, right, added = t.insert(n.children[i], key, val)
+	if right != nil {
+		n.keys = append(n.keys, nil)
+		copy(n.keys[i+1:], n.keys[i:])
+		n.keys[i] = promoted
+		n.children = append(n.children, nil)
+		copy(n.children[i+2:], n.children[i+1:])
+		n.children[i+1] = right
+		if len(n.keys) > t.fanout {
+			mid := len(n.keys) / 2
+			upKey := n.keys[mid]
+			r := &node{
+				keys:     append([][]byte(nil), n.keys[mid+1:]...),
+				children: append([]*node(nil), n.children[mid+1:]...),
+			}
+			n.keys = n.keys[:mid]
+			n.children = n.children[:mid+1]
+			t.rehash(n)
+			t.rehash(r)
+			return upKey, r, added
+		}
+	}
+	t.rehash(n)
+	return nil, nil, added
+}
+
+// Delete removes key, reporting presence, and returns the new root hash.
+// Leaves are not rebalanced (lazy deletion): the hash path is rewritten,
+// which is the cost component the comparison measures; sparse leaves only
+// waste space.
+func (t *Tree) Delete(key []byte) (Hash, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	removed := t.delete(t.root, key)
+	if removed {
+		t.size--
+	}
+	return t.root.hash, removed
+}
+
+func (t *Tree) delete(n *node, key []byte) bool {
+	if n.leaf {
+		i, found := n.leafPos(key)
+		if !found {
+			return false
+		}
+		n.keys = append(n.keys[:i], n.keys[i+1:]...)
+		n.vals = append(n.vals[:i], n.vals[i+1:]...)
+		n.ehash = append(n.ehash[:i], n.ehash[i+1:]...)
+		t.rehash(n)
+		return true
+	}
+	i := n.findChild(key)
+	removed := t.delete(n.children[i], key)
+	if removed {
+		t.rehash(n)
+	}
+	return removed
+}
+
+// RangePair is one record returned by a range scan.
+type RangePair struct {
+	Key, Val []byte
+}
+
+// RangeLeaf is one leaf in a range VO: the point-proof shape plus the
+// values of the in-range entries (out-of-range entries are covered by
+// their entry hashes alone).
+type RangeLeaf struct {
+	Proof
+	Vals [][]byte // parallel to LeafKeys; nil for out-of-range entries
+}
+
+// RangeProof authenticates a range scan: one VO per leaf in the contiguous
+// span of leaves from the one responsible for lo to the one responsible
+// for hi. The verifier checks each leaf against the root, that the first
+// and last leaves cover the range endpoints, and that consecutive leaf
+// paths are structurally adjacent (no leaf skipped).
+type RangeProof struct {
+	Leaves []RangeLeaf
+}
+
+// Range returns all records with lo ≤ key ≤ hi plus a completeness proof.
+func (t *Tree) Range(lo, hi []byte) ([]RangePair, RangeProof, error) {
+	if bytes.Compare(lo, hi) > 0 {
+		return nil, RangeProof{}, fmt.Errorf("mbtree: inverted range")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	first, _ := t.peekLeaf(lo)
+	last, _ := t.peekLeaf(hi)
+	var proof RangeProof
+	var out []RangePair
+	collecting := false
+	done := false
+	var steps []PathStep
+	var dfs func(n *node)
+	dfs = func(n *node) {
+		if done {
+			return
+		}
+		if n.leaf {
+			if n == first {
+				collecting = true
+			}
+			if collecting {
+				lp := RangeLeaf{Proof: Proof{
+					LeafKeys:   append([][]byte(nil), n.keys...),
+					LeafHashes: append([]Hash(nil), n.ehash...),
+					Path:       append([]PathStep(nil), steps...),
+				}}
+				lp.Vals = make([][]byte, len(n.keys))
+				for i, k := range n.keys {
+					if bytes.Compare(k, lo) >= 0 && bytes.Compare(k, hi) <= 0 {
+						v := append([]byte(nil), n.vals[i]...)
+						lp.Vals[i] = v
+						out = append(out, RangePair{
+							Key: append([]byte(nil), k...),
+							Val: v,
+						})
+					}
+				}
+				proof.Leaves = append(proof.Leaves, lp)
+			}
+			if n == last {
+				done = true
+			}
+			return
+		}
+		for i, c := range n.children {
+			st := PathStep{
+				Keys:        append([][]byte(nil), n.keys...),
+				ChildHashes: make([]Hash, len(n.children)),
+				ChildIdx:    i,
+			}
+			for j, ch := range n.children {
+				st.ChildHashes[j] = ch.hash
+			}
+			steps = append(steps, st)
+			dfs(c)
+			steps = steps[:len(steps)-1]
+			if done {
+				return
+			}
+		}
+	}
+	dfs(t.root)
+	return out, proof, nil
+}
+
+func (t *Tree) peekLeaf(key []byte) (*node, int) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[n.findChild(key)]
+	}
+	i, _ := n.leafPos(key)
+	return n, i
+}
+
+// verifyPath checks a proof's hash chain against the root without any
+// coverage or claim checks.
+func verifyPath(root Hash, proof Proof) error {
+	if len(proof.LeafKeys) != len(proof.LeafHashes) {
+		return errors.New("mbtree: malformed leaf proof")
+	}
+	cur := hashLeaf(proof.LeafKeys, proof.LeafHashes)
+	for i := len(proof.Path) - 1; i >= 0; i-- {
+		st := proof.Path[i]
+		if st.ChildIdx < 0 || st.ChildIdx >= len(st.ChildHashes) || len(st.ChildHashes) != len(st.Keys)+1 {
+			return errors.New("mbtree: malformed path step")
+		}
+		if st.ChildHashes[st.ChildIdx] != cur {
+			return errors.New("mbtree: path hash mismatch")
+		}
+		cur = hashInternal(st.Keys, st.ChildHashes)
+	}
+	if cur != root {
+		return errors.New("mbtree: root hash mismatch")
+	}
+	return nil
+}
+
+// covers checks the separator conditions routing key into the proof's leaf.
+func covers(proof Proof, key []byte) error {
+	for _, st := range proof.Path {
+		if st.ChildIdx > 0 && bytes.Compare(st.Keys[st.ChildIdx-1], key) > 0 {
+			return errors.New("mbtree: path does not cover key (left separator)")
+		}
+		if st.ChildIdx < len(st.Keys) && bytes.Compare(st.Keys[st.ChildIdx], key) <= 0 {
+			return errors.New("mbtree: path does not cover key (right separator)")
+		}
+	}
+	return nil
+}
+
+// sameStepNode reports whether two path steps describe the same node.
+func sameStepNode(a, b PathStep) bool {
+	if len(a.Keys) != len(b.Keys) || len(a.ChildHashes) != len(b.ChildHashes) {
+		return false
+	}
+	for i := range a.Keys {
+		if !bytes.Equal(a.Keys[i], b.Keys[i]) {
+			return false
+		}
+	}
+	for i := range a.ChildHashes {
+		if a.ChildHashes[i] != b.ChildHashes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// adjacent checks that q's leaf is the immediate right neighbour of p's:
+// the paths share nodes above some divergence level, diverge by exactly
+// one child position there, then hug the right and left spines below.
+func adjacent(p, q Proof) error {
+	if len(p.Path) != len(q.Path) {
+		return errors.New("mbtree: adjacent leaves at different depths")
+	}
+	div := -1
+	for i := range p.Path {
+		if !sameStepNode(p.Path[i], q.Path[i]) || p.Path[i].ChildIdx != q.Path[i].ChildIdx {
+			div = i
+			break
+		}
+	}
+	if div == -1 {
+		return errors.New("mbtree: duplicate leaf in range proof")
+	}
+	if !sameStepNode(p.Path[div], q.Path[div]) || q.Path[div].ChildIdx != p.Path[div].ChildIdx+1 {
+		return errors.New("mbtree: leaves not adjacent at divergence")
+	}
+	for i := div + 1; i < len(p.Path); i++ {
+		if p.Path[i].ChildIdx != len(p.Path[i].ChildHashes)-1 {
+			return errors.New("mbtree: left path not on right spine below divergence")
+		}
+		if q.Path[i].ChildIdx != 0 {
+			return errors.New("mbtree: right path not on left spine below divergence")
+		}
+	}
+	return nil
+}
+
+// VerifyRange checks a range result: every leaf must authenticate against
+// the root, the first and last leaves must cover the range endpoints,
+// consecutive leaves must be adjacent, and the returned pairs must equal
+// the in-range content of the authenticated leaves.
+func VerifyRange(root Hash, lo, hi []byte, pairs []RangePair, proof RangeProof) error {
+	if len(proof.Leaves) == 0 {
+		return errors.New("mbtree: empty range proof")
+	}
+	var collected []RangePair
+	for li, lp := range proof.Leaves {
+		if err := verifyPath(root, lp.Proof); err != nil {
+			return fmt.Errorf("mbtree: leaf %d: %w", li, err)
+		}
+		if li > 0 {
+			if err := adjacent(proof.Leaves[li-1].Proof, lp.Proof); err != nil {
+				return fmt.Errorf("mbtree: leaves %d,%d: %w", li-1, li, err)
+			}
+		}
+		if len(lp.Vals) != len(lp.LeafKeys) {
+			return fmt.Errorf("mbtree: leaf %d: values not parallel to keys", li)
+		}
+		for i, k := range lp.LeafKeys {
+			if bytes.Compare(k, lo) >= 0 && bytes.Compare(k, hi) <= 0 {
+				if lp.Vals[i] == nil {
+					return fmt.Errorf("mbtree: leaf %d: in-range value omitted", li)
+				}
+				// The returned value must match the authenticated entry.
+				if entryHash(k, lp.Vals[i]) != lp.LeafHashes[i] {
+					return fmt.Errorf("mbtree: leaf %d: value does not match entry hash", li)
+				}
+				collected = append(collected, RangePair{Key: k, Val: lp.Vals[i]})
+			}
+		}
+	}
+	if err := covers(proof.Leaves[0].Proof, lo); err != nil {
+		return fmt.Errorf("mbtree: range start: %w", err)
+	}
+	if err := covers(proof.Leaves[len(proof.Leaves)-1].Proof, hi); err != nil {
+		return fmt.Errorf("mbtree: range end: %w", err)
+	}
+	if len(collected) != len(pairs) {
+		return fmt.Errorf("mbtree: server returned %d pairs, proof authenticates %d", len(pairs), len(collected))
+	}
+	for i := range pairs {
+		if !bytes.Equal(pairs[i].Key, collected[i].Key) || !bytes.Equal(pairs[i].Val, collected[i].Val) {
+			return fmt.Errorf("mbtree: pair %d does not match authenticated content", i)
+		}
+	}
+	return nil
+}

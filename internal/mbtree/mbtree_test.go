@@ -1,0 +1,246 @@
+package mbtree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func k(i int) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(i))
+	return b[:]
+}
+
+func v(i int) []byte { return []byte(fmt.Sprintf("value-%d", i)) }
+
+func TestInsertGetVerify(t *testing.T) {
+	tr := New(8) // small fanout: force deep trees
+	root := tr.Root()
+	for i := 0; i < 500; i++ {
+		root = tr.Insert(k(i*2), v(i*2))
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	for i := 0; i < 500; i++ {
+		val, proof, found := tr.Get(k(i * 2))
+		if !found || !bytes.Equal(val, v(i*2)) {
+			t.Fatalf("Get(%d) = %q, %v", i*2, val, found)
+		}
+		if err := Verify(root, k(i*2), val, true, proof); err != nil {
+			t.Fatalf("valid presence proof rejected for %d: %v", i*2, err)
+		}
+	}
+	// Absence proofs for every odd key.
+	for i := 0; i < 500; i++ {
+		val, proof, found := tr.Get(k(i*2 + 1))
+		if found {
+			t.Fatalf("phantom key %d", i*2+1)
+		}
+		if err := Verify(root, k(i*2+1), val, false, proof); err != nil {
+			t.Fatalf("valid absence proof rejected for %d: %v", i*2+1, err)
+		}
+	}
+}
+
+func TestReplaceValue(t *testing.T) {
+	tr := New(8)
+	tr.Insert(k(1), v(1))
+	root := tr.Insert(k(1), []byte("updated"))
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d after replace", tr.Len())
+	}
+	val, proof, found := tr.Get(k(1))
+	if !found || string(val) != "updated" {
+		t.Fatalf("Get = %q", val)
+	}
+	if err := Verify(root, k(1), val, true, proof); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaleRootRejectsProof(t *testing.T) {
+	tr := New(8)
+	var oldRoot Hash
+	for i := 0; i < 100; i++ {
+		r := tr.Insert(k(i), v(i))
+		if i == 50 {
+			oldRoot = r
+		}
+	}
+	val, proof, _ := tr.Get(k(10))
+	if err := Verify(oldRoot, k(10), val, true, proof); err == nil {
+		t.Fatal("proof verified against stale root (rollback undetected)")
+	}
+}
+
+func TestForgedValueRejected(t *testing.T) {
+	tr := New(8)
+	var root Hash
+	for i := 0; i < 100; i++ {
+		root = tr.Insert(k(i), v(i))
+	}
+	_, proof, _ := tr.Get(k(10))
+	if err := Verify(root, k(10), []byte("forged"), true, proof); err == nil {
+		t.Fatal("forged value accepted")
+	}
+}
+
+func TestFalseAbsenceRejected(t *testing.T) {
+	tr := New(8)
+	var root Hash
+	for i := 0; i < 100; i++ {
+		root = tr.Insert(k(i), v(i))
+	}
+	_, proof, _ := tr.Get(k(10))
+	// Server claims key 10 is absent while showing the honest leaf.
+	if err := Verify(root, k(10), nil, false, proof); err == nil {
+		t.Fatal("false absence accepted")
+	}
+	// Server shows a different (honest) leaf that does not cover key 10.
+	_, wrongLeafProof, _ := tr.Get(k(90))
+	if err := Verify(root, k(10), nil, false, wrongLeafProof); err == nil {
+		t.Fatal("absence via non-covering leaf accepted")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New(8)
+	var root Hash
+	for i := 0; i < 200; i++ {
+		root = tr.Insert(k(i), v(i))
+	}
+	root, removed := tr.Delete(k(77))
+	if !removed {
+		t.Fatal("delete missed")
+	}
+	if _, again := tr.Delete(k(77)); again {
+		t.Fatal("double delete succeeded")
+	}
+	if tr.Len() != 199 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	val, proof, found := tr.Get(k(77))
+	if found {
+		t.Fatal("deleted key still present")
+	}
+	if err := Verify(root, k(77), val, false, proof); err != nil {
+		t.Fatalf("absence after delete unverifiable: %v", err)
+	}
+	// Survivors still verify.
+	val, proof, _ = tr.Get(k(78))
+	if err := Verify(root, k(78), val, true, proof); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeScanAndVerify(t *testing.T) {
+	tr := New(8)
+	var root Hash
+	for i := 0; i < 300; i++ {
+		root = tr.Insert(k(i*2), v(i*2))
+	}
+	for _, c := range [][2]int{{10, 50}, {0, 598}, {599, 700}, {100, 100}, {101, 101}} {
+		lo, hi := k(c[0]), k(c[1])
+		pairs, proof, err := tr.Range(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want int
+		for i := 0; i < 300; i++ {
+			if key := i * 2; key >= c[0] && key <= c[1] {
+				want++
+			}
+		}
+		if len(pairs) != want {
+			t.Fatalf("range [%d,%d]: %d pairs, want %d", c[0], c[1], len(pairs), want)
+		}
+		if err := VerifyRange(root, lo, hi, pairs, proof); err != nil {
+			t.Fatalf("range [%d,%d] proof rejected: %v", c[0], c[1], err)
+		}
+	}
+}
+
+func TestRangeOmissionDetected(t *testing.T) {
+	tr := New(8)
+	var root Hash
+	for i := 0; i < 300; i++ {
+		root = tr.Insert(k(i*2), v(i*2))
+	}
+	pairs, proof, _ := tr.Range(k(10), k(50))
+	short := append([]RangePair(nil), pairs[:len(pairs)-1]...)
+	if err := VerifyRange(root, k(10), k(50), short, proof); err == nil {
+		t.Fatal("dropped pair not detected")
+	}
+	forged := append([]RangePair(nil), pairs...)
+	forged[0].Val = []byte("forged")
+	if err := VerifyRange(root, k(10), k(50), forged, proof); err == nil {
+		t.Fatal("forged pair not detected")
+	}
+}
+
+func TestRandomAgainstShadow(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	tr := New(16)
+	shadow := map[string][]byte{}
+	var root Hash = tr.Root()
+	for op := 0; op < 5000; op++ {
+		key := k(rng.Intn(800))
+		switch rng.Intn(3) {
+		case 0:
+			val := []byte(fmt.Sprintf("v%d", rng.Intn(1e6)))
+			root = tr.Insert(key, val)
+			shadow[string(key)] = val
+		case 1:
+			_, removed := tr.Delete(key)
+			if _, want := shadow[string(key)]; want != removed {
+				t.Fatalf("op %d: delete mismatch", op)
+			}
+			root = tr.Root()
+			delete(shadow, string(key))
+		case 2:
+			val, proof, found := tr.Get(key)
+			want, exists := shadow[string(key)]
+			if found != exists || (found && !bytes.Equal(val, want)) {
+				t.Fatalf("op %d: get mismatch", op)
+			}
+			if err := Verify(root, key, val, found, proof); err != nil {
+				t.Fatalf("op %d: proof rejected: %v", op, err)
+			}
+		}
+	}
+	if tr.Len() != len(shadow) {
+		t.Fatalf("Len %d, shadow %d", tr.Len(), len(shadow))
+	}
+}
+
+func TestHashOpsGrow(t *testing.T) {
+	tr := New(8)
+	before := tr.HashOps()
+	tr.Insert(k(1), v(1))
+	if tr.HashOps() <= before {
+		t.Fatal("insert did not count hash work")
+	}
+}
+
+func TestEmptyTreeAbsence(t *testing.T) {
+	tr := New(8)
+	root := tr.Root()
+	val, proof, found := tr.Get(k(5))
+	if found {
+		t.Fatal("empty tree found a key")
+	}
+	if err := Verify(root, k(5), val, false, proof); err != nil {
+		t.Fatalf("empty-tree absence proof rejected: %v", err)
+	}
+}
+
+func TestInvertedRange(t *testing.T) {
+	tr := New(8)
+	if _, _, err := tr.Range(k(5), k(1)); err == nil {
+		t.Fatal("inverted range accepted")
+	}
+}

@@ -1,0 +1,295 @@
+// Package merkle implements the classic Merkle hash tree over a static
+// sorted sequence of records (paper §2.2, Fig. 1): the client keeps only
+// the root hash; the server proves membership with an audit path, and
+// proves range-scan completeness by returning one extra record on each side
+// of the range plus the hashes needed to rebuild the root (Example 2.1).
+//
+// It exists as the background building block and for the documentation
+// examples; the dynamic MHT-based comparison system is internal/mbtree.
+package merkle
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// HashSize is the digest size used throughout.
+const HashSize = sha256.Size
+
+// Hash is a node digest.
+type Hash [HashSize]byte
+
+func leafHash(key, val []byte) Hash {
+	h := sha256.New()
+	h.Write([]byte{0x00}) // domain-separate leaves from internal nodes
+	var n [8]byte
+	for i, v := range len64(key) {
+		n[i] = v
+	}
+	h.Write(n[:])
+	h.Write(key)
+	h.Write(val)
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+func len64(b []byte) [8]byte {
+	var n [8]byte
+	l := uint64(len(b))
+	for i := 0; i < 8; i++ {
+		n[i] = byte(l >> (8 * i))
+	}
+	return n
+}
+
+func nodeHash(l, r Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{0x01})
+	h.Write(l[:])
+	h.Write(r[:])
+	var out Hash
+	h.Sum(out[:0])
+	return out
+}
+
+// Pair is one keyed record.
+type Pair struct {
+	Key, Val []byte
+}
+
+// Tree is a Merkle hash tree over a sorted, static set of pairs.
+type Tree struct {
+	pairs  []Pair
+	levels [][]Hash // levels[0] = leaf hashes ... last = [root]
+}
+
+// Build constructs the tree; pairs are sorted by key (copied, not aliased).
+func Build(pairs []Pair) *Tree {
+	ps := make([]Pair, len(pairs))
+	for i, p := range pairs {
+		ps[i] = Pair{append([]byte(nil), p.Key...), append([]byte(nil), p.Val...)}
+	}
+	sort.Slice(ps, func(i, j int) bool { return bytes.Compare(ps[i].Key, ps[j].Key) < 0 })
+	t := &Tree{pairs: ps}
+	if len(ps) == 0 {
+		return t
+	}
+	leaves := make([]Hash, len(ps))
+	for i, p := range ps {
+		leaves[i] = leafHash(p.Key, p.Val)
+	}
+	t.levels = [][]Hash{leaves}
+	for cur := leaves; len(cur) > 1; {
+		next := make([]Hash, 0, (len(cur)+1)/2)
+		for i := 0; i < len(cur); i += 2 {
+			if i+1 < len(cur) {
+				next = append(next, nodeHash(cur[i], cur[i+1]))
+			} else {
+				next = append(next, cur[i]) // odd node promotes
+			}
+		}
+		t.levels = append(t.levels, next)
+		cur = next
+	}
+	return t
+}
+
+// Root returns the root hash (zero for an empty tree).
+func (t *Tree) Root() Hash {
+	if len(t.levels) == 0 {
+		return Hash{}
+	}
+	top := t.levels[len(t.levels)-1]
+	return top[0]
+}
+
+// Len returns the number of records.
+func (t *Tree) Len() int { return len(t.pairs) }
+
+// AuditStep is one sibling on an audit path.
+type AuditStep struct {
+	Sibling Hash
+	Left    bool // sibling sits to the left of the running hash
+}
+
+// MembershipProof proves one pair is in the tree.
+type MembershipProof struct {
+	Index int
+	Path  []AuditStep
+}
+
+// Prove returns the pair at key and its membership proof.
+func (t *Tree) Prove(key []byte) (Pair, MembershipProof, error) {
+	i := sort.Search(len(t.pairs), func(i int) bool { return bytes.Compare(t.pairs[i].Key, key) >= 0 })
+	if i >= len(t.pairs) || !bytes.Equal(t.pairs[i].Key, key) {
+		return Pair{}, MembershipProof{}, fmt.Errorf("merkle: key %x not present", key)
+	}
+	return t.pairs[i], MembershipProof{Index: i, Path: t.auditPath(i)}, nil
+}
+
+func (t *Tree) auditPath(i int) []AuditStep {
+	var path []AuditStep
+	for lvl := 0; lvl < len(t.levels)-1; lvl++ {
+		nodes := t.levels[lvl]
+		sib := i ^ 1
+		if sib < len(nodes) {
+			path = append(path, AuditStep{Sibling: nodes[sib], Left: sib < i})
+		}
+		i /= 2
+	}
+	return path
+}
+
+// VerifyMembership checks a membership proof against a trusted root.
+func VerifyMembership(root Hash, p Pair, proof MembershipProof) bool {
+	h := leafHash(p.Key, p.Val)
+	for _, st := range proof.Path {
+		if st.Left {
+			h = nodeHash(st.Sibling, h)
+		} else {
+			h = nodeHash(h, st.Sibling)
+		}
+	}
+	return h == root
+}
+
+// RangeProof proves that the records with lo ≤ key ≤ hi are exactly the
+// in-range subset of Pairs: it includes one boundary record below lo and
+// one above hi when they exist (Example 2.1's k2 and k6), plus per-level
+// fringe hashes (the yellow nodes of Fig. 1) that let the verifier rebuild
+// the root from the contiguous leaf span.
+type RangeProof struct {
+	Pairs      []Pair // boundary-extended, sorted
+	FirstIndex int    // leaf index of Pairs[0]
+	LeftEdge   bool   // Pairs[0] is the tree minimum (no left boundary exists)
+	RightEdge  bool   // last pair is the tree maximum
+	// LeftFringe[l] is the hash immediately left of the span at level l
+	// (nil when the span is level-aligned); RightFringe[l] likewise on the
+	// right (nil when the span ends the level or pairs internally).
+	LeftFringe  []*Hash
+	RightFringe []*Hash
+}
+
+// ProveRange builds the completeness proof for [lo, hi].
+func (t *Tree) ProveRange(lo, hi []byte) (RangeProof, error) {
+	if bytes.Compare(lo, hi) > 0 {
+		return RangeProof{}, errors.New("merkle: empty range")
+	}
+	if len(t.pairs) == 0 {
+		return RangeProof{}, errors.New("merkle: empty tree")
+	}
+	i := sort.Search(len(t.pairs), func(i int) bool { return bytes.Compare(t.pairs[i].Key, lo) >= 0 })
+	j := sort.Search(len(t.pairs), func(i int) bool { return bytes.Compare(t.pairs[i].Key, hi) > 0 })
+	// Extend with boundary records (k2 and k6 in Example 2.1).
+	first := i
+	if first > 0 {
+		first--
+	}
+	last := j // exclusive
+	if last < len(t.pairs) {
+		last++
+	}
+	if last <= first {
+		last = first + 1
+	}
+	p := RangeProof{
+		Pairs:      append([]Pair(nil), t.pairs[first:last]...),
+		FirstIndex: first,
+		LeftEdge:   first == 0,
+		RightEdge:  last == len(t.pairs),
+	}
+	s, e := first, last-1
+	for lvl := 0; lvl < len(t.levels)-1; lvl++ {
+		nodes := t.levels[lvl]
+		if s%2 == 1 {
+			h := nodes[s-1]
+			p.LeftFringe = append(p.LeftFringe, &h)
+			s--
+		} else {
+			p.LeftFringe = append(p.LeftFringe, nil)
+		}
+		if e%2 == 0 && e+1 < len(nodes) {
+			h := nodes[e+1]
+			p.RightFringe = append(p.RightFringe, &h)
+			e++
+		} else {
+			p.RightFringe = append(p.RightFringe, nil)
+		}
+		s, e = s/2, e/2
+	}
+	return p, nil
+}
+
+// VerifyRange checks a range proof against the root and returns the
+// records inside [lo, hi]. It fails if the proof does not reconstruct the
+// root or the boundary conditions do not hold.
+func VerifyRange(root Hash, lo, hi []byte, proof RangeProof) ([]Pair, error) {
+	ps := proof.Pairs
+	if len(ps) == 0 {
+		return nil, errors.New("merkle: empty proof")
+	}
+	if len(proof.LeftFringe) != len(proof.RightFringe) {
+		return nil, errors.New("merkle: fringe length mismatch")
+	}
+	for i := 1; i < len(ps); i++ {
+		if bytes.Compare(ps[i-1].Key, ps[i].Key) >= 0 {
+			return nil, errors.New("merkle: proof records out of order")
+		}
+	}
+	// Boundary checks: the extremes must bracket the range (or be edges).
+	if !proof.LeftEdge && bytes.Compare(ps[0].Key, lo) >= 0 {
+		return nil, errors.New("merkle: left boundary does not precede range")
+	}
+	if proof.LeftEdge && proof.FirstIndex != 0 {
+		return nil, errors.New("merkle: left edge flag with nonzero index")
+	}
+	if !proof.RightEdge && bytes.Compare(ps[len(ps)-1].Key, hi) <= 0 {
+		return nil, errors.New("merkle: right boundary does not follow range")
+	}
+	hashes := make([]Hash, len(ps))
+	for i, p := range ps {
+		hashes[i] = leafHash(p.Key, p.Val)
+	}
+	s := proof.FirstIndex
+	for lvl := 0; lvl < len(proof.LeftFringe); lvl++ {
+		if lf := proof.LeftFringe[lvl]; lf != nil {
+			if s%2 != 1 {
+				return nil, errors.New("merkle: unexpected left fringe")
+			}
+			hashes = append([]Hash{*lf}, hashes...)
+			s--
+		} else if s%2 == 1 {
+			return nil, errors.New("merkle: missing left fringe")
+		}
+		if rf := proof.RightFringe[lvl]; rf != nil {
+			if (s+len(hashes))%2 != 1 {
+				return nil, errors.New("merkle: unexpected right fringe")
+			}
+			hashes = append(hashes, *rf)
+		}
+		var next []Hash
+		i := 0
+		for ; i+1 < len(hashes); i += 2 {
+			next = append(next, nodeHash(hashes[i], hashes[i+1]))
+		}
+		if i < len(hashes) {
+			next = append(next, hashes[i]) // odd promotion at level end
+		}
+		hashes = next
+		s /= 2
+	}
+	if len(hashes) != 1 || hashes[0] != root {
+		return nil, errors.New("merkle: root mismatch")
+	}
+	var out []Pair
+	for _, p := range ps {
+		if bytes.Compare(p.Key, lo) >= 0 && bytes.Compare(p.Key, hi) <= 0 {
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}

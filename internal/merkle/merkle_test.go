@@ -1,0 +1,184 @@
+package merkle
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func pairN(i int) Pair {
+	var k [8]byte
+	binary.BigEndian.PutUint64(k[:], uint64(i))
+	return Pair{Key: k[:], Val: []byte(fmt.Sprintf("value-%d", i))}
+}
+
+func buildN(n int) *Tree {
+	ps := make([]Pair, n)
+	for i := range ps {
+		ps[i] = pairN(i * 2) // even keys only: odd probes test absence
+	}
+	return Build(ps)
+}
+
+func key(i int) []byte {
+	var k [8]byte
+	binary.BigEndian.PutUint64(k[:], uint64(i))
+	return k[:]
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := Build(nil)
+	if tr.Len() != 0 {
+		t.Fatal("empty tree has records")
+	}
+	var zero Hash
+	if tr.Root() != zero {
+		t.Fatal("empty root not zero")
+	}
+	if _, err := tr.ProveRange(key(1), key(2)); err == nil {
+		t.Fatal("range proof over empty tree")
+	}
+}
+
+func TestMembership(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 9, 100, 1000} {
+		tr := buildN(n)
+		root := tr.Root()
+		for i := 0; i < n; i++ {
+			p, proof, err := tr.Prove(key(i * 2))
+			if err != nil {
+				t.Fatalf("n=%d: Prove(%d): %v", n, i*2, err)
+			}
+			if !VerifyMembership(root, p, proof) {
+				t.Fatalf("n=%d: valid proof for %d rejected", n, i*2)
+			}
+			// Tampered value fails.
+			bad := Pair{Key: p.Key, Val: []byte("forged")}
+			if VerifyMembership(root, bad, proof) {
+				t.Fatalf("n=%d: forged value accepted for %d", n, i*2)
+			}
+		}
+		if _, _, err := tr.Prove(key(1)); err == nil {
+			t.Fatalf("n=%d: proved absent key", n)
+		}
+	}
+}
+
+func TestRangeProofExhaustive(t *testing.T) {
+	// Every (lo, hi) window over trees of many sizes, including non-power-
+	// of-two leaf counts where odd promotions occur.
+	for _, n := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 33} {
+		tr := buildN(n)
+		root := tr.Root()
+		maxKey := n * 2
+		for lo := -1; lo <= maxKey+1; lo += 1 {
+			for hi := lo; hi <= maxKey+2; hi += 3 {
+				proof, err := tr.ProveRange(key(lo+1), key(hi+1))
+				if err != nil {
+					t.Fatalf("n=%d ProveRange(%d,%d): %v", n, lo+1, hi+1, err)
+				}
+				got, err := VerifyRange(root, key(lo+1), key(hi+1), proof)
+				if err != nil {
+					t.Fatalf("n=%d VerifyRange(%d,%d): %v", n, lo+1, hi+1, err)
+				}
+				var want int
+				for i := 0; i < n; i++ {
+					if k := i * 2; k >= lo+1 && k <= hi+1 {
+						want++
+					}
+				}
+				if len(got) != want {
+					t.Fatalf("n=%d range [%d,%d]: got %d records, want %d", n, lo+1, hi+1, len(got), want)
+				}
+			}
+		}
+	}
+}
+
+func TestRangeProofDetectsOmission(t *testing.T) {
+	tr := buildN(16)
+	root := tr.Root()
+	proof, err := tr.ProveRange(key(6), key(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Omit an interior record (silent omission attack).
+	tampered := proof
+	tampered.Pairs = append([]Pair(nil), proof.Pairs...)
+	tampered.Pairs = append(tampered.Pairs[:2], tampered.Pairs[3:]...)
+	if _, err := VerifyRange(root, key(6), key(14), tampered); err == nil {
+		t.Fatal("omitted record not detected")
+	}
+}
+
+func TestRangeProofDetectsSubstitution(t *testing.T) {
+	tr := buildN(16)
+	root := tr.Root()
+	proof, _ := tr.ProveRange(key(6), key(14))
+	tampered := proof
+	tampered.Pairs = append([]Pair(nil), proof.Pairs...)
+	tampered.Pairs[1] = Pair{Key: tampered.Pairs[1].Key, Val: []byte("forged")}
+	if _, err := VerifyRange(root, key(6), key(14), tampered); err == nil {
+		t.Fatal("substituted value not detected")
+	}
+}
+
+func TestRangeProofDetectsBoundaryLies(t *testing.T) {
+	tr := buildN(16)
+	root := tr.Root()
+	// Claim the range ends at 14 when records above exist: drop the upper
+	// boundary record and flag RightEdge.
+	proof, _ := tr.ProveRange(key(6), key(14))
+	tampered := proof
+	tampered.Pairs = append([]Pair(nil), proof.Pairs[:len(proof.Pairs)-1]...)
+	tampered.RightEdge = true
+	if _, err := VerifyRange(root, key(6), key(14), tampered); err == nil {
+		t.Fatal("fake right edge not detected")
+	}
+	// Same on the left.
+	tampered = proof
+	tampered.Pairs = append([]Pair(nil), proof.Pairs[1:]...)
+	tampered.LeftEdge = true
+	tampered.FirstIndex = 0
+	if _, err := VerifyRange(root, key(6), key(14), tampered); err == nil {
+		t.Fatal("fake left edge not detected")
+	}
+}
+
+func TestRangeWrongRootFails(t *testing.T) {
+	tr := buildN(8)
+	proof, _ := tr.ProveRange(key(2), key(6))
+	var wrong Hash
+	wrong[3] = 0xAA
+	if _, err := VerifyRange(wrong, key(2), key(6), proof); err == nil {
+		t.Fatal("wrong root accepted")
+	}
+}
+
+func TestBuildSortsAndCopies(t *testing.T) {
+	ps := []Pair{pairN(4), pairN(0), pairN(2)}
+	tr := Build(ps)
+	ps[0].Val[0] = 'X' // mutate caller slice
+	p, proof, err := tr.Prove(key(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyMembership(tr.Root(), p, proof) {
+		t.Fatal("tree aliased caller memory")
+	}
+}
+
+func TestRootChangesWithContent(t *testing.T) {
+	f := func(a, b uint32) bool {
+		if a == b {
+			return true
+		}
+		t1 := Build([]Pair{{Key: key(int(a)), Val: []byte("v")}})
+		t2 := Build([]Pair{{Key: key(int(b)), Val: []byte("v")}})
+		return t1.Root() != t2.Root()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,158 @@
+package portal
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"veridb/internal/enclave"
+	"veridb/internal/record"
+)
+
+// echoExec returns a fixed row for any query.
+type echoExec struct{ fail bool }
+
+func (e *echoExec) Execute(query string) (*Result, error) {
+	if e.fail {
+		return nil, errors.New("boom")
+	}
+	return &Result{
+		Columns: []string{"q"},
+		Rows:    []record.Tuple{{record.Text(query)}},
+	}, nil
+}
+
+func newPortal(t *testing.T, exec Executor) (*Portal, []byte) {
+	t.Helper()
+	enc := enclave.NewForTest(3)
+	key := []byte("shared")
+	enc.ProvisionMACKey("alice", key)
+	return New(enc, exec), key
+}
+
+func TestServeHappyPath(t *testing.T) {
+	p, key := newPortal(t, &echoExec{})
+	req := Request{ClientID: "alice", QID: 1, Query: "SELECT 1"}
+	req.MAC = SignRequest(key, req.ClientID, req.QID, req.Query)
+	resp, err := p.Serve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Seq != 1 || resp.QID != 1 || len(resp.Rows) != 1 {
+		t.Fatalf("resp %+v", resp)
+	}
+	if !bytes.Equal(resp.MAC, SignResponse(key, resp)) {
+		t.Fatal("response MAC does not verify")
+	}
+}
+
+func TestServeRejectsBadMACAndUnknownClient(t *testing.T) {
+	p, key := newPortal(t, &echoExec{})
+	req := Request{ClientID: "alice", QID: 1, Query: "SELECT 1", MAC: []byte("junk")}
+	if _, err := p.Serve(req); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("bad MAC served: %v", err)
+	}
+	req = Request{ClientID: "nobody", QID: 1, Query: "SELECT 1"}
+	req.MAC = SignRequest(key, req.ClientID, req.QID, req.Query)
+	if _, err := p.Serve(req); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("unknown client served: %v", err)
+	}
+}
+
+func TestServeRejectsReplay(t *testing.T) {
+	p, key := newPortal(t, &echoExec{})
+	req := Request{ClientID: "alice", QID: 9, Query: "SELECT 1"}
+	req.MAC = SignRequest(key, req.ClientID, req.QID, req.Query)
+	if _, err := p.Serve(req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Serve(req); !errors.Is(err, ErrReplayedQID) {
+		t.Fatalf("replay served: %v", err)
+	}
+}
+
+func TestExecutionErrorsAreSequencedAndMACed(t *testing.T) {
+	p, key := newPortal(t, &echoExec{fail: true})
+	req := Request{ClientID: "alice", QID: 1, Query: "SELECT 1"}
+	req.MAC = SignRequest(key, req.ClientID, req.QID, req.Query)
+	resp, err := p.Serve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ErrMsg != "boom" || resp.Seq == 0 {
+		t.Fatalf("resp %+v", resp)
+	}
+	if !bytes.Equal(resp.MAC, SignResponse(key, resp)) {
+		t.Fatal("error response MAC invalid")
+	}
+}
+
+func TestSequenceStrictlyIncreasesUnderConcurrency(t *testing.T) {
+	p, key := newPortal(t, &echoExec{})
+	var mu sync.Mutex
+	seen := map[uint64]bool{}
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := Request{ClientID: "alice", QID: uint64(i + 1), Query: "SELECT 1"}
+			req.MAC = SignRequest(key, req.ClientID, req.QID, req.Query)
+			resp, err := p.Serve(req)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			if seen[resp.Seq] {
+				t.Errorf("sequence %d issued twice", resp.Seq)
+			}
+			seen[resp.Seq] = true
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestResumeAt(t *testing.T) {
+	p, key := newPortal(t, &echoExec{})
+	p.ResumeAt(1000)
+	req := Request{ClientID: "alice", QID: 1, Query: "SELECT 1"}
+	req.MAC = SignRequest(key, req.ClientID, req.QID, req.Query)
+	resp, err := p.Serve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Seq != 1001 {
+		t.Fatalf("Seq = %d after ResumeAt(1000)", resp.Seq)
+	}
+	p.ResumeAt(5) // lower floor is a no-op
+	resp2, _ := p.Serve(Request{ClientID: "alice", QID: 2, Query: "SELECT 1",
+		MAC: SignRequest(key, "alice", 2, "SELECT 1")})
+	if resp2.Seq != 1002 {
+		t.Fatalf("Seq = %d, floor lowered the counter", resp2.Seq)
+	}
+}
+
+func TestResponseDigestSensitivity(t *testing.T) {
+	base := &Response{QID: 1, Seq: 2, Columns: []string{"a"},
+		Rows: []record.Tuple{{record.Int(1)}}}
+	d1 := ResponseDigest(base)
+	variants := []*Response{
+		{QID: 2, Seq: 2, Columns: []string{"a"}, Rows: base.Rows},
+		{QID: 1, Seq: 3, Columns: []string{"a"}, Rows: base.Rows},
+		{QID: 1, Seq: 2, Columns: []string{"b"}, Rows: base.Rows},
+		{QID: 1, Seq: 2, Columns: []string{"a"}, Rows: []record.Tuple{{record.Int(2)}}},
+		{QID: 1, Seq: 2, Columns: []string{"a"}, Rows: base.Rows, ErrMsg: "x"},
+		{QID: 1, Seq: 2, Columns: []string{"a"}, Rows: base.Rows, Affected: 1},
+	}
+	for i, v := range variants {
+		if bytes.Equal(d1, ResponseDigest(v)) {
+			t.Fatalf("variant %d has identical digest", i)
+		}
+	}
+	if !bytes.Equal(d1, ResponseDigest(base)) {
+		t.Fatal("digest not deterministic")
+	}
+}

@@ -1,0 +1,121 @@
+package record
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func comp(t *testing.T, v Value, pk int64) Key {
+	t.Helper()
+	k, err := CompositeKey(v, MustKeyOf(Int(pk)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestCompositeOrderMatchesPairOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	type pair struct {
+		v  Value
+		pk int64
+	}
+	var pairs []pair
+	words := []string{"", "a", "ab", "abc", "b", "a\x00", "a\x00b", "a\xff", "\x00", "\x00\x00"}
+	for _, w := range words {
+		for i := 0; i < 4; i++ {
+			pairs = append(pairs, pair{Text(w), rng.Int63n(100)})
+		}
+	}
+	// Sort by (value, pk) semantically.
+	want := append([]pair(nil), pairs...)
+	sort.Slice(want, func(i, j int) bool {
+		c, _ := want[i].v.Compare(want[j].v)
+		if c != 0 {
+			return c < 0
+		}
+		return want[i].pk < want[j].pk
+	})
+	// Sort by encoded composite key.
+	got := append([]pair(nil), pairs...)
+	sort.Slice(got, func(i, j int) bool {
+		return comp(t, got[i].v, got[i].pk).Compare(comp(t, got[j].v, got[j].pk)) < 0
+	})
+	for i := range want {
+		cw, _ := want[i].v.Compare(got[i].v)
+		if cw != 0 || want[i].pk != got[i].pk {
+			t.Fatalf("position %d: want (%v,%d) got (%v,%d)", i, want[i].v, want[i].pk, got[i].v, got[i].pk)
+		}
+	}
+}
+
+func TestCompositeBounds(t *testing.T) {
+	values := []Value{Int(5), Int(6), Int(7)}
+	pks := []int64{1, 50, 999}
+	low6, err := CompositeLow(Int(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	high6, err := CompositeHigh(Int(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range values {
+		for _, pk := range pks {
+			k := comp(t, v, pk)
+			inRange := low6.Compare(k) <= 0 && k.Compare(high6) < 0
+			if (v.I == 6) != inRange {
+				t.Fatalf("value %v pk %d: inRange=%v", v, pk, inRange)
+			}
+		}
+	}
+}
+
+func TestCompositeBoundsTextPrefixes(t *testing.T) {
+	// "ab" range must not capture "abc" even though "ab" prefixes it.
+	lowAB, _ := CompositeLow(Text("ab"))
+	highAB, _ := CompositeHigh(Text("ab"))
+	in := comp(t, Text("ab"), 7)
+	out := comp(t, Text("abc"), 7)
+	outLow := comp(t, Text("aa"), 7)
+	if !(lowAB.Compare(in) <= 0 && in.Compare(highAB) < 0) {
+		t.Fatal("(ab,7) outside [low(ab), high(ab))")
+	}
+	if out.Compare(highAB) < 0 {
+		t.Fatal("(abc,7) inside high(ab) bound")
+	}
+	if outLow.Compare(lowAB) >= 0 {
+		t.Fatal("(aa,7) not below low(ab)")
+	}
+}
+
+func TestCompositeValueWithZeros(t *testing.T) {
+	// Values containing 0x00 must still order correctly against bounds.
+	v := Text("a\x00b")
+	low, _ := CompositeLow(v)
+	high, _ := CompositeHigh(v)
+	k := comp(t, v, 1)
+	if !(low.Compare(k) <= 0 && k.Compare(high) < 0) {
+		t.Fatal("zero-containing value escapes its own range")
+	}
+	other := comp(t, Text("a"), 1)
+	if !(other.Compare(low) < 0) {
+		t.Fatal(`"a" not below low("a\x00b")`)
+	}
+}
+
+func TestCompositeRejectsBadInputs(t *testing.T) {
+	if _, err := CompositeKey(Null(TypeInt), MustKeyOf(Int(1))); err == nil {
+		t.Fatal("NULL value accepted")
+	}
+	if _, err := CompositeKey(Int(1), Bottom()); err == nil {
+		t.Fatal("sentinel primary key accepted")
+	}
+	if _, err := CompositeLow(Null(TypeInt)); err == nil {
+		t.Fatal("NULL low bound accepted")
+	}
+	if _, err := CompositeHigh(Null(TypeInt)); err == nil {
+		t.Fatal("NULL high bound accepted")
+	}
+}

@@ -1,0 +1,247 @@
+package record
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// ChainLink is one ⟨key_i, nKey_i⟩ pair of the extended storage model
+// (Definition 5.2). A record with k access-method chains stores k links.
+// Sentinel records carry KindNull links for chains they do not anchor.
+type ChainLink struct {
+	Key  Key
+	NKey Key
+}
+
+// Record is the unit the verifiable storage layer stores: the chain links
+// that serve as presence/absence evidence plus the full data tuple.
+// Sentinel records have a nil Data tuple.
+type Record struct {
+	Links []ChainLink
+	Data  Tuple
+}
+
+// IsSentinel reports whether the record is a chain anchor rather than a
+// data row.
+func (r *Record) IsSentinel() bool { return r.Data == nil }
+
+// Clone deep-copies the record.
+func (r *Record) Clone() *Record {
+	out := &Record{Links: make([]ChainLink, len(r.Links))}
+	copy(out.Links, r.Links)
+	if r.Data != nil {
+		out.Data = r.Data.Clone()
+	}
+	return out
+}
+
+// value type tags for the tuple encoding; bit 7 marks NULL.
+const (
+	tagInt   byte = 0
+	tagFloat byte = 1
+	tagText  byte = 2
+	tagBool  byte = 3
+	nullBit  byte = 0x80
+)
+
+// Encode serialises the record. The format is self-describing (no schema
+// needed to decode) and deterministic, which matters because these bytes
+// are exactly what the PRF in the write-read consistent memory covers.
+func Encode(r *Record) []byte {
+	var buf []byte
+	buf = append(buf, byte(len(r.Links)))
+	for _, l := range r.Links {
+		buf = appendKey(buf, l.Key)
+		buf = appendKey(buf, l.NKey)
+	}
+	if r.Data == nil {
+		buf = append(buf, 0xFF) // sentinel marker
+		return buf
+	}
+	if len(r.Data) > 0xFE {
+		panic(fmt.Sprintf("record: tuple arity %d exceeds encoding limit", len(r.Data)))
+	}
+	buf = append(buf, byte(len(r.Data)))
+	for _, v := range r.Data {
+		buf = appendValue(buf, v)
+	}
+	return buf
+}
+
+func appendKey(buf []byte, k Key) []byte {
+	buf = append(buf, byte(k.Kind))
+	if k.Kind == KindNormal {
+		buf = binary.AppendUvarint(buf, uint64(len(k.B)))
+		buf = append(buf, k.B...)
+	}
+	return buf
+}
+
+func appendValue(buf []byte, v Value) []byte {
+	tag := byte(v.Type)
+	if v.Null {
+		buf = append(buf, tag|nullBit)
+		return buf
+	}
+	buf = append(buf, tag)
+	switch v.Type {
+	case TypeInt:
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.I))
+	case TypeFloat:
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.F))
+	case TypeText:
+		buf = binary.AppendUvarint(buf, uint64(len(v.S)))
+		buf = append(buf, v.S...)
+	case TypeBool:
+		b := byte(0)
+		if v.B {
+			b = 1
+		}
+		buf = append(buf, b)
+	default:
+		panic(fmt.Sprintf("record: unencodable type %s", v.Type))
+	}
+	return buf
+}
+
+// Decode parses an Encode image.
+func Decode(buf []byte) (*Record, error) {
+	d := decoder{buf: buf}
+	nLinks, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	r := &Record{Links: make([]ChainLink, nLinks)}
+	for i := range r.Links {
+		if r.Links[i].Key, err = d.key(); err != nil {
+			return nil, err
+		}
+		if r.Links[i].NKey, err = d.key(); err != nil {
+			return nil, err
+		}
+	}
+	arity, err := d.byte()
+	if err != nil {
+		return nil, err
+	}
+	if arity == 0xFF {
+		if len(d.buf) != d.off {
+			return nil, fmt.Errorf("record: %d trailing bytes after sentinel", len(d.buf)-d.off)
+		}
+		return r, nil
+	}
+	r.Data = make(Tuple, arity)
+	for i := range r.Data {
+		if r.Data[i], err = d.value(); err != nil {
+			return nil, err
+		}
+	}
+	if len(d.buf) != d.off {
+		return nil, fmt.Errorf("record: %d trailing bytes", len(d.buf)-d.off)
+	}
+	return r, nil
+}
+
+type decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *decoder) byte() (byte, error) {
+	if d.off >= len(d.buf) {
+		return 0, fmt.Errorf("record: truncated encoding at offset %d", d.off)
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *decoder) take(n int) ([]byte, error) {
+	if n < 0 || d.off+n > len(d.buf) {
+		return nil, fmt.Errorf("record: truncated encoding (need %d bytes at %d of %d)", n, d.off, len(d.buf))
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("record: bad uvarint at offset %d", d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) key() (Key, error) {
+	kb, err := d.byte()
+	if err != nil {
+		return Key{}, err
+	}
+	kind := KeyKind(kb)
+	switch kind {
+	case KindNull, KindBottom, KindTop:
+		return Key{Kind: kind}, nil
+	case KindNormal:
+		n, err := d.uvarint()
+		if err != nil {
+			return Key{}, err
+		}
+		b, err := d.take(int(n))
+		if err != nil {
+			return Key{}, err
+		}
+		return Key{Kind: kind, B: append([]byte(nil), b...)}, nil
+	default:
+		return Key{}, fmt.Errorf("record: bad key kind %d", kb)
+	}
+}
+
+func (d *decoder) value() (Value, error) {
+	tag, err := d.byte()
+	if err != nil {
+		return Value{}, err
+	}
+	null := tag&nullBit != 0
+	typ := Type(tag &^ nullBit)
+	if typ > TypeBool {
+		return Value{}, fmt.Errorf("record: bad value tag %#x", tag)
+	}
+	if null {
+		return Null(typ), nil
+	}
+	switch typ {
+	case TypeInt:
+		b, err := d.take(8)
+		if err != nil {
+			return Value{}, err
+		}
+		return Int(int64(binary.LittleEndian.Uint64(b))), nil
+	case TypeFloat:
+		b, err := d.take(8)
+		if err != nil {
+			return Value{}, err
+		}
+		return Float(math.Float64frombits(binary.LittleEndian.Uint64(b))), nil
+	case TypeText:
+		n, err := d.uvarint()
+		if err != nil {
+			return Value{}, err
+		}
+		b, err := d.take(int(n))
+		if err != nil {
+			return Value{}, err
+		}
+		return Text(string(b)), nil
+	case TypeBool:
+		b, err := d.byte()
+		if err != nil {
+			return Value{}, err
+		}
+		return Bool(b != 0), nil
+	default:
+		return Value{}, fmt.Errorf("record: bad type %d", typ)
+	}
+}

@@ -1,0 +1,298 @@
+package record
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueCompareInts(t *testing.T) {
+	cases := []struct {
+		a, b int64
+		want int
+	}{{1, 2, -1}, {2, 1, 1}, {5, 5, 0}, {-3, 3, -1}, {math.MinInt64, math.MaxInt64, -1}}
+	for _, c := range cases {
+		got, err := Int(c.a).Compare(Int(c.b))
+		if err != nil || got != c.want {
+			t.Fatalf("Compare(%d,%d) = %d, %v", c.a, c.b, got, err)
+		}
+	}
+}
+
+func TestValueCompareMixedNumeric(t *testing.T) {
+	if c, err := Int(2).Compare(Float(2.5)); err != nil || c != -1 {
+		t.Fatalf("2 vs 2.5 = %d, %v", c, err)
+	}
+	if c, err := Float(2.0).Compare(Int(2)); err != nil || c != 0 {
+		t.Fatalf("2.0 vs 2 = %d, %v", c, err)
+	}
+}
+
+func TestValueCompareTextAndBool(t *testing.T) {
+	if c, _ := Text("abc").Compare(Text("abd")); c != -1 {
+		t.Fatal("text order wrong")
+	}
+	if c, _ := Bool(false).Compare(Bool(true)); c != -1 {
+		t.Fatal("bool order wrong")
+	}
+}
+
+func TestValueCompareTypeMismatch(t *testing.T) {
+	if _, err := Text("x").Compare(Int(1)); err == nil {
+		t.Fatal("text/int comparison did not error")
+	}
+	if _, err := Bool(true).Compare(Float(1)); err == nil {
+		t.Fatal("bool/float comparison did not error")
+	}
+}
+
+func TestNullOrdering(t *testing.T) {
+	if c, _ := Null(TypeInt).Compare(Int(-100)); c != -1 {
+		t.Fatal("NULL must sort first")
+	}
+	if c, _ := Null(TypeInt).Compare(Null(TypeText)); c != 0 {
+		t.Fatal("NULLs must compare equal")
+	}
+	if Int(0).Equal(Null(TypeInt)) {
+		t.Fatal("0 equals NULL")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	for want, v := range map[string]Value{
+		"42": Int(42), "1.5": Float(1.5), "hi": Text("hi"),
+		"true": Bool(true), "NULL": Null(TypeInt),
+	} {
+		if got := v.String(); got != want {
+			t.Fatalf("String(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestSchemaValidateAndCoerce(t *testing.T) {
+	s := NewSchema(Column{"id", TypeInt}, Column{"price", TypeFloat}, Column{"name", TypeText})
+	if err := s.Validate(Tuple{Int(1), Float(9.5), Text("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(Tuple{Int(1), Int(9), Text("a")}); err != nil {
+		t.Fatalf("int literal for float column rejected: %v", err)
+	}
+	if err := s.Validate(Tuple{Int(1), Float(9.5)}); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	if err := s.Validate(Tuple{Text("x"), Float(9.5), Text("a")}); err == nil {
+		t.Fatal("type mismatch accepted")
+	}
+	co := s.Coerce(Tuple{Int(1), Int(9), Text("a")})
+	if co[1].Type != TypeFloat || co[1].F != 9 {
+		t.Fatalf("coercion failed: %+v", co[1])
+	}
+	if s.ColIndex("price") != 1 || s.ColIndex("missing") != -1 {
+		t.Fatal("ColIndex wrong")
+	}
+}
+
+// TestKeyOrderPreserving is the load-bearing property: bytewise comparison
+// of encoded keys must equal value comparison, for every type. The
+// untrusted index depends on it.
+func TestKeyOrderPreserving(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	gens := map[string]func() Value{
+		"int":   func() Value { return Int(rng.Int63() - rng.Int63()) },
+		"float": func() Value { return Float((rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(20)-10))) },
+		"text": func() Value {
+			b := make([]byte, rng.Intn(12))
+			rng.Read(b)
+			return Text(string(b))
+		},
+		"bool": func() Value { return Bool(rng.Intn(2) == 1) },
+	}
+	for name, gen := range gens {
+		t.Run(name, func(t *testing.T) {
+			for i := 0; i < 2000; i++ {
+				a, b := gen(), gen()
+				ka, kb := MustKeyOf(a), MustKeyOf(b)
+				wantCmp, err := a.Compare(b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := ka.Compare(kb); got != wantCmp {
+					t.Fatalf("key order %v vs %v: key=%d value=%d", a, b, got, wantCmp)
+				}
+				if got := bytes.Compare(ka.Encode(), kb.Encode()); got != wantCmp {
+					t.Fatalf("encoded order %v vs %v: bytes=%d value=%d", a, b, got, wantCmp)
+				}
+			}
+		})
+	}
+}
+
+func TestSentinelOrdering(t *testing.T) {
+	k := MustKeyOf(Int(math.MinInt64))
+	if Bottom().Compare(k) != -1 || k.Compare(Bottom()) != 1 {
+		t.Fatal("⊥ not below minimal key")
+	}
+	k = MustKeyOf(Int(math.MaxInt64))
+	if Top().Compare(k) != 1 || k.Compare(Top()) != -1 {
+		t.Fatal("⊤ not above maximal key")
+	}
+	if Bottom().Compare(Top()) != -1 {
+		t.Fatal("⊥ not below ⊤")
+	}
+	if Bottom().Compare(Bottom()) != 0 || Top().Compare(Top()) != 0 {
+		t.Fatal("sentinel self-comparison not equal")
+	}
+	// Encoded order too.
+	if bytes.Compare(Bottom().Encode(), k.Encode()) != -1 {
+		t.Fatal("encoded ⊥ not minimal")
+	}
+	if bytes.Compare(Top().Encode(), MustKeyOf(Text("zzzz")).Encode()) != 1 {
+		t.Fatal("encoded ⊤ not maximal")
+	}
+}
+
+func TestKeyOfNullFails(t *testing.T) {
+	if _, err := KeyOf(Null(TypeInt)); err == nil {
+		t.Fatal("NULL key accepted")
+	}
+}
+
+func TestNullKeyPanicsOnCompare(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("comparing null key did not panic")
+		}
+	}()
+	NullKey().Compare(Bottom())
+}
+
+func TestKeyEncodeDecodeRoundTrip(t *testing.T) {
+	keys := []Key{Bottom(), Top(), MustKeyOf(Int(7)), MustKeyOf(Text("hello")), MustKeyOf(Float(-2.5))}
+	for _, k := range keys {
+		got, err := DecodeKey(k.Encode())
+		if err != nil || !got.Equal(k) {
+			t.Fatalf("round trip %v: %v, %v", k, got, err)
+		}
+	}
+	if _, err := DecodeKey(nil); err == nil {
+		t.Fatal("empty key decoded")
+	}
+	if _, err := DecodeKey([]byte{99}); err == nil {
+		t.Fatal("bad kind decoded")
+	}
+}
+
+func TestRecordEncodeDecodeRoundTrip(t *testing.T) {
+	r := &Record{
+		Links: []ChainLink{
+			{Key: MustKeyOf(Int(10)), NKey: MustKeyOf(Int(20))},
+			{Key: NullKey(), NKey: NullKey()},
+			{Key: Bottom(), NKey: Top()},
+		},
+		Data: Tuple{Int(10), Float(1.25), Text("payload"), Bool(true), Null(TypeText)},
+	}
+	got, err := Decode(Encode(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, r)
+	}
+}
+
+func TestSentinelRecordRoundTrip(t *testing.T) {
+	r := &Record{Links: []ChainLink{{Key: Bottom(), NKey: Top()}}}
+	if !r.IsSentinel() {
+		t.Fatal("nil-data record not sentinel")
+	}
+	got, err := Decode(Encode(r))
+	if err != nil || !got.IsSentinel() {
+		t.Fatalf("sentinel round trip: %+v, %v", got, err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Fatalf("sentinel mismatch: %+v vs %+v", got, r)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	bad := [][]byte{
+		{},                 // empty
+		{1},                // truncated link
+		{0, 5},             // bad arity marker then truncation
+		{1, 2, 3},          // normal key, bad varint/truncation
+		{0, 1, byte(0xC0)}, // bad value tag
+	}
+	for _, b := range bad {
+		if _, err := Decode(b); err == nil {
+			t.Fatalf("garbage %v decoded", b)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	r := &Record{Links: []ChainLink{{Key: Bottom(), NKey: Top()}}, Data: Tuple{Int(1)}}
+	enc := append(Encode(r), 0x00)
+	if _, err := Decode(enc); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// TestEncodeDeterministic pins that encoding is a pure function of the
+// record: the PRF in vmem covers these bytes, so nondeterminism would break
+// verification.
+func TestEncodeDeterministic(t *testing.T) {
+	f := func(id int64, price float64, name string, flag bool) bool {
+		r := &Record{
+			Links: []ChainLink{{Key: MustKeyOf(Int(id)), NKey: Top()}},
+			Data:  Tuple{Int(id), Float(price), Text(name), Bool(flag)},
+		}
+		return bytes.Equal(Encode(r), Encode(r.Clone()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(id int64, price float64, name string, flag bool, null bool) bool {
+		tup := Tuple{Int(id), Float(price), Text(name), Bool(flag)}
+		if null {
+			tup = append(tup, Null(TypeFloat))
+		}
+		r := &Record{
+			Links: []ChainLink{{Key: MustKeyOf(Int(id)), NKey: MustKeyOf(Text(name + "x"))}},
+			Data:  tup,
+		}
+		got, err := Decode(Encode(r))
+		return err == nil && reflect.DeepEqual(got, r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	r := &Record{
+		Links: []ChainLink{{Key: MustKeyOf(Int(1)), NKey: Top()}},
+		Data:  Tuple{Text("a")},
+	}
+	c := r.Clone()
+	c.Links[0].NKey = Bottom()
+	c.Data[0] = Text("b")
+	if r.Links[0].NKey.Kind != KindTop || r.Data[0].S != "a" {
+		t.Fatal("Clone shares state")
+	}
+}
+
+func TestFloatKeySpecials(t *testing.T) {
+	vals := []float64{math.Inf(-1), -1e300, -1, -0.0, 0.0, 1, 1e300, math.Inf(1)}
+	for i := 0; i < len(vals)-1; i++ {
+		a, b := MustKeyOf(Float(vals[i])), MustKeyOf(Float(vals[i+1]))
+		if a.Compare(b) > 0 {
+			t.Fatalf("float key order broken at %g vs %g", vals[i], vals[i+1])
+		}
+	}
+}

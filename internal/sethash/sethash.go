@@ -1,0 +1,148 @@
+// Package sethash implements the cryptographic primitives underlying
+// VeriDB's write-read consistent memory (paper §4.1): a keyed pseudo-random
+// function over (address, data) pairs and an XOR-homomorphic multiset hash.
+//
+// The multiset hash of a set S is
+//
+//	h(S) = XOR over (addr, data) in S of PRF_k(addr ‖ data)
+//
+// so that h can be maintained incrementally under insertion (fold one more
+// PRF image in) and two multisets are equal iff their hashes are equal,
+// except with negligible probability. The paper uses 64-byte accumulators;
+// we realise PRF_k with HMAC-SHA-512, which yields exactly 64 bytes.
+package sethash
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha512"
+	"crypto/subtle"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"sync"
+)
+
+// Size is the byte length of PRF outputs and multiset-hash accumulators.
+const Size = sha512.Size // 64 bytes, matching the paper's accumulators
+
+// Digest is a single 64-byte PRF image or multiset-hash accumulator.
+type Digest [Size]byte
+
+// Zero reports whether d is the all-zero digest (the hash of the empty set).
+func (d *Digest) Zero() bool {
+	var z Digest
+	return subtle.ConstantTimeCompare(d[:], z[:]) == 1
+}
+
+// Equal reports whether d and o are identical, in constant time.
+func (d *Digest) Equal(o *Digest) bool {
+	return subtle.ConstantTimeCompare(d[:], o[:]) == 1
+}
+
+// XOR folds o into d in place. Because XOR is its own inverse, the same
+// operation both inserts into and removes from a multiset accumulator.
+func (d *Digest) XOR(o *Digest) {
+	for i := range d {
+		d[i] ^= o[i]
+	}
+}
+
+// String renders the first eight bytes as hex, enough for logs and tests.
+func (d Digest) String() string {
+	return hex.EncodeToString(d[:8])
+}
+
+// Key is a PRF key. It must stay inside the (simulated) enclave: an
+// adversary that learns it can forge set-hash updates.
+//
+// The key owns a pool of keyed HMAC states: re-deriving the inner/outer
+// pads on every evaluation would double the hashing work on the hot path
+// the paper's Fig. 9 measures.
+type Key struct {
+	k    [32]byte
+	pool sync.Pool
+}
+
+func (k *Key) mac() hash.Hash {
+	if h, ok := k.pool.Get().(hash.Hash); ok {
+		h.Reset()
+		return h
+	}
+	return hmac.New(sha512.New, k.k[:])
+}
+
+func (k *Key) put(h hash.Hash) { k.pool.Put(h) }
+
+// NewKey draws a fresh random PRF key.
+func NewKey() (*Key, error) {
+	var k Key
+	if _, err := rand.Read(k.k[:]); err != nil {
+		return nil, fmt.Errorf("sethash: generating PRF key: %w", err)
+	}
+	return &k, nil
+}
+
+// KeyFromSeed derives a deterministic key from seed. Intended for tests and
+// reproducible benchmarks; production callers should use NewKey.
+func KeyFromSeed(seed uint64) *Key {
+	var k Key
+	sum := sha512.Sum512(binary.LittleEndian.AppendUint64([]byte("veridb-sethash-seed:"), seed))
+	copy(k.k[:], sum[:32])
+	return &k
+}
+
+// PRF computes PRF_k(addr ‖ data): the image of one (address, data) pair.
+func (k *Key) PRF(addr uint64, data []byte) Digest {
+	return k.PRFv(addr, 0, data)
+}
+
+// PRFv computes PRF_k(addr ‖ ver ‖ data): the image of a versioned cell.
+// Blum-style offline checking timestamps every entry so the read and write
+// multisets contain only distinct elements, which makes the XOR set hash a
+// sound multiset hash (even multiplicities would otherwise cancel).
+func (k *Key) PRFv(addr, ver uint64, data []byte) Digest {
+	mac := k.mac()
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[:8], addr)
+	binary.LittleEndian.PutUint64(hdr[8:], ver)
+	mac.Write(hdr[:])
+	mac.Write(data)
+	var d Digest
+	mac.Sum(d[:0])
+	k.put(mac)
+	return d
+}
+
+// Accumulator is an incrementally maintained multiset hash h(S). The zero
+// value is the hash of the empty multiset and is ready to use. Accumulator
+// is not safe for concurrent use; callers (the vmem RSWS partitions) guard
+// it with their own locks, mirroring the paper's RSWS locks.
+type Accumulator struct {
+	h Digest
+}
+
+// Add folds the pair (addr, data) into the multiset.
+func (a *Accumulator) Add(k *Key, addr uint64, data []byte) {
+	d := k.PRF(addr, data)
+	a.h.XOR(&d)
+}
+
+// AddDigest folds a precomputed PRF image into the multiset. Callers that
+// need the same image in two accumulators (e.g. a read updates both h(RS)
+// and h(WS), Alg. 1 lines 3–5) compute the PRF once and fold it twice.
+func (a *Accumulator) AddDigest(d *Digest) {
+	a.h.XOR(d)
+}
+
+// Sum returns the current accumulator value.
+func (a *Accumulator) Sum() Digest { return a.h }
+
+// Reset returns the accumulator to the empty-set hash.
+func (a *Accumulator) Reset() { a.h = Digest{} }
+
+// Equal reports whether two accumulators hash the same multiset.
+func (a *Accumulator) Equal(b *Accumulator) bool {
+	return a.h.Equal(&b.h)
+}

@@ -1,0 +1,230 @@
+package sethash
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPRFDeterministic(t *testing.T) {
+	k := KeyFromSeed(1)
+	a := k.PRF(42, []byte("hello"))
+	b := k.PRF(42, []byte("hello"))
+	if !a.Equal(&b) {
+		t.Fatal("PRF not deterministic for identical inputs")
+	}
+}
+
+func TestPRFDistinguishesAddr(t *testing.T) {
+	k := KeyFromSeed(1)
+	a := k.PRF(1, []byte("x"))
+	b := k.PRF(2, []byte("x"))
+	if a.Equal(&b) {
+		t.Fatal("PRF collided on distinct addresses")
+	}
+}
+
+func TestPRFDistinguishesData(t *testing.T) {
+	k := KeyFromSeed(1)
+	a := k.PRF(1, []byte("x"))
+	b := k.PRF(1, []byte("y"))
+	if a.Equal(&b) {
+		t.Fatal("PRF collided on distinct data")
+	}
+}
+
+func TestPRFKeyed(t *testing.T) {
+	a := KeyFromSeed(1).PRF(1, []byte("x"))
+	b := KeyFromSeed(2).PRF(1, []byte("x"))
+	if a.Equal(&b) {
+		t.Fatal("PRF output identical under different keys")
+	}
+}
+
+func TestPRFBoundaryConcatenation(t *testing.T) {
+	// (addr, data) must be injectively encoded: moving a byte between the
+	// two halves must change the image. addr is fixed-width so this holds.
+	k := KeyFromSeed(3)
+	a := k.PRF(0x01, []byte{0x02})
+	b := k.PRF(0x0102, nil)
+	if a.Equal(&b) {
+		t.Fatal("PRF encoding is not injective across the addr/data boundary")
+	}
+}
+
+func TestNewKeyRandom(t *testing.T) {
+	k1, err := NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := NewKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := k1.PRF(1, []byte("x"))
+	b := k2.PRF(1, []byte("x"))
+	if a.Equal(&b) {
+		t.Fatal("two fresh keys produced identical PRF output")
+	}
+}
+
+func TestZeroDigest(t *testing.T) {
+	var d Digest
+	if !d.Zero() {
+		t.Fatal("zero value not reported as zero")
+	}
+	d[0] = 1
+	if d.Zero() {
+		t.Fatal("nonzero digest reported as zero")
+	}
+}
+
+func TestAccumulatorEmptyEqualsEmpty(t *testing.T) {
+	var a, b Accumulator
+	if !a.Equal(&b) {
+		t.Fatal("two empty accumulators differ")
+	}
+	s := a.Sum()
+	if !s.Zero() {
+		t.Fatal("empty accumulator sum is not zero")
+	}
+}
+
+func TestAccumulatorOrderIndependence(t *testing.T) {
+	k := KeyFromSeed(7)
+	pairs := [][2]any{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 64; i++ {
+		data := make([]byte, 1+rng.Intn(32))
+		rng.Read(data)
+		pairs = append(pairs, [2]any{uint64(i), data})
+	}
+	var fwd, rev Accumulator
+	for _, p := range pairs {
+		fwd.Add(k, p[0].(uint64), p[1].([]byte))
+	}
+	for i := len(pairs) - 1; i >= 0; i-- {
+		rev.Add(k, pairs[i][0].(uint64), pairs[i][1].([]byte))
+	}
+	if !fwd.Equal(&rev) {
+		t.Fatal("multiset hash depends on insertion order")
+	}
+}
+
+func TestAccumulatorSelfInverse(t *testing.T) {
+	k := KeyFromSeed(9)
+	var a Accumulator
+	a.Add(k, 5, []byte("payload"))
+	a.Add(k, 5, []byte("payload")) // XOR cancels: even multiplicity vanishes
+	s := a.Sum()
+	if !s.Zero() {
+		t.Fatal("adding the same element twice did not cancel")
+	}
+}
+
+func TestAccumulatorReset(t *testing.T) {
+	k := KeyFromSeed(9)
+	var a Accumulator
+	a.Add(k, 1, []byte("x"))
+	a.Reset()
+	s := a.Sum()
+	if !s.Zero() {
+		t.Fatal("reset did not clear the accumulator")
+	}
+}
+
+func TestAddDigestMatchesAdd(t *testing.T) {
+	k := KeyFromSeed(11)
+	var a, b Accumulator
+	a.Add(k, 99, []byte("value"))
+	d := k.PRF(99, []byte("value"))
+	b.AddDigest(&d)
+	if !a.Equal(&b) {
+		t.Fatal("AddDigest disagrees with Add")
+	}
+}
+
+// TestReadWriteConsistencyProperty is the core soundness property of §4.1:
+// if the reads on each address interleave exactly with the writes (every
+// read returns the most recent write), then after the final scan the read
+// set equals the write set — and if any read returns tampered data, they
+// differ.
+func TestReadWriteConsistencyProperty(t *testing.T) {
+	f := func(seed int64, nOps uint8) bool {
+		k := KeyFromSeed(uint64(seed))
+		rng := rand.New(rand.NewSource(seed))
+		mem := map[uint64][]byte{}
+		var rs, ws Accumulator
+		// Initial registration: seed WS with initial contents.
+		for addr := uint64(0); addr < 8; addr++ {
+			v := []byte{byte(rng.Intn(256))}
+			mem[addr] = v
+			ws.Add(k, addr, v)
+		}
+		for i := 0; i < int(nOps); i++ {
+			addr := uint64(rng.Intn(8))
+			if rng.Intn(2) == 0 { // read: fold into RS, virtual write-back into WS
+				rs.Add(k, addr, mem[addr])
+				ws.Add(k, addr, mem[addr])
+			} else { // write: old into RS, new into WS
+				rs.Add(k, addr, mem[addr])
+				v := []byte{byte(rng.Intn(256))}
+				mem[addr] = v
+				ws.Add(k, addr, v)
+			}
+		}
+		// Verification scan: read everything once.
+		for addr := uint64(0); addr < 8; addr++ {
+			rs.Add(k, addr, mem[addr])
+		}
+		return rs.Equal(&ws)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTamperBreaksConsistency(t *testing.T) {
+	k := KeyFromSeed(13)
+	mem := map[uint64][]byte{0: {1}, 1: {2}}
+	var rs, ws Accumulator
+	for a, v := range mem {
+		ws.Add(k, a, v)
+	}
+	mem[1] = []byte{99} // adversary writes around the protected interface
+	for a, v := range mem {
+		rs.Add(k, a, v)
+	}
+	if rs.Equal(&ws) {
+		t.Fatal("tampered memory passed the consistency check")
+	}
+}
+
+func TestDigestString(t *testing.T) {
+	var d Digest
+	d[0] = 0xAB
+	if got := d.String(); got != "ab00000000000000" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func BenchmarkPRF500B(b *testing.B) {
+	k := KeyFromSeed(1)
+	data := make([]byte, 500)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = k.PRF(uint64(i), data)
+	}
+}
+
+func BenchmarkAccumulatorAdd500B(b *testing.B) {
+	k := KeyFromSeed(1)
+	data := make([]byte, 500)
+	var a Accumulator
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Add(k, uint64(i), data)
+	}
+}

@@ -1,0 +1,770 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"veridb/internal/record"
+)
+
+// Parser is a recursive-descent parser over the token stream.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a single statement (a trailing semicolon is allowed).
+func Parse(src string) (Statement, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.acceptSymbol(";")
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sql: trailing input starting at %s", p.cur())
+	}
+	return st, nil
+}
+
+// ParseScript parses a semicolon-separated sequence of statements.
+func ParseScript(src string) ([]Statement, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	var out []Statement
+	for {
+		for p.acceptSymbol(";") {
+		}
+		if p.atEOF() {
+			return out, nil
+		}
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+}
+
+func (p *Parser) cur() Token { return p.toks[p.pos] }
+func (p *Parser) atEOF() bool {
+	return p.cur().Kind == TokEOF
+}
+func (p *Parser) advance() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) acceptKeyword(kw string) bool {
+	if t := p.cur(); t.Kind == TokKeyword && t.Text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return fmt.Errorf("sql: expected %s, found %s at offset %d", kw, p.cur(), p.cur().Pos)
+	}
+	return nil
+}
+
+func (p *Parser) acceptSymbol(sym string) bool {
+	if t := p.cur(); t.Kind == TokSymbol && t.Text == sym {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expectSymbol(sym string) error {
+	if !p.acceptSymbol(sym) {
+		return fmt.Errorf("sql: expected %q, found %s at offset %d", sym, p.cur(), p.cur().Pos)
+	}
+	return nil
+}
+
+func (p *Parser) ident() (string, error) {
+	t := p.cur()
+	if t.Kind != TokIdent {
+		return "", fmt.Errorf("sql: expected identifier, found %s at offset %d", t, t.Pos)
+	}
+	p.pos++
+	return t.Text, nil
+}
+
+func (p *Parser) statement() (Statement, error) {
+	t := p.cur()
+	if t.Kind != TokKeyword {
+		return nil, fmt.Errorf("sql: expected statement keyword, found %s at offset %d", t, t.Pos)
+	}
+	switch t.Text {
+	case "SELECT":
+		return p.selectStmt()
+	case "INSERT":
+		return p.insertStmt()
+	case "UPDATE":
+		return p.updateStmt()
+	case "DELETE":
+		return p.deleteStmt()
+	case "CREATE":
+		return p.createStmt()
+	case "DROP":
+		return p.dropStmt()
+	case "EXPLAIN":
+		p.advance()
+		inner, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		sel, ok := inner.(*Select)
+		if !ok {
+			return nil, fmt.Errorf("sql: EXPLAIN supports only SELECT")
+		}
+		return &Explain{Query: sel}, nil
+	default:
+		return nil, fmt.Errorf("sql: unsupported statement %s at offset %d", t, t.Pos)
+	}
+}
+
+func (p *Parser) createStmt() (Statement, error) {
+	p.advance() // CREATE
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	ct := &CreateTable{Name: name}
+	for {
+		if p.acceptKeyword("PRIMARY") {
+			// table-level PRIMARY KEY (col)
+			if err := p.expectKeyword("KEY"); err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			found := false
+			for i := range ct.Columns {
+				if strings.EqualFold(ct.Columns[i].Name, col) {
+					ct.Columns[i].PrimaryKey = true
+					found = true
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("sql: PRIMARY KEY names unknown column %q", col)
+			}
+		} else if p.acceptKeyword("INDEX") {
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			ct.Indexes = append(ct.Indexes, col)
+		} else {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			typ, err := p.columnType()
+			if err != nil {
+				return nil, err
+			}
+			def := ColumnDef{Name: col, Type: typ}
+			if p.acceptKeyword("PRIMARY") {
+				if err := p.expectKeyword("KEY"); err != nil {
+					return nil, err
+				}
+				def.PrimaryKey = true
+			}
+			ct.Columns = append(ct.Columns, def)
+		}
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return ct, nil
+}
+
+func (p *Parser) columnType() (record.Type, error) {
+	t := p.cur()
+	if t.Kind != TokKeyword {
+		return 0, fmt.Errorf("sql: expected column type, found %s at offset %d", t, t.Pos)
+	}
+	p.pos++
+	switch t.Text {
+	case "INT":
+		return record.TypeInt, nil
+	case "FLOAT":
+		return record.TypeFloat, nil
+	case "TEXT":
+		return record.TypeText, nil
+	case "BOOL":
+		return record.TypeBool, nil
+	default:
+		return 0, fmt.Errorf("sql: unknown type %s at offset %d", t, t.Pos)
+	}
+}
+
+func (p *Parser) dropStmt() (Statement, error) {
+	p.advance() // DROP
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTable{Name: name}, nil
+}
+
+func (p *Parser) insertStmt() (Statement, error) {
+	p.advance() // INSERT
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: name}
+	if p.acceptSymbol("(") {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, col)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	return ins, nil
+}
+
+func (p *Parser) updateStmt() (Statement, error) {
+	p.advance() // UPDATE
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	up := &Update{Table: name}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		val, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		up.Set = append(up.Set, Assignment{Column: col, Value: val})
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	if p.acceptKeyword("WHERE") {
+		if up.Where, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	return up, nil
+}
+
+func (p *Parser) deleteStmt() (Statement, error) {
+	p.advance() // DELETE
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	del := &Delete{Table: name}
+	if p.acceptKeyword("WHERE") {
+		if del.Where, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	return del, nil
+}
+
+func (p *Parser) tableRef() (TableRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Table: name, Alias: name}
+	if p.acceptKeyword("AS") {
+		if ref.Alias, err = p.ident(); err != nil {
+			return TableRef{}, err
+		}
+	} else if p.cur().Kind == TokIdent {
+		ref.Alias = p.advance().Text
+	}
+	return ref, nil
+}
+
+func (p *Parser) selectStmt() (Statement, error) {
+	p.advance() // SELECT
+	sel := &Select{Limit: -1}
+	for {
+		if p.acceptSymbol("*") {
+			sel.Items = append(sel.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.acceptKeyword("AS") {
+				a, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = a
+			} else if p.cur().Kind == TokIdent {
+				item.Alias = p.advance().Text
+			}
+			sel.Items = append(sel.Items, item)
+		}
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		sel.From = append(sel.From, ref)
+		if p.acceptSymbol(",") {
+			continue
+		}
+		break
+	}
+	for {
+		if p.acceptKeyword("INNER") {
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+		} else if !p.acceptKeyword("JOIN") {
+			break
+		}
+		ref, err := p.tableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Joins = append(sel.Joins, JoinClause{Ref: ref, On: on})
+	}
+	var err error
+	if p.acceptKeyword("WHERE") {
+		if sel.Where, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		if sel.Having, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		t := p.cur()
+		if t.Kind != TokNumber {
+			return nil, fmt.Errorf("sql: LIMIT wants a number, found %s", t)
+		}
+		p.pos++
+		n, err := strconv.Atoi(t.Text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("sql: bad LIMIT %q", t.Text)
+		}
+		sel.Limit = n
+	}
+	return sel, nil
+}
+
+// Expression grammar, loosest to tightest:
+//
+//	expr     := andExpr (OR andExpr)*
+//	andExpr  := notExpr (AND notExpr)*
+//	notExpr  := NOT notExpr | predicate
+//	predicate:= addExpr [cmpOp addExpr | BETWEEN .. AND .. | IN (..) | IS [NOT] NULL]
+//	addExpr  := mulExpr ((+|-) mulExpr)*
+//	mulExpr  := unary ((*|/|%) unary)*
+//	unary    := - unary | primary
+//	primary  := literal | columnRef | aggCall | ( expr )
+func (p *Parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *Parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &BinaryExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) notExpr() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		e, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", E: e}, nil
+	}
+	return p.predicate()
+}
+
+func (p *Parser) predicate() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.cur(); t.Kind == TokSymbol {
+		switch t.Text {
+		case "=", "<", "<=", ">", ">=", "<>", "!=":
+			p.pos++
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			op := t.Text
+			if op == "!=" {
+				op = "<>"
+			}
+			return &BinaryExpr{Op: op, L: l, R: r}, nil
+		}
+	}
+	negated := false
+	if p.cur().Kind == TokKeyword && p.cur().Text == "NOT" &&
+		p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == TokKeyword &&
+		(p.toks[p.pos+1].Text == "BETWEEN" || p.toks[p.pos+1].Text == "IN") {
+		p.pos++
+		negated = true
+	}
+	if p.acceptKeyword("BETWEEN") {
+		lo, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &BetweenExpr{E: l, Lo: lo, Hi: hi, Negated: negated}, nil
+	}
+	if p.acceptKeyword("IN") {
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if p.acceptSymbol(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &InExpr{E: l, List: list, Negated: negated}, nil
+	}
+	if negated {
+		return nil, fmt.Errorf("sql: dangling NOT before %s", p.cur())
+	}
+	if p.acceptKeyword("IS") {
+		neg := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return &IsNullExpr{E: l, Negated: neg}, nil
+	}
+	return l, nil
+}
+
+func (p *Parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind == TokSymbol && (t.Text == "+" || t.Text == "-") {
+			p.pos++
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: t.Text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *Parser) mulExpr() (Expr, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.cur()
+		if t.Kind == TokSymbol && (t.Text == "*" || t.Text == "/" || t.Text == "%") {
+			p.pos++
+			r, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			l = &BinaryExpr{Op: t.Text, L: l, R: r}
+			continue
+		}
+		return l, nil
+	}
+}
+
+func (p *Parser) unary() (Expr, error) {
+	if p.acceptSymbol("-") {
+		e, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "-", E: e}, nil
+	}
+	return p.primary()
+}
+
+var aggFuncs = map[string]bool{"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true}
+
+func (p *Parser) primary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokNumber:
+		p.pos++
+		if strings.Contains(t.Text, ".") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sql: bad float literal %q", t.Text)
+			}
+			return &Literal{Val: record.Float(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad int literal %q", t.Text)
+		}
+		return &Literal{Val: record.Int(i)}, nil
+	case TokString:
+		p.pos++
+		return &Literal{Val: record.Text(t.Text)}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.pos++
+			return &Literal{Val: record.Null(record.TypeInt)}, nil
+		case "TRUE":
+			p.pos++
+			return &Literal{Val: record.Bool(true)}, nil
+		case "FALSE":
+			p.pos++
+			return &Literal{Val: record.Bool(false)}, nil
+		}
+		return nil, fmt.Errorf("sql: unexpected keyword %s in expression at offset %d", t, t.Pos)
+	case TokIdent:
+		p.pos++
+		// Aggregate names are context-sensitive, not reserved: the paper's
+		// example tables use "count" as a column name (Fig. 8).
+		if upper := strings.ToUpper(t.Text); aggFuncs[upper] &&
+			p.cur().Kind == TokSymbol && p.cur().Text == "(" {
+			p.pos++ // consume (
+			fc := &FuncCall{Name: upper}
+			if p.acceptSymbol("*") {
+				if upper != "COUNT" {
+					return nil, fmt.Errorf("sql: %s(*) is not valid", upper)
+				}
+				fc.Star = true
+			} else {
+				p.acceptKeyword("DISTINCT") // parsed, treated as plain (documented)
+				arg, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				fc.Arg = arg
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return fc, nil
+		}
+		if p.acceptSymbol(".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: t.Text, Column: col}, nil
+		}
+		return &ColumnRef{Column: t.Text}, nil
+	case TokSymbol:
+		if t.Text == "(" {
+			p.pos++
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, fmt.Errorf("sql: unexpected %s in expression at offset %d", t, t.Pos)
+}

@@ -1,0 +1,58 @@
+// Package sql implements VeriDB's SQL front end: a lexer, an AST, and a
+// recursive-descent parser for the SPJA dialect the paper targets (§3.2:
+// "we focus on SPJA queries") plus the DDL/DML needed to run them —
+// CREATE TABLE, INSERT, UPDATE, DELETE and SELECT with joins, grouping,
+// ordering and limits. Compilation happens inside the enclave (§3.3), so
+// the parser is deliberately dependency-free.
+package sql
+
+import "fmt"
+
+// TokenKind classifies lexer output.
+type TokenKind int
+
+const (
+	// TokEOF ends the stream.
+	TokEOF TokenKind = iota
+	// TokIdent is an identifier or unreserved keyword.
+	TokIdent
+	// TokKeyword is a reserved word, normalised to upper case.
+	TokKeyword
+	// TokNumber is an integer or decimal literal.
+	TokNumber
+	// TokString is a single-quoted string literal.
+	TokString
+	// TokSymbol is an operator or punctuation token.
+	TokSymbol
+)
+
+// Token is one lexeme.
+type Token struct {
+	Kind TokenKind
+	Text string // keywords upper-cased; idents as written; strings unquoted
+	Pos  int    // byte offset in the input
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+// keywords are the reserved words of the dialect.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "ASC": true, "DESC": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true, "SET": true,
+	"DELETE": true, "CREATE": true, "TABLE": true, "PRIMARY": true, "KEY": true,
+	"INDEX": true, "AND": true, "OR": true, "NOT": true, "NULL": true,
+	"TRUE": true, "FALSE": true, "AS": true, "JOIN": true, "INNER": true,
+	"ON": true, "INT": true, "FLOAT": true, "TEXT": true, "BOOL": true,
+	"BETWEEN": true, "IN": true, "DISTINCT": true, "DROP": true, "IS": true,
+	"EXPLAIN": true,
+}

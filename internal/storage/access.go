@@ -1,0 +1,284 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"veridb/internal/record"
+)
+
+// tableLock serialises structural mutation of a table; scanners hold it
+// shared so the chain they verify is stable for the statement's duration.
+type tableLock = sync.RWMutex
+
+// Evidence is the single-record proof an access method hands upward: the
+// ⟨key, nKey⟩ interval that proves the presence or absence of the queried
+// key (§4.2: "the existence or absence of queried data is proved by a
+// single record in the database").
+type Evidence struct {
+	Table string
+	Chain int
+	Key   record.Key // key of the evidence record
+	NKey  record.Key // its successor key
+	Found bool       // true: Key matches the probe; false: probe ∈ (Key, NKey)
+}
+
+func (e Evidence) String() string {
+	rel := "proves absence in"
+	if e.Found {
+		rel = "proves presence at"
+	}
+	return fmt.Sprintf("%s.chain%d ⟨%v,%v⟩ %s probe", e.Table, e.Chain, e.Key, e.NKey, rel)
+}
+
+// SearchPK is the verified index search of §5.2: SELECT * WHERE pk = v.
+// The untrusted index supplies a candidate location; the record fetched
+// from write-read consistent memory must satisfy key == v (present) or
+// key < v < nKey (absent), otherwise ErrVerifyFailed is returned.
+func (t *Table) SearchPK(v record.Value) (record.Tuple, Evidence, error) {
+	pk, err := record.KeyOf(v)
+	if err != nil {
+		return nil, Evidence{}, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.searchChainLocked(0, pk)
+}
+
+func (t *Table) searchChainLocked(chain int, k record.Key) (record.Tuple, Evidence, error) {
+	_, loc, ok := t.chains[chain].SeekLE(k.Encode())
+	if !ok {
+		return nil, Evidence{}, fmt.Errorf("%w: chain %d returned no candidate for %v (missing ⊥ anchor)", ErrVerifyFailed, chain, k)
+	}
+	rec, err := t.fetch(loc)
+	if err != nil {
+		return nil, Evidence{}, err
+	}
+	if len(rec.Links) <= chain || rec.Links[chain].Key.IsNull() {
+		return nil, Evidence{}, fmt.Errorf("%w: evidence record does not participate in chain %d", ErrVerifyFailed, chain)
+	}
+	l := rec.Links[chain]
+	ev := Evidence{Table: t.name, Chain: chain, Key: l.Key, NKey: l.NKey}
+	switch {
+	case l.Key.Equal(k):
+		// Condition (1): the record itself proves presence.
+		ev.Found = true
+		return rec.Data.Clone(), ev, nil
+	case l.Key.Compare(k) < 0 && k.Compare(l.NKey) < 0:
+		// Condition (2): key < probe < nKey proves absence.
+		return nil, ev, nil
+	default:
+		// The untrusted index returned a tampered (page, index) pair.
+		return nil, Evidence{}, fmt.Errorf("%w: record ⟨%v,%v⟩ does not witness probe %v on chain %d",
+			ErrVerifyFailed, l.Key, l.NKey, k, chain)
+	}
+}
+
+// ScanBounds delimit a verified range scan in chain-key space. Nil Start
+// means ⊥ (scan from the beginning); nil End means ⊤.
+type ScanBounds struct {
+	Start *record.Key // inclusive target lower bound ('a' in Example 5.1)
+	End   *record.Key // inclusive target upper bound ('b')
+}
+
+// Scanner is the verified range/sequential scan of §5.2. It walks the key
+// chain record by record and enforces the three conditions of Example 5.1:
+//
+//  1. the first record's key is ≤ the range start,
+//  2. scanning continues until a record's nKey exceeds the range end (so
+//     the final nKey proves nothing was omitted at the top), and
+//  3. every record's key equals its predecessor's nKey (no gaps).
+//
+// The scanner holds the table's shared lock from creation until Close (or
+// exhaustion), so concurrent writers cannot invalidate the chain mid-scan.
+type Scanner struct {
+	t      *Table
+	chain  int
+	start  record.Key
+	end    record.Key
+	cur    *record.Record
+	closed bool
+	err    error
+	// stats
+	visited int
+}
+
+// NewScan opens a verified scan of the given chain over bounds. For
+// chain 0 the bounds are primary keys; for secondary chains callers pass
+// composite bounds (record.CompositeLow/High).
+func (t *Table) NewScan(chain int, bounds ScanBounds) (*Scanner, error) {
+	if chain < 0 || chain >= len(t.chains) {
+		return nil, fmt.Errorf("storage: table %q has no chain %d", t.name, chain)
+	}
+	start := record.Bottom()
+	if bounds.Start != nil {
+		start = *bounds.Start
+	}
+	end := record.Top()
+	if bounds.End != nil {
+		end = *bounds.End
+	}
+	s := &Scanner{t: t, chain: chain, start: start, end: end}
+	t.mu.RLock()
+	// Locate the chain entry point: the record with the greatest key ≤
+	// start. Its key ≤ start establishes condition (1).
+	_, loc, ok := t.chains[chain].SeekLE(start.Encode())
+	if !ok {
+		s.fail(fmt.Errorf("%w: chain %d has no record ≤ %v (missing ⊥ anchor)", ErrVerifyFailed, chain, start))
+		return s, s.err
+	}
+	rec, err := t.fetch(loc)
+	if err != nil {
+		s.fail(err)
+		return s, s.err
+	}
+	if len(rec.Links) <= chain || rec.Links[chain].Key.IsNull() {
+		s.fail(fmt.Errorf("%w: scan entry record does not participate in chain %d", ErrVerifyFailed, chain))
+		return s, s.err
+	}
+	if rec.Links[chain].Key.Compare(start) > 0 {
+		s.fail(fmt.Errorf("%w: first record key %v exceeds scan start %v (condition 1)",
+			ErrVerifyFailed, rec.Links[chain].Key, start))
+		return s, s.err
+	}
+	s.cur = rec
+	return s, nil
+}
+
+// ScanRange opens a verified scan over the chain serving column col,
+// restricted to column values in [lo, hi] (nil bounds are open). For
+// secondary chains the value bounds are translated to composite-key bounds
+// so duplicate column values are all covered.
+func (t *Table) ScanRange(col int, lo, hi *record.Value) (*Scanner, error) {
+	chain := t.ChainFor(col)
+	if chain < 0 {
+		return nil, fmt.Errorf("storage: table %q column %d has no access-method chain", t.name, col)
+	}
+	var bounds ScanBounds
+	if lo != nil {
+		var k record.Key
+		var err error
+		if chain == 0 {
+			k, err = record.KeyOf(*lo)
+		} else {
+			k, err = record.CompositeLow(*lo)
+		}
+		if err != nil {
+			return nil, err
+		}
+		bounds.Start = &k
+	}
+	if hi != nil {
+		var k record.Key
+		var err error
+		if chain == 0 {
+			k, err = record.KeyOf(*hi)
+		} else {
+			k, err = record.CompositeHigh(*hi)
+		}
+		if err != nil {
+			return nil, err
+		}
+		bounds.End = &k
+	}
+	sc, err := t.NewScan(chain, bounds)
+	if err != nil {
+		return nil, err
+	}
+	if chain != 0 && hi != nil {
+		// CompositeHigh is an exclusive bound in chain-key space: the scan
+		// must emit keys strictly below it. NewScan treats End as
+		// inclusive, which is harmless here because CompositeHigh itself
+		// never equals a real composite key (it ends in the bumped
+		// terminator 0x00 0x01, real keys embed 0x00 0x00).
+		_ = sc
+	}
+	return sc, nil
+}
+
+// fail records a verification error and releases the lock.
+func (s *Scanner) fail(err error) {
+	s.err = err
+	s.close()
+}
+
+func (s *Scanner) close() {
+	if !s.closed {
+		s.closed = true
+		s.t.mu.RUnlock()
+	}
+}
+
+// Close releases the scanner's shared table lock. Safe to call repeatedly;
+// exhausting the scan closes it implicitly.
+func (s *Scanner) Close() { s.close() }
+
+// Err returns the verification error that ended the scan, if any.
+func (s *Scanner) Err() error { return s.err }
+
+// Visited returns how many chain records the scan has read (including
+// sentinels and out-of-range boundary records) — the verification
+// overhead metric.
+func (s *Scanner) Visited() int { return s.visited }
+
+// Next returns the next in-range tuple. ok is false when the scan is
+// complete or failed; check Err.
+func (s *Scanner) Next() (record.Tuple, bool, error) {
+	for {
+		if s.err != nil || s.closed || s.cur == nil {
+			return nil, false, s.err
+		}
+		rec := s.cur
+		l := rec.Links[s.chain]
+		s.visited++
+
+		inRange := !rec.IsSentinel() &&
+			l.Key.Compare(s.start) >= 0 && l.Key.Compare(s.end) <= 0
+		var out record.Tuple
+		if inRange {
+			out = rec.Data.Clone()
+		}
+		// Condition (2): once this record's nKey exceeds the range end,
+		// the record itself is the completeness witness for the top of the
+		// range; advance no further.
+		if l.NKey.Compare(s.end) <= 0 {
+			if err := s.step(l.NKey); err != nil {
+				s.fail(err)
+				return nil, false, s.err
+			}
+		} else {
+			s.cur = nil
+			s.close()
+		}
+		if out != nil {
+			return out, true, nil
+		}
+		if s.cur == nil {
+			return nil, false, s.err
+		}
+	}
+}
+
+// step follows the chain to the record keyed nKey and verifies condition
+// (3): the successor's key must equal the predecessor's nKey.
+func (s *Scanner) step(nKey record.Key) error {
+	if nKey.Kind == record.KindTop {
+		s.cur = nil
+		s.close()
+		return nil
+	}
+	loc, ok := s.t.chains[s.chain].Get(nKey.Encode())
+	if !ok {
+		return fmt.Errorf("%w: chain %d broken: no record for nKey %v (condition 3)", ErrVerifyFailed, s.chain, nKey)
+	}
+	rec, err := s.t.fetch(loc)
+	if err != nil {
+		return err
+	}
+	if len(rec.Links) <= s.chain || rec.Links[s.chain].Key.IsNull() || !rec.Links[s.chain].Key.Equal(nKey) {
+		return fmt.Errorf("%w: chain %d discontinuity: expected key %v, got %v (condition 3)",
+			ErrVerifyFailed, s.chain, nKey, rec.Links[s.chain].Key)
+	}
+	s.cur = rec
+	return nil
+}

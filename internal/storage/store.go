@@ -1,0 +1,137 @@
+// Package storage implements VeriDB's page-structured verifiable storage
+// layer (paper §4): relational tables stored as ⟨key, nKey, data⟩ records
+// in write-read consistent memory, with one key chain per access-method
+// column (Definitions 4.2 and 5.2), untrusted B-tree indexes for location
+// lookup, and verified access methods (§5.2) whose results carry
+// single-record presence/absence evidence.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"veridb/internal/record"
+	"veridb/internal/vmem"
+)
+
+// Errors surfaced by the storage layer.
+var (
+	ErrDuplicateKey = errors.New("storage: duplicate primary key")
+	ErrNotFound     = errors.New("storage: no such row")
+	ErrNoSuchTable  = errors.New("storage: no such table")
+	ErrTableExists  = errors.New("storage: table already exists")
+	// ErrVerifyFailed means an access method's ⟨key, nKey⟩ conditions did
+	// not hold: the untrusted index returned a location whose record does
+	// not prove the requested presence/absence (§5.2).
+	ErrVerifyFailed = errors.New("storage: access-method verification failed")
+)
+
+// TableSpec describes a table to create.
+type TableSpec struct {
+	Name   string
+	Schema *record.Schema
+	// PrimaryKey is the primary-key column index; it always has a chain.
+	PrimaryKey int
+	// ChainColumns lists additional column indexes that get ⟨key, nKey⟩
+	// chains (the columns usable as verified search/range keys, §5.3).
+	ChainColumns []int
+}
+
+// Store owns the verifiable storage for a set of tables over one
+// write-read consistent memory.
+type Store struct {
+	mem *vmem.Memory
+
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// NewStore builds a store over mem.
+func NewStore(mem *vmem.Memory) *Store {
+	return &Store{mem: mem, tables: make(map[string]*Table)}
+}
+
+// Memory exposes the underlying write-read consistent memory (for
+// verification control and stats).
+func (s *Store) Memory() *vmem.Memory { return s.mem }
+
+// CreateTable creates a table with its chain sentinels.
+func (s *Store) CreateTable(spec TableSpec) (*Table, error) {
+	if spec.Schema == nil || spec.Schema.Len() == 0 {
+		return nil, fmt.Errorf("storage: table %q needs columns", spec.Name)
+	}
+	if spec.PrimaryKey < 0 || spec.PrimaryKey >= spec.Schema.Len() {
+		return nil, fmt.Errorf("storage: table %q primary key column %d out of range", spec.Name, spec.PrimaryKey)
+	}
+	chainCols := []int{spec.PrimaryKey}
+	seen := map[int]bool{spec.PrimaryKey: true}
+	for _, c := range spec.ChainColumns {
+		if c < 0 || c >= spec.Schema.Len() {
+			return nil, fmt.Errorf("storage: table %q chain column %d out of range", spec.Name, c)
+		}
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		chainCols = append(chainCols, c)
+	}
+	sort.Ints(chainCols[1:])
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[spec.Name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrTableExists, spec.Name)
+	}
+	t, err := newTable(s, spec.Name, spec.Schema, chainCols)
+	if err != nil {
+		return nil, err
+	}
+	s.tables[spec.Name] = t
+	return t, nil
+}
+
+// Table looks a table up by name.
+func (s *Store) Table(name string) (*Table, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	return t, nil
+}
+
+// DropTable removes a table and frees its pages.
+func (s *Store) DropTable(name string) error {
+	s.mu.Lock()
+	t, ok := s.tables[name]
+	if ok {
+		delete(s.tables, name)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoSuchTable, name)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, pid := range t.pages {
+		if err := s.mem.FreePage(pid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TableNames lists tables in lexical order.
+func (s *Store) TableNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,497 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+
+	"veridb/internal/index"
+	"veridb/internal/page"
+	"veridb/internal/record"
+	"veridb/internal/vmem"
+)
+
+// Table is one relational table in the verifiable storage. Every row is
+// stored as a record carrying one ⟨key, nKey⟩ link per chain column; each
+// chain additionally has a ⊥-anchored sentinel record so that absence below
+// the minimum and in an empty table is provable (Definition 4.2, Fig. 6).
+//
+// The mutex serialises structural mutation (chain maintenance and the
+// untrusted indexes); scanners hold it shared for their lifetime so the
+// chain they verify is stable. The expensive verification work (PRF
+// folding) happens inside vmem under its own per-partition RSWS locks.
+type Table struct {
+	store  *Store
+	mem    *vmem.Memory
+	name   string
+	schema *record.Schema
+
+	// chainCols[0] is the primary-key column; the rest are secondary chain
+	// columns in ascending column order.
+	chainCols []int
+
+	mu       tableLock
+	chains   []*index.BTree // chains[i] indexes chain i by encoded key
+	pages    []uint64
+	fill     uint64          // current insertion target page
+	spacious map[uint64]bool // pages with known reclaimable or free space
+	rows     int
+}
+
+func newTable(s *Store, name string, schema *record.Schema, chainCols []int) (*Table, error) {
+	t := &Table{
+		store:     s,
+		mem:       s.mem,
+		name:      name,
+		schema:    schema,
+		chainCols: chainCols,
+		chains:    make([]*index.BTree, len(chainCols)),
+		spacious:  make(map[uint64]bool),
+	}
+	for i := range t.chains {
+		t.chains[i] = index.New()
+	}
+	// One sentinel record per chain: ⟨⊥, ⊤⟩ on its own chain, null links on
+	// the others — two empty key chains, exactly as Fig. 6(a) initialises.
+	for i := range t.chains {
+		links := make([]record.ChainLink, len(chainCols))
+		for j := range links {
+			links[j] = record.ChainLink{Key: record.NullKey(), NKey: record.NullKey()}
+		}
+		links[i] = record.ChainLink{Key: record.Bottom(), NKey: record.Top()}
+		loc, err := t.placeRecord(record.Encode(&record.Record{Links: links}))
+		if err != nil {
+			return nil, fmt.Errorf("storage: creating sentinel for %q chain %d: %w", name, i, err)
+		}
+		t.chains[i].Set(record.Bottom().Encode(), loc)
+	}
+	return t, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *record.Schema { return t.schema }
+
+// PrimaryKeyColumn returns the primary-key column index.
+func (t *Table) PrimaryKeyColumn() int { return t.chainCols[0] }
+
+// ChainColumns returns the chain columns (primary first).
+func (t *Table) ChainColumns() []int {
+	return append([]int(nil), t.chainCols...)
+}
+
+// ChainFor returns the chain index serving column col, or -1.
+func (t *Table) ChainFor(col int) int {
+	for i, c := range t.chainCols {
+		if c == col {
+			return i
+		}
+	}
+	return -1
+}
+
+// RowCount returns the number of data rows (sentinels excluded).
+func (t *Table) RowCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows
+}
+
+// chainKey derives the chain-i key for a tuple: the plain primary key for
+// chain 0, a (value, pk) composite for secondary chains. ok is false when
+// the tuple does not participate (NULL in a secondary chain column).
+func (t *Table) chainKey(i int, tup record.Tuple, pk record.Key) (record.Key, bool, error) {
+	v := tup[t.chainCols[i]]
+	if i == 0 {
+		return pk, true, nil
+	}
+	if v.IsNull() {
+		return record.Key{}, false, nil
+	}
+	k, err := record.CompositeKey(v, pk)
+	if err != nil {
+		return record.Key{}, false, err
+	}
+	return k, true, nil
+}
+
+// placeRecord stores encoded bytes in a page with room, allocating pages as
+// needed, and returns the location.
+func (t *Table) placeRecord(enc []byte) (index.Loc, error) {
+	try := func(pid uint64) (index.Loc, error) {
+		slot, err := t.mem.Insert(pid, enc)
+		if err != nil {
+			return index.Loc{}, err
+		}
+		return index.Loc{Page: pid, Slot: slot}, nil
+	}
+	if t.fill != 0 {
+		if loc, err := try(t.fill); err == nil {
+			return loc, nil
+		} else if !errors.Is(err, page.ErrPageFull) {
+			return index.Loc{}, err
+		}
+	}
+	// Retry a few pages known to have reclaimable space before growing.
+	tried := 0
+	for pid := range t.spacious {
+		if pid == t.fill {
+			delete(t.spacious, pid)
+			continue
+		}
+		loc, err := try(pid)
+		if err == nil {
+			t.fill = pid
+			delete(t.spacious, pid)
+			return loc, nil
+		}
+		if !errors.Is(err, page.ErrPageFull) {
+			return index.Loc{}, err
+		}
+		delete(t.spacious, pid)
+		if tried++; tried >= 4 {
+			break
+		}
+	}
+	pid, err := t.mem.NewPage()
+	if err != nil {
+		return index.Loc{}, err
+	}
+	t.pages = append(t.pages, pid)
+	t.fill = pid
+	return try(pid)
+}
+
+// fetch reads and decodes the record at loc through the protected Get.
+func (t *Table) fetch(loc index.Loc) (*record.Record, error) {
+	raw, err := t.mem.Get(loc.Page, loc.Slot)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := record.Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%w: undecodable record at (%d,%d): %v", ErrVerifyFailed, loc.Page, loc.Slot, err)
+	}
+	return rec, nil
+}
+
+// rewrite stores a mutated record back at loc, relocating it (and fixing
+// every chain index entry) when the grown record no longer fits its page
+// (§4.2: an oversized update performs a delete followed by an insert,
+// possibly on a different page).
+func (t *Table) rewrite(loc index.Loc, rec *record.Record) (index.Loc, error) {
+	enc := record.Encode(rec)
+	err := t.mem.Update(loc.Page, loc.Slot, enc)
+	if err == nil {
+		return loc, nil
+	}
+	if !errors.Is(err, page.ErrPageFull) {
+		return index.Loc{}, err
+	}
+	newLoc, err := t.placeRecord(enc)
+	if err != nil {
+		return index.Loc{}, err
+	}
+	if err := t.mem.Delete(loc.Page, loc.Slot); err != nil {
+		return index.Loc{}, err
+	}
+	t.spacious[loc.Page] = true
+	for i := range t.chains {
+		l := rec.Links[i]
+		if l.Key.IsNull() {
+			continue
+		}
+		t.chains[i].Set(l.Key.Encode(), newLoc)
+	}
+	return newLoc, nil
+}
+
+// setPredNKey updates the chain-i predecessor of key so that its nKey
+// becomes nk. The predecessor is located through the untrusted index and
+// its identity verified against the chain (pred.key < key ≤ pred's old
+// nKey would have held before the mutation this call is part of).
+func (t *Table) setPredNKey(i int, key record.Key, nk record.Key) error {
+	_, loc, ok := t.chains[i].SeekLT(key.Encode())
+	if !ok {
+		return fmt.Errorf("%w: chain %d has no predecessor for %v", ErrVerifyFailed, i, key)
+	}
+	rec, err := t.fetch(loc)
+	if err != nil {
+		return err
+	}
+	if len(rec.Links) != len(t.chains) || rec.Links[i].Key.IsNull() {
+		return fmt.Errorf("%w: chain %d predecessor of %v does not participate", ErrVerifyFailed, i, key)
+	}
+	if rec.Links[i].Key.Compare(key) >= 0 {
+		return fmt.Errorf("%w: chain %d predecessor %v not below %v", ErrVerifyFailed, i, rec.Links[i].Key, key)
+	}
+	rec.Links[i].NKey = nk
+	_, err = t.rewrite(loc, rec)
+	return err
+}
+
+// Insert adds a tuple, maintaining every chain (§4.2 Insert: "identifies
+// the record whose primary key right precedes the current one, and updates
+// its nKey").
+func (t *Table) Insert(tup record.Tuple) error {
+	if err := t.schema.Validate(tup); err != nil {
+		return err
+	}
+	tup = t.schema.Coerce(tup)
+	pk, err := record.KeyOf(tup[t.chainCols[0]])
+	if err != nil {
+		return fmt.Errorf("storage: table %q: %w", t.name, err)
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	// One pass per chain: fetch the predecessor once, capture its current
+	// nKey (the new record's successor) and relink it to the new key —
+	// §4.2's "identifies the record whose primary key right precedes the
+	// current one, and updates its nKey", paid as one verifiable read plus
+	// one verifiable write per chain. Re-seeking per chain keeps this
+	// correct when several chains share one predecessor record.
+	keys := make([]record.Key, len(t.chains))
+	present := make([]bool, len(t.chains))
+	succs := make([]record.Key, len(t.chains))
+	relinked := 0
+	undo := func() {
+		// Restore predecessors updated so far (failure of a later step).
+		for i := 0; i < relinked; i++ {
+			if present[i] {
+				_ = t.setPredNKey(i, keys[i], succs[i])
+			}
+		}
+	}
+	for i := range t.chains {
+		k, ok, err := t.chainKey(i, tup, pk)
+		if err != nil {
+			undo()
+			return err
+		}
+		if !ok {
+			relinked++
+			continue
+		}
+		keys[i], present[i] = k, true
+		pKey, pLoc, found := t.chains[i].SeekLE(k.Encode())
+		if !found {
+			undo()
+			return fmt.Errorf("%w: chain %d missing ⊥ anchor", ErrVerifyFailed, i)
+		}
+		pRec, err := t.fetch(pLoc)
+		if err != nil {
+			undo()
+			return err
+		}
+		if i == 0 && pRec.Links[0].Key.Equal(k) {
+			undo()
+			return fmt.Errorf("%w: %v in table %q", ErrDuplicateKey, tup[t.chainCols[0]], t.name)
+		}
+		if pRec.Links[i].Key.IsNull() {
+			undo()
+			return fmt.Errorf("%w: chain %d anchor at %x does not participate", ErrVerifyFailed, i, pKey)
+		}
+		succs[i] = pRec.Links[i].NKey
+		pRec.Links[i].NKey = k
+		if _, err := t.rewrite(pLoc, pRec); err != nil {
+			undo()
+			return err
+		}
+		relinked++
+	}
+
+	links := make([]record.ChainLink, len(t.chains))
+	for i := range links {
+		if present[i] {
+			links[i] = record.ChainLink{Key: keys[i], NKey: succs[i]}
+		} else {
+			links[i] = record.ChainLink{Key: record.NullKey(), NKey: record.NullKey()}
+		}
+	}
+	loc, err := t.placeRecord(record.Encode(&record.Record{Links: links, Data: tup}))
+	if err != nil {
+		undo()
+		return err
+	}
+	for i := range t.chains {
+		if present[i] {
+			t.chains[i].Set(keys[i].Encode(), loc)
+		}
+	}
+	t.rows++
+	return nil
+}
+
+// Delete removes the row with the given primary-key value (§4.2 Delete:
+// unlink from every chain, then drop the record; space reclamation is
+// deferred to the verification scan).
+func (t *Table) Delete(pkVal record.Value) error {
+	pk, err := record.KeyOf(pkVal)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.deleteLocked(pk)
+}
+
+func (t *Table) deleteLocked(pk record.Key) error {
+	loc, ok := t.chains[0].Get(pk.Encode())
+	if !ok {
+		return fmt.Errorf("%w: primary key %v in %q", ErrNotFound, pk, t.name)
+	}
+	rec, err := t.fetch(loc)
+	if err != nil {
+		return err
+	}
+	if !rec.Links[0].Key.Equal(pk) {
+		return fmt.Errorf("%w: index pointed %v at record keyed %v", ErrVerifyFailed, pk, rec.Links[0].Key)
+	}
+	// Unlink from every chain the record participates in.
+	for i := range t.chains {
+		l := rec.Links[i]
+		if l.Key.IsNull() {
+			continue
+		}
+		if err := t.setPredNKey(i, l.Key, l.NKey); err != nil {
+			return err
+		}
+	}
+	// The predecessor rewrites may have relocated this record; re-resolve.
+	loc, ok = t.chains[0].Get(pk.Encode())
+	if !ok {
+		return fmt.Errorf("%w: record vanished during delete", ErrVerifyFailed)
+	}
+	for i := range t.chains {
+		if l := rec.Links[i]; !l.Key.IsNull() {
+			t.chains[i].Delete(l.Key.Encode())
+		}
+	}
+	if err := t.mem.Delete(loc.Page, loc.Slot); err != nil {
+		return err
+	}
+	t.spacious[loc.Page] = true
+	t.rows--
+	return nil
+}
+
+// UpdateFunc atomically reads the row with the given primary key, applies
+// mutate to a copy, and writes the result back, all under the table's
+// write lock — the read-modify-write primitive transactional workloads
+// need (lost updates are otherwise possible between SearchPK and Update).
+// Chain-key columns must not change; use Update for key-changing writes.
+func (t *Table) UpdateFunc(pkVal record.Value, mutate func(record.Tuple) (record.Tuple, error)) error {
+	pk, err := record.KeyOf(pkVal)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	loc, ok := t.chains[0].Get(pk.Encode())
+	if !ok {
+		return fmt.Errorf("%w: primary key %v in %q", ErrNotFound, pkVal, t.name)
+	}
+	rec, err := t.fetch(loc)
+	if err != nil {
+		return err
+	}
+	newTup, err := mutate(rec.Data.Clone())
+	if err != nil {
+		return err
+	}
+	if err := t.schema.Validate(newTup); err != nil {
+		return err
+	}
+	newTup = t.schema.Coerce(newTup)
+	newPK, err := record.KeyOf(newTup[t.chainCols[0]])
+	if err != nil {
+		return err
+	}
+	if !newPK.Equal(pk) {
+		return fmt.Errorf("storage: UpdateFunc on %q changed chain column %q",
+			t.name, t.schema.Columns[t.chainCols[0]].Name)
+	}
+	for i := 1; i < len(t.chains); i++ {
+		nk, ok, err := t.chainKey(i, newTup, pk)
+		if err != nil {
+			return err
+		}
+		old := rec.Links[i]
+		same := (!ok && old.Key.IsNull()) || (ok && !old.Key.IsNull() && nk.Equal(old.Key))
+		if !same {
+			return fmt.Errorf("storage: UpdateFunc on %q changed chain column %q",
+				t.name, t.schema.Columns[t.chainCols[i]].Name)
+		}
+	}
+	rec.Data = newTup
+	_, err = t.rewrite(loc, rec)
+	return err
+}
+
+// Update replaces the row with the given primary key by newTup. When no
+// chain key changes, the data field is rewritten in place (§4.2 Update:
+// "there is no need to update the key chain"); otherwise the row is
+// deleted and re-inserted.
+func (t *Table) Update(pkVal record.Value, newTup record.Tuple) error {
+	if err := t.schema.Validate(newTup); err != nil {
+		return err
+	}
+	newTup = t.schema.Coerce(newTup)
+	pk, err := record.KeyOf(pkVal)
+	if err != nil {
+		return err
+	}
+
+	t.mu.Lock()
+	loc, ok := t.chains[0].Get(pk.Encode())
+	if !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: primary key %v in %q", ErrNotFound, pkVal, t.name)
+	}
+	rec, err := t.fetch(loc)
+	if err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	newPK, err := record.KeyOf(newTup[t.chainCols[0]])
+	if err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	sameKeys := newPK.Equal(pk)
+	if sameKeys {
+		for i := 1; i < len(t.chains) && sameKeys; i++ {
+			nk, ok, err := t.chainKey(i, newTup, newPK)
+			if err != nil {
+				t.mu.Unlock()
+				return err
+			}
+			old := rec.Links[i]
+			switch {
+			case !ok && old.Key.IsNull():
+			case ok && !old.Key.IsNull() && nk.Equal(old.Key):
+			default:
+				sameKeys = false
+			}
+		}
+	}
+	if sameKeys {
+		rec.Data = newTup
+		_, err = t.rewrite(loc, rec)
+		t.mu.Unlock()
+		return err
+	}
+	// Chain keys changed: delete + insert (possibly on a different page).
+	if err := t.deleteLocked(pk); err != nil {
+		t.mu.Unlock()
+		return err
+	}
+	t.mu.Unlock()
+	if err := t.Insert(newTup); err != nil {
+		return fmt.Errorf("storage: update of %v lost its row on re-insert: %w", pkVal, err)
+	}
+	return nil
+}

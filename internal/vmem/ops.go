@@ -1,0 +1,464 @@
+package vmem
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"veridb/internal/page"
+	"veridb/internal/sethash"
+)
+
+// metaSnapshot captures a page's metadata cells (header + line pointers)
+// before a mutating operation. Folding the before/after difference into the
+// read/write sets keeps metadata verification correct even when the slotted
+// page compacts internally and relocates many records at once.
+type metaSnapshot struct {
+	hdr  []byte
+	ptrs [][]byte // indexed by slot; nil beyond the directory
+}
+
+// snapshotMeta copies the page's metadata cells. vp.mu must be held.
+func (vp *vPage) snapshotMeta() metaSnapshot {
+	s := metaSnapshot{hdr: append([]byte(nil), vp.headerBytes()...)}
+	n := vp.p.SlotCount()
+	s.ptrs = make([][]byte, n)
+	for i := 0; i < n; i++ {
+		s.ptrs[i] = append([]byte(nil), vp.p.SlotPointerBytes(i)...)
+	}
+	return s
+}
+
+// ptrLive reports whether a line-pointer image references a record (offset
+// zero marks dead and never-used slots).
+func ptrLive(ptr []byte) bool {
+	return len(ptr) >= 4 && binary.LittleEndian.Uint32(ptr) != 0
+}
+
+// foldMetaDiff records every metadata-cell transition between snap and the
+// page's current state. A pointer cell is a member of the verified set
+// while its slot is live; the header cell is always a member. Callers must
+// hold vp.mu and part.mu and pass the accumulators chosen by epochSets.
+func (m *Memory) foldMetaDiff(vp *vPage, snap metaSnapshot, rs, ws *sethash.Accumulator) {
+	newHdr := vp.headerBytes()
+	if !bytes.Equal(snap.hdr, newHdr) {
+		hr := m.prf(HeaderAddr(vp.id), vp.hver, snap.hdr)
+		rs.AddDigest(&hr)
+		vp.hver++
+		hw := m.prf(HeaderAddr(vp.id), vp.hver, newHdr)
+		ws.AddDigest(&hw)
+	}
+	n := vp.p.SlotCount()
+	if len(snap.ptrs) > n {
+		n = len(snap.ptrs)
+	}
+	for s := 0; s < n; s++ {
+		var oldPtr []byte
+		if s < len(snap.ptrs) {
+			oldPtr = snap.ptrs[s]
+		}
+		newPtr := vp.p.SlotPointerBytes(s) // nil beyond the directory
+		oldLive, newLive := ptrLive(oldPtr), ptrLive(newPtr)
+		if !oldLive && !newLive {
+			continue
+		}
+		vp.ensureVers(s)
+		switch {
+		case oldLive && !newLive: // slot died: read the image out of the set
+			mr := m.prf(MetaAddr(vp.id, s), vp.mver[s], oldPtr)
+			rs.AddDigest(&mr)
+		case !oldLive && newLive: // slot born: write the image into the set
+			vp.mver[s]++
+			mw := m.prf(MetaAddr(vp.id, s), vp.mver[s], newPtr)
+			ws.AddDigest(&mw)
+		case !bytes.Equal(oldPtr, newPtr): // relocated within the page
+			mr := m.prf(MetaAddr(vp.id, s), vp.mver[s], oldPtr)
+			rs.AddDigest(&mr)
+			vp.mver[s]++
+			mw := m.prf(MetaAddr(vp.id, s), vp.mver[s], newPtr)
+			ws.AddDigest(&mw)
+		}
+	}
+}
+
+// foldMetaSolo records a page's metadata transitions against snap under the
+// RSWS lock. It is used on failure paths of mutating operations: a
+// page-level Insert or Update that returns ErrPageFull may nevertheless
+// have compacted the page and relocated records, and that movement must
+// enter the sets. vp.mu must be held.
+func (m *Memory) foldMetaSolo(vp *vPage, snap metaSnapshot) {
+	part := m.part(vp.id)
+	part.mu.Lock()
+	rs, ws := m.epochSets(part, vp)
+	m.foldMetaDiff(vp, snap, rs, ws)
+	part.mu.Unlock()
+	vp.touched = true
+}
+
+// Get reads the record in (pageID, slot) through the protected interface
+// (Alg. 1 Read): the read is folded into h(RS) and a virtual write-back of
+// the same data, at the next version, into h(WS). The returned slice is a
+// private copy.
+func (m *Memory) Get(pageID uint64, slot int) ([]byte, error) {
+	vp, err := m.lookup(pageID)
+	if err != nil {
+		return nil, err
+	}
+	vp.mu.Lock()
+	data, err := vp.p.Get(slot)
+	if err != nil {
+		vp.mu.Unlock()
+		return nil, err
+	}
+	out := append([]byte(nil), data...)
+	if m.cfg.Mode == ModeRSWS {
+		m.ops.Add(1)
+		part := m.part(pageID)
+		part.mu.Lock()
+		rs, ws := m.epochSets(part, vp)
+		vp.ensureVers(slot)
+		dr := m.prf(CellAddr(pageID, slot), vp.vers[slot], data)
+		rs.AddDigest(&dr) // the read (Alg. 1 line 3)
+		vp.vers[slot]++
+		dw := m.prf(CellAddr(pageID, slot), vp.vers[slot], data)
+		ws.AddDigest(&dw) // virtual write-back (Alg. 1 line 5)
+		if m.cfg.VerifyMetadata {
+			// The offset lookup is itself a verifiable read of the
+			// line-pointer cell (§4.2: Get performs two verifiable reads).
+			ptr := vp.p.SlotPointerBytes(slot)
+			mr := m.prf(MetaAddr(pageID, slot), vp.mver[slot], ptr)
+			rs.AddDigest(&mr)
+			vp.mver[slot]++
+			mw := m.prf(MetaAddr(pageID, slot), vp.mver[slot], ptr)
+			ws.AddDigest(&mw)
+		}
+		part.mu.Unlock()
+		vp.touched = true
+	}
+	vp.mu.Unlock()
+	m.maybePace()
+	return out, nil
+}
+
+// Insert stores rec in the page and returns its slot (§4.2 Insert, minus
+// the key-chain maintenance, which the storage layer performs with further
+// protected calls). The new cell enters h(WS); a freshly allocated cell has
+// no read side.
+func (m *Memory) Insert(pageID uint64, rec []byte) (int, error) {
+	vp, err := m.lookup(pageID)
+	if err != nil {
+		return 0, err
+	}
+	vp.mu.Lock()
+	track := m.cfg.Mode == ModeRSWS
+	var snap metaSnapshot
+	if track && m.cfg.VerifyMetadata {
+		snap = vp.snapshotMeta()
+	}
+	slot, err := vp.p.Insert(rec)
+	if err != nil {
+		if track && m.cfg.VerifyMetadata {
+			m.foldMetaSolo(vp, snap)
+		}
+		vp.mu.Unlock()
+		return 0, err
+	}
+	if track {
+		m.ops.Add(1)
+		part := m.part(pageID)
+		part.mu.Lock()
+		rs, ws := m.epochSets(part, vp)
+		vp.ensureVers(slot)
+		// Versions are never reset on slot reuse: the multiset must not
+		// contain duplicate (addr, ver, data) elements across lifetimes.
+		vp.vers[slot]++
+		dw := m.prf(CellAddr(pageID, slot), vp.vers[slot], rec)
+		ws.AddDigest(&dw)
+		if m.cfg.VerifyMetadata {
+			m.foldMetaDiff(vp, snap, rs, ws)
+		}
+		part.mu.Unlock()
+		vp.touched = true
+	}
+	vp.mu.Unlock()
+	m.maybePace()
+	return slot, nil
+}
+
+// Update overwrites the record in (pageID, slot) (Alg. 1 Write): the old
+// image enters h(RS), the new image h(WS). If the new record does not fit
+// the page, page.ErrPageFull is returned and the caller relocates (§4.2).
+func (m *Memory) Update(pageID uint64, slot int, rec []byte) error {
+	vp, err := m.lookup(pageID)
+	if err != nil {
+		return err
+	}
+	vp.mu.Lock()
+	defer vp.mu.Unlock()
+	old, err := vp.p.Get(slot)
+	if err != nil {
+		return err
+	}
+	track := m.cfg.Mode == ModeRSWS
+	var oldCopy []byte
+	var snap metaSnapshot
+	if track {
+		oldCopy = append([]byte(nil), old...)
+		if m.cfg.VerifyMetadata {
+			snap = vp.snapshotMeta()
+		}
+	}
+	if err := vp.p.Update(slot, rec); err != nil {
+		if track && m.cfg.VerifyMetadata {
+			m.foldMetaSolo(vp, snap)
+		}
+		return err
+	}
+	if track {
+		m.ops.Add(1)
+		part := m.part(pageID)
+		part.mu.Lock()
+		rs, ws := m.epochSets(part, vp)
+		vp.ensureVers(slot)
+		dr := m.prf(CellAddr(pageID, slot), vp.vers[slot], oldCopy)
+		rs.AddDigest(&dr)
+		vp.vers[slot]++
+		dw := m.prf(CellAddr(pageID, slot), vp.vers[slot], rec)
+		ws.AddDigest(&dw)
+		if m.cfg.VerifyMetadata {
+			m.foldMetaDiff(vp, snap, rs, ws)
+		}
+		part.mu.Unlock()
+		vp.touched = true
+	}
+	m.maybePace()
+	return nil
+}
+
+// Delete removes the record in (pageID, slot) (§4.2 Delete): the final
+// image is read out into h(RS) and the cell leaves the verified set. Space
+// reclamation is deferred to the verification scan unless EagerCompaction
+// is configured (§4.3 "Compact page during verification").
+func (m *Memory) Delete(pageID uint64, slot int) error {
+	vp, err := m.lookup(pageID)
+	if err != nil {
+		return err
+	}
+	vp.mu.Lock()
+	defer vp.mu.Unlock()
+	old, err := vp.p.Get(slot)
+	if err != nil {
+		return err
+	}
+	track := m.cfg.Mode == ModeRSWS
+	var oldCopy []byte
+	var snap metaSnapshot
+	if track {
+		oldCopy = append([]byte(nil), old...)
+		if m.cfg.VerifyMetadata {
+			snap = vp.snapshotMeta()
+		}
+	}
+	if err := vp.p.Delete(slot); err != nil {
+		return err
+	}
+	if m.cfg.EagerCompaction {
+		// Ablation configuration: pay the record-relocation cost on every
+		// delete instead of at scan time.
+		vp.p.Compact()
+	}
+	if track {
+		m.ops.Add(1)
+		part := m.part(pageID)
+		part.mu.Lock()
+		rs, ws := m.epochSets(part, vp)
+		vp.ensureVers(slot)
+		dr := m.prf(CellAddr(pageID, slot), vp.vers[slot], oldCopy)
+		rs.AddDigest(&dr)
+		if m.cfg.VerifyMetadata {
+			m.foldMetaDiff(vp, snap, rs, ws)
+		}
+		part.mu.Unlock()
+		vp.touched = true
+	}
+	m.maybePace()
+	return nil
+}
+
+// Move atomically relocates a record to another page (§4.2 Move): the
+// source cell is read out of the verified set and the image re-enters it at
+// the destination, all under the protection of both page locks so the
+// evidence record is never absent from the verified set mid-move.
+func (m *Memory) Move(srcPage uint64, srcSlot int, dstPage uint64) (int, error) {
+	if srcPage == dstPage {
+		return srcSlot, nil
+	}
+	src, err := m.lookup(srcPage)
+	if err != nil {
+		return 0, err
+	}
+	dst, err := m.lookup(dstPage)
+	if err != nil {
+		return 0, err
+	}
+	// Lock in ID order to avoid deadlock with concurrent moves.
+	first, second := src, dst
+	if first.id > second.id {
+		first, second = second, first
+	}
+	first.mu.Lock()
+	defer first.mu.Unlock()
+	second.mu.Lock()
+	defer second.mu.Unlock()
+
+	data, err := src.p.Get(srcSlot)
+	if err != nil {
+		return 0, err
+	}
+	rec := append([]byte(nil), data...)
+	track := m.cfg.Mode == ModeRSWS
+	var srcSnap, dstSnap metaSnapshot
+	if track && m.cfg.VerifyMetadata {
+		srcSnap = src.snapshotMeta()
+		dstSnap = dst.snapshotMeta()
+	}
+	dstSlot, err := dst.p.Insert(rec)
+	if err != nil {
+		if track && m.cfg.VerifyMetadata {
+			m.foldMetaSolo(dst, dstSnap)
+		}
+		return 0, err
+	}
+	if err := src.p.Delete(srcSlot); err != nil {
+		// Roll back the insert; the move must be atomic.
+		_ = dst.p.Delete(dstSlot)
+		if track && m.cfg.VerifyMetadata {
+			m.foldMetaSolo(dst, dstSnap)
+		}
+		return 0, err
+	}
+	if track {
+		m.ops.Add(1)
+		// Source partition: read-out.
+		sp := m.part(srcPage)
+		sp.mu.Lock()
+		rs, ws := m.epochSets(sp, src)
+		src.ensureVers(srcSlot)
+		dr := m.prf(CellAddr(srcPage, srcSlot), src.vers[srcSlot], rec)
+		rs.AddDigest(&dr)
+		if m.cfg.VerifyMetadata {
+			m.foldMetaDiff(src, srcSnap, rs, ws)
+		}
+		sp.mu.Unlock()
+		src.touched = true
+		// Destination partition: write-in.
+		dp := m.part(dstPage)
+		dp.mu.Lock()
+		rs, ws = m.epochSets(dp, dst)
+		dst.ensureVers(dstSlot)
+		dst.vers[dstSlot]++
+		dw := m.prf(CellAddr(dstPage, dstSlot), dst.vers[dstSlot], rec)
+		ws.AddDigest(&dw)
+		if m.cfg.VerifyMetadata {
+			m.foldMetaDiff(dst, dstSnap, rs, ws)
+		}
+		dp.mu.Unlock()
+		dst.touched = true
+	}
+	m.maybePace()
+	return dstSlot, nil
+}
+
+// PageInfo describes a page's space situation; the storage layer uses it to
+// choose insertion targets. Reading it is an untracked metadata access: the
+// worst a lying header can cause is wasted space, not an integrity breach
+// (§4.3).
+type PageInfo struct {
+	ContiguousFree int
+	Reclaimable    int
+	LiveRecords    int
+	SlotCount      int
+}
+
+// Info returns space accounting for a page.
+func (m *Memory) Info(pageID uint64) (PageInfo, error) {
+	vp, err := m.lookup(pageID)
+	if err != nil {
+		return PageInfo{}, err
+	}
+	vp.mu.Lock()
+	defer vp.mu.Unlock()
+	return PageInfo{
+		ContiguousFree: vp.p.ContiguousFree(),
+		Reclaimable:    vp.p.ReclaimableBytes(),
+		LiveRecords:    vp.p.LiveRecords(),
+		SlotCount:      vp.p.SlotCount(),
+	}, nil
+}
+
+// Slots invokes fn for every live record in the page without tracking the
+// reads (for recovery, debugging and higher-layer scans of their own state;
+// query-path reads must use Get). Records are copied.
+func (m *Memory) Slots(pageID uint64, fn func(slot int, rec []byte) bool) error {
+	vp, err := m.lookup(pageID)
+	if err != nil {
+		return err
+	}
+	vp.mu.Lock()
+	defer vp.mu.Unlock()
+	vp.p.Slots(func(slot int, rec []byte) bool {
+		return fn(slot, append([]byte(nil), rec...))
+	})
+	return nil
+}
+
+// PageIDs returns a snapshot of all registered page IDs (unordered).
+func (m *Memory) PageIDs() []uint64 {
+	var ids []uint64
+	for _, part := range m.parts {
+		part.pagesMu.RLock()
+		for id := range part.pages {
+			ids = append(ids, id)
+		}
+		part.pagesMu.RUnlock()
+	}
+	return ids
+}
+
+// TamperRecord mutates a record's bytes in place, bypassing every protected
+// interface — the adversary of §3.1 writing directly to host memory. The
+// read/write sets are deliberately not updated; verification must detect
+// the divergence.
+func (m *Memory) TamperRecord(pageID uint64, slot int, data []byte) error {
+	vp, err := m.lookup(pageID)
+	if err != nil {
+		return err
+	}
+	vp.mu.Lock()
+	defer vp.mu.Unlock()
+	old, err := vp.p.Get(slot)
+	if err != nil {
+		return err
+	}
+	if len(data) > len(old) {
+		return fmt.Errorf("vmem: tamper payload %d bytes exceeds record %d", len(data), len(old))
+	}
+	copy(old, data) // old aliases the page buffer
+	return nil
+}
+
+// TamperVersion corrupts the untrusted version ledger for a cell; the PRF
+// covers versions, so this too must be detected.
+func (m *Memory) TamperVersion(pageID uint64, slot int, ver uint64) error {
+	vp, err := m.lookup(pageID)
+	if err != nil {
+		return err
+	}
+	vp.mu.Lock()
+	defer vp.mu.Unlock()
+	vp.ensureVers(slot)
+	vp.vers[slot] = ver
+	return nil
+}
+
+var _ = page.ErrPageFull // callers match on page-layer errors

@@ -1,0 +1,275 @@
+package vmem
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"veridb/internal/sethash"
+)
+
+// scanPage performs the Alg. 2 inner loop on one page: every live cell is
+// read into the current epoch's ReadSet and written into the next epoch's
+// WriteSet. Only this page is locked while it happens (§4.1: "only the page
+// that is currently being scanned is locked"). When deferred compaction is
+// enabled, space reclamation rides along with the scan (§4.3).
+//
+// Untouched pages take the fast path of the touched-page optimisation
+// (§4.3): their content digest from the previous scan is carried forward
+// without re-hashing a single byte.
+func (m *Memory) scanPage(part *partition, vp *vPage) {
+	vp.mu.Lock()
+	defer vp.mu.Unlock()
+	// Epoch and scannedEpoch are only written by scanners, which scanMu
+	// serialises, so the scanner may read them without the RSWS lock.
+	if vp.scannedEpoch == part.epoch {
+		return
+	}
+	if !m.cfg.FullScan && !vp.touched {
+		part.mu.Lock()
+		part.rsCur.AddDigest(&vp.resident)
+		part.wsNext.AddDigest(&vp.resident)
+		vp.scannedEpoch = part.epoch
+		part.mu.Unlock()
+		m.fastScans.Add(1)
+		return
+	}
+	// Compaction as a side task of the scan: the page is locked and about
+	// to be fully read anyway.
+	if !m.cfg.NoScanCompaction && !m.cfg.EagerCompaction && vp.p.ReclaimableBytes() > 0 {
+		if m.cfg.VerifyMetadata {
+			snap := vp.snapshotMeta()
+			vp.p.Compact()
+			part.mu.Lock()
+			// Not yet marked scanned, so the relocation transitions belong
+			// to the current epoch.
+			rs, ws := m.epochSets(part, vp)
+			m.foldMetaDiff(vp, snap, rs, ws)
+			part.mu.Unlock()
+		} else {
+			vp.p.Compact()
+		}
+	}
+	// Hash every live cell. The page lock freezes the content, so the
+	// (expensive) PRF evaluations can happen outside the RSWS lock; only
+	// the final fold contends.
+	var resident sethash.Digest
+	vp.p.Slots(func(slot int, rec []byte) bool {
+		vp.ensureVers(slot)
+		d := m.prf(CellAddr(vp.id, slot), vp.vers[slot], rec)
+		resident.XOR(&d)
+		if m.cfg.VerifyMetadata {
+			md := m.prf(MetaAddr(vp.id, slot), vp.mver[slot], vp.p.SlotPointerBytes(slot))
+			resident.XOR(&md)
+		}
+		return true
+	})
+	if m.cfg.VerifyMetadata {
+		hd := m.prf(HeaderAddr(vp.id), vp.hver, vp.headerBytes())
+		resident.XOR(&hd)
+	}
+	part.mu.Lock()
+	part.rsCur.AddDigest(&resident)  // Alg. 2 line 6
+	part.wsNext.AddDigest(&resident) // Alg. 2 line 7
+	vp.scannedEpoch = part.epoch
+	part.mu.Unlock()
+	vp.resident = resident
+	vp.touched = false
+	m.scans.Add(1)
+}
+
+// rotate closes the partition's epoch: the read and write sets must now
+// hash the same multiset (Alg. 2 line 9); any divergence is evidence of
+// tampering and raises a sticky alarm. The next-epoch accumulators become
+// current.
+func (m *Memory) rotate(part *partition) error {
+	part.mu.Lock()
+	ok := part.rsCur.Equal(&part.wsCur)
+	rsSum, wsSum := part.rsCur.Sum(), part.wsCur.Sum()
+	epoch := part.epoch
+	part.rsCur = part.rsNext
+	part.wsCur = part.wsNext
+	part.rsNext.Reset()
+	part.wsNext.Reset()
+	part.epoch++
+	part.scanning = false
+	part.mu.Unlock()
+	m.rotations.Add(1)
+	if !ok {
+		err := fmt.Errorf("%w: epoch %d, h(RS)=%v != h(WS)=%v",
+			ErrTamperDetected, epoch, rsSum, wsSum)
+		m.raiseAlarm(err)
+		return err
+	}
+	return nil
+}
+
+// partitionPageIDs snapshots the partition's registered pages.
+func (part *partition) pageIDSnapshot() []uint64 {
+	part.pagesMu.RLock()
+	ids := make([]uint64, 0, len(part.pages))
+	for id := range part.pages {
+		ids = append(ids, id)
+	}
+	part.pagesMu.RUnlock()
+	return ids
+}
+
+func (part *partition) lookupLocal(id uint64) *vPage {
+	part.pagesMu.RLock()
+	vp := part.pages[id]
+	part.pagesMu.RUnlock()
+	return vp
+}
+
+// scanPartition runs one complete verification pass over a partition and
+// rotates its epoch, returning the tamper alarm if the sets diverged.
+func (m *Memory) scanPartition(part *partition) error {
+	part.scanMu.Lock()
+	defer part.scanMu.Unlock()
+	part.mu.Lock()
+	part.scanning = true
+	part.mu.Unlock()
+	for _, id := range part.pageIDSnapshot() {
+		if vp := part.lookupLocal(id); vp != nil {
+			m.scanPage(part, vp)
+		}
+	}
+	return m.rotate(part)
+}
+
+// VerifyAll runs a full verification pass over every partition and returns
+// the first tamper alarm encountered (all partitions are still scanned, so
+// every epoch rotates). Callers running a background verifier should stop
+// it first; otherwise VerifyAll waits for in-flight partition passes.
+func (m *Memory) VerifyAll() error {
+	var first error
+	for _, part := range m.parts {
+		if err := m.scanPartition(part); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// verifier is the non-quiescent background verification thread (§6.1: "the
+// background verification thread always running, and perform a memory scan
+// after x operations"). Each batch of opsPerScan protected operations
+// triggers the scan of one page; completing a pass over a partition rotates
+// its epoch.
+type verifier struct {
+	opsPerScan uint64
+	opsSince   atomic.Uint64
+	kick       chan struct{}
+	stop       chan struct{}
+	done       chan struct{}
+}
+
+// StartVerifier launches the background verifier. opsPerPageScan is the
+// Fig. 10 x-axis: one page is scanned per that many protected operations.
+// It panics if a verifier is already running.
+func (m *Memory) StartVerifier(opsPerPageScan int) {
+	if opsPerPageScan <= 0 {
+		opsPerPageScan = 1
+	}
+	v := &verifier{
+		opsPerScan: uint64(opsPerPageScan),
+		kick:       make(chan struct{}, 4096),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	if !m.verifier.CompareAndSwap(nil, v) {
+		panic("vmem: verifier already running")
+	}
+	go m.verifierLoop(v)
+}
+
+// StopVerifier signals the background verifier, waits for it to finish its
+// current partition pass (so no epoch is left half-scanned), and returns.
+func (m *Memory) StopVerifier() {
+	v := m.verifier.Load()
+	if v == nil {
+		return
+	}
+	close(v.stop)
+	<-v.done
+	m.verifier.Store(nil)
+}
+
+// maybePace is called after every protected operation; it wakes the
+// verifier once per opsPerScan operations.
+func (m *Memory) maybePace() {
+	v := m.verifier.Load()
+	if v == nil {
+		return
+	}
+	if v.opsSince.Add(1)%v.opsPerScan == 0 {
+		select {
+		case v.kick <- struct{}{}:
+		default: // verifier is behind; dropping a kick only delays detection
+		}
+	}
+}
+
+// verifierLoop drives paced scanning: one page per kick, rotating a
+// partition's epoch whenever its pass completes, then moving to the next
+// partition. On stop it completes the in-flight pass so locks and epoch
+// state end balanced.
+func (m *Memory) verifierLoop(v *verifier) {
+	defer close(v.done)
+	pi := 0
+	var pending []uint64
+	inPass := false
+	part := m.parts[0]
+
+	startPass := func() {
+		part = m.parts[pi]
+		part.scanMu.Lock()
+		part.mu.Lock()
+		part.scanning = true
+		part.mu.Unlock()
+		pending = part.pageIDSnapshot()
+		inPass = true
+	}
+	step := func() {
+		if !inPass {
+			startPass()
+		}
+		if len(pending) > 0 {
+			id := pending[0]
+			pending = pending[1:]
+			if vp := part.lookupLocal(id); vp != nil {
+				m.scanPage(part, vp)
+			}
+		}
+		if len(pending) == 0 {
+			_ = m.rotate(part) // alarm recorded; background pass keeps going
+			part.scanMu.Unlock()
+			inPass = false
+			pi = (pi + 1) % len(m.parts)
+		}
+	}
+	finishPass := func() {
+		if !inPass {
+			return
+		}
+		for _, id := range pending {
+			if vp := part.lookupLocal(id); vp != nil {
+				m.scanPage(part, vp)
+			}
+		}
+		pending = nil
+		_ = m.rotate(part)
+		part.scanMu.Unlock()
+		inPass = false
+	}
+
+	for {
+		select {
+		case <-v.stop:
+			finishPass()
+			return
+		case <-v.kick:
+			step()
+		}
+	}
+}

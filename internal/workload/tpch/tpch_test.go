@@ -1,0 +1,181 @@
+package tpch
+
+import (
+	"math"
+	"testing"
+
+	"veridb/internal/core"
+	"veridb/internal/plan"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(100, 10, 42)
+	b := Generate(100, 10, 42)
+	if len(a.Lineitems) != 100 || len(a.Parts) != 10 {
+		t.Fatalf("sizes %d/%d", len(a.Lineitems), len(a.Parts))
+	}
+	for i := range a.Lineitems {
+		if a.Lineitems[i] != b.Lineitems[i] {
+			t.Fatalf("lineitem %d differs across same-seed runs", i)
+		}
+	}
+	c := Generate(100, 10, 43)
+	same := true
+	for i := range a.Lineitems {
+		if a.Lineitems[i] != c.Lineitems[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestGeneratedDomains(t *testing.T) {
+	d := Generate(2000, 100, 7)
+	for _, l := range d.Lineitems {
+		if l.Quantity < 1 || l.Quantity > 50 {
+			t.Fatalf("quantity %v out of range", l.Quantity)
+		}
+		if l.Discount < 0 || l.Discount > 0.10 {
+			t.Fatalf("discount %v out of range", l.Discount)
+		}
+		if l.ShipDate < 0 || l.ShipDate > LastShipDay {
+			t.Fatalf("shipdate %d out of range", l.ShipDate)
+		}
+		if l.PartKey < 1 || l.PartKey > 100 {
+			t.Fatalf("partkey %d out of range", l.PartKey)
+		}
+	}
+	for _, p := range d.Parts {
+		if p.Size < 1 || p.Size > 50 {
+			t.Fatalf("size %d out of range", p.Size)
+		}
+	}
+}
+
+func TestSelectivitiesRoughlyTPCH(t *testing.T) {
+	d := Generate(20000, 600, 3)
+	// Q1 covers nearly all of lineitem.
+	q1rows := RefQ1(d)
+	var q1n int64
+	for _, r := range q1rows {
+		q1n += r.Count
+	}
+	if frac := float64(q1n) / 20000; frac < 0.9 {
+		t.Fatalf("Q1 selectivity %.3f, want ≈0.96", frac)
+	}
+	// Q6 covers a small slice.
+	var q6n int
+	for _, l := range d.Lineitems {
+		if l.ShipDate >= Q6StartDay && l.ShipDate < Q6StartDay+365 &&
+			l.Discount >= 0.05 && l.Discount <= 0.07 && l.Quantity < 24 {
+			q6n++
+		}
+	}
+	if frac := float64(q6n) / 20000; frac < 0.002 || frac > 0.06 {
+		t.Fatalf("Q6 selectivity %.4f, want around 0.02", frac)
+	}
+	// Q19 matches something but not much.
+	if rev := RefQ19(d); rev <= 0 {
+		t.Fatal("Q19 reference selected nothing; dataset too small or wrong domains")
+	}
+}
+
+// TestQueriesAgainstVeriDB is the linchpin: VeriDB's answers for Q1, Q6
+// and Q19 must equal the straight-Go reference over the same data, for
+// every join plan Fig. 12 compares.
+func TestQueriesAgainstVeriDB(t *testing.T) {
+	d := Generate(3000, 100, 11)
+	db, err := core.Open(core.Config{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for _, ddl := range CreateTablesSQL() {
+		if _, err := db.Execute(ddl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := Load(db.Store(), d); err != nil {
+		t.Fatal(err)
+	}
+
+	approx := func(a, b float64) bool {
+		if a == b {
+			return true
+		}
+		diff := math.Abs(a - b)
+		return diff/math.Max(math.Abs(a), math.Abs(b)) < 1e-9
+	}
+
+	// Q1
+	res, err := db.Execute(Q1SQL())
+	if err != nil {
+		t.Fatalf("Q1: %v", err)
+	}
+	ref := RefQ1(d)
+	if len(res.Rows) != len(ref) {
+		t.Fatalf("Q1 groups: got %d want %d", len(res.Rows), len(ref))
+	}
+	for i, r := range res.Rows {
+		w := ref[i]
+		if r[0].S != w.ReturnFlag || r[1].S != w.LineStatus {
+			t.Fatalf("Q1 row %d keys (%s,%s) want (%s,%s)", i, r[0].S, r[1].S, w.ReturnFlag, w.LineStatus)
+		}
+		got := []float64{r[2].F, r[3].F, r[4].F, r[5].F, r[6].F, r[7].F, r[8].F}
+		want := []float64{w.SumQty, w.SumBase, w.SumDisc, w.SumCharge, w.AvgQty, w.AvgPrice, w.AvgDisc}
+		for j := range got {
+			if !approx(got[j], want[j]) {
+				t.Fatalf("Q1 row %d col %d: %v want %v", i, j, got[j], want[j])
+			}
+		}
+		if r[9].I != w.Count {
+			t.Fatalf("Q1 row %d count %d want %d", i, r[9].I, w.Count)
+		}
+	}
+
+	// Q6
+	res, err = db.Execute(Q6SQL())
+	if err != nil {
+		t.Fatalf("Q6: %v", err)
+	}
+	if !approx(res.Rows[0][0].F, RefQ6(d)) {
+		t.Fatalf("Q6 = %v want %v", res.Rows[0][0].F, RefQ6(d))
+	}
+
+	// Q19 under both §6.3 plans.
+	want19 := RefQ19(d)
+	for _, js := range []plan.JoinStrategy{plan.JoinMerge, plan.JoinNested, plan.JoinAuto} {
+		db2, err := core.Open(core.Config{Seed: 6, Join: js})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ddl := range CreateTablesSQL() {
+			if _, err := db2.Execute(ddl); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := Load(db2.Store(), d); err != nil {
+			t.Fatal(err)
+		}
+		res, err := db2.Execute(Q19SQL())
+		if err != nil {
+			t.Fatalf("Q19 (join=%d): %v", js, err)
+		}
+		got := res.Rows[0][0]
+		if want19 == 0 {
+			if !got.Null && got.F != 0 {
+				t.Fatalf("Q19 (join=%d) = %v want empty", js, got)
+			}
+		} else if !approx(got.F, want19) {
+			t.Fatalf("Q19 (join=%d) = %v want %v", js, got.F, want19)
+		}
+		db2.Close()
+	}
+
+	if err := db.Memory().VerifyAll(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,361 @@
+// Package veridb is an SGX-based verifiable relational database, a
+// from-scratch reproduction of "VeriDB: An SGX-based Verifiable Database"
+// (Zhou et al., SIGMOD 2021).
+//
+// VeriDB separates a data-intensive but logically simple verifiable
+// storage layer from a logically complex query engine with a small memory
+// footprint. The engine (and the query compiler) run inside a trusted
+// enclave — simulated in this reproduction, see DESIGN.md — while the
+// database itself lives in untrusted memory protected by an offline
+// memory-checking protocol: every protected read and write folds into
+// keyed ReadSet/WriteSet hashes, and a background verification scan
+// detects any tampering that bypassed the protected interfaces. Each row
+// stores, per indexed column, its key and the next key in order, so the
+// presence or absence of any key is proved by a single record, and range
+// scans verify completeness by walking an unbroken key chain.
+//
+// Quick start:
+//
+//	db, err := veridb.Open(veridb.Config{})
+//	...
+//	db.Exec(`CREATE TABLE accounts (id INT PRIMARY KEY, balance FLOAT)`)
+//	db.Exec(`INSERT INTO accounts VALUES (1, 100.0)`)
+//	res, err := db.Exec(`SELECT balance FROM accounts WHERE id = 1`)
+//	...
+//	if err := db.Verify(); err != nil { /* tampering detected */ }
+package veridb
+
+import (
+	"fmt"
+
+	"veridb/internal/client"
+	"veridb/internal/core"
+	"veridb/internal/enclave"
+	"veridb/internal/plan"
+	"veridb/internal/portal"
+	"veridb/internal/record"
+	"veridb/internal/sql"
+	"veridb/internal/vmem"
+)
+
+// Value is one SQL value; Row is one result row.
+type (
+	// Value is a typed SQL value.
+	Value = record.Value
+	// Row is one tuple of values.
+	Row = record.Tuple
+	// Type is a column type.
+	Type = record.Type
+)
+
+// Column types.
+const (
+	// TypeInt is a 64-bit signed integer column.
+	TypeInt = record.TypeInt
+	// TypeFloat is a 64-bit float column.
+	TypeFloat = record.TypeFloat
+	// TypeText is a string column.
+	TypeText = record.TypeText
+	// TypeBool is a boolean column.
+	TypeBool = record.TypeBool
+)
+
+// Value constructors.
+var (
+	// Int builds an INT value.
+	Int = record.Int
+	// Float builds a FLOAT value.
+	Float = record.Float
+	// Text builds a TEXT value.
+	Text = record.Text
+	// Bool builds a BOOL value.
+	Bool = record.Bool
+	// Null builds a NULL of the given type.
+	Null = record.Null
+)
+
+// Client-protocol types for authenticated sessions (paper §5.1).
+type (
+	// Request is an authenticated client query.
+	Request = portal.Request
+	// Response is a sequenced, MACed query response.
+	Response = portal.Response
+	// Client is the user-side verifier (request signing, response MAC
+	// checks, rollback detection, attestation pinning).
+	Client = client.Client
+	// Quote is a simulated SGX attestation quote.
+	Quote = enclave.Quote
+)
+
+// NewClient builds a client holding the pre-exchanged MAC key.
+var NewClient = client.New
+
+// Sentinel errors surfaced through the client protocol.
+var (
+	// ErrRollback means a response reused a sequence number: the server
+	// rolled the database back to an earlier state (§5.1).
+	ErrRollback = client.ErrRollback
+	// ErrBadMAC means a response failed its MAC check.
+	ErrBadMAC = client.ErrBadMAC
+	// ErrUnauthorized means the portal rejected a request's authorisation.
+	ErrUnauthorized = portal.ErrUnauthorized
+)
+
+// JoinStrategy names for Config.Join.
+const (
+	// JoinAuto picks index-nested-loop when the inner column has a chain,
+	// else hash join.
+	JoinAuto = "auto"
+	// JoinIndex forces index-nested-loop joins.
+	JoinIndex = "index"
+	// JoinMerge forces sort-merge joins.
+	JoinMerge = "merge"
+	// JoinHash forces hash joins.
+	JoinHash = "hash"
+	// JoinNested forces naive nested-loop joins.
+	JoinNested = "nested"
+)
+
+// Config tunes a database instance. The zero value is a verifying,
+// single-RSWS VeriDB with the paper's recommended optimisations on.
+type Config struct {
+	// Baseline disables all verification machinery (the paper's Baseline
+	// configuration) — benchmarking only.
+	Baseline bool
+	// RSWSPartitions is the number of ReadSet/WriteSet pairs with
+	// independent locks (§4.3). Zero means 1.
+	RSWSPartitions int
+	// VerifyMetadata includes page metadata in verification ("RSWS incl.
+	// metadata", Fig. 9).
+	VerifyMetadata bool
+	// FullScan disables touched-page tracking during verification.
+	FullScan bool
+	// EagerCompaction compacts pages on delete instead of at scan time.
+	EagerCompaction bool
+	// PageSize in bytes (default 8 KB).
+	PageSize int
+	// VerifyEveryOps starts the background verifier scanning one page per
+	// this many operations (Fig. 10's knob). Zero: verify manually.
+	VerifyEveryOps int
+	// Join selects the default join strategy ("auto" if empty).
+	Join string
+	// ECallCycles simulates SGX boundary-crossing cost in CPU cycles
+	// (§2.1 reports ~8000); zero disables the cost model.
+	ECallCycles int64
+	// EPCBytes caps simulated enclave memory (default 96 MB).
+	EPCBytes int64
+	// Seed makes the enclave PRF key deterministic (tests/benchmarks).
+	Seed uint64
+}
+
+func (c Config) coreConfig() (core.Config, error) {
+	var js plan.JoinStrategy
+	switch c.Join {
+	case "", JoinAuto:
+		js = plan.JoinAuto
+	case JoinIndex:
+		js = plan.JoinIndex
+	case JoinMerge:
+		js = plan.JoinMerge
+	case JoinHash:
+		js = plan.JoinHash
+	case JoinNested:
+		js = plan.JoinNested
+	default:
+		return core.Config{}, fmt.Errorf("veridb: unknown join strategy %q", c.Join)
+	}
+	mode := vmem.ModeRSWS
+	if c.Baseline {
+		mode = vmem.ModeBaseline
+	}
+	return core.Config{
+		Enclave: enclave.Config{EPCBytes: c.EPCBytes, ECallCycles: c.ECallCycles},
+		Memory: vmem.Config{
+			Mode:            mode,
+			Partitions:      c.RSWSPartitions,
+			PageSize:        c.PageSize,
+			VerifyMetadata:  c.VerifyMetadata,
+			FullScan:        c.FullScan,
+			EagerCompaction: c.EagerCompaction,
+		},
+		Join:           js,
+		VerifyEveryOps: c.VerifyEveryOps,
+		Seed:           c.Seed,
+	}, nil
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Columns names the result columns (queries only).
+	Columns []string
+	// Rows holds the result rows (queries only).
+	Rows []Row
+	// Affected counts modified rows (DML only).
+	Affected int
+}
+
+// Stats snapshots the verification machinery's counters.
+type Stats struct {
+	// Ops counts protected storage operations.
+	Ops uint64
+	// PRFEvals counts keyed-PRF evaluations (the dominant verification
+	// cost, §6.1).
+	PRFEvals uint64
+	// PagesAlive counts registered pages.
+	PagesAlive uint64
+	// Scans counts full page verification scans.
+	Scans uint64
+	// FastScans counts untouched pages carried forward without hashing.
+	FastScans uint64
+	// Rotations counts completed verification epochs.
+	Rotations uint64
+	// Alarms counts raised tamper alarms.
+	Alarms uint64
+	// ECalls and OCalls count simulated enclave boundary crossings.
+	ECalls, OCalls int64
+	// EPCUsed is the simulated enclave memory in use, bytes.
+	EPCUsed int64
+}
+
+// DB is a VeriDB instance.
+type DB struct {
+	inner *core.DB
+}
+
+// Open creates a database.
+func Open(cfg Config) (*DB, error) {
+	cc, err := cfg.coreConfig()
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.Open(cc)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{inner: inner}, nil
+}
+
+// Close stops background verification.
+func (db *DB) Close() { db.inner.Close() }
+
+// Exec parses and executes one SQL statement (DDL, DML or query).
+func (db *DB) Exec(query string) (*Result, error) {
+	res, err := db.inner.Execute(query)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: res.Columns, Rows: res.Rows, Affected: res.Affected}, nil
+}
+
+// Explain returns the physical plan chosen for a SELECT.
+func (db *DB) Explain(query string) (string, error) { return db.inner.Explain(query) }
+
+// Verify runs a full verification pass over every RSWS partition and
+// returns the tamper alarm, if any (deferred verification, §4.1).
+func (db *DB) Verify() error { return db.inner.Memory().VerifyAll() }
+
+// Alarm returns the sticky tamper alarm raised by any earlier
+// verification, or nil.
+func (db *DB) Alarm() error { return db.inner.Memory().Alarm() }
+
+// StartVerifier launches non-quiescent background verification, scanning
+// one page per opsPerPageScan protected operations.
+func (db *DB) StartVerifier(opsPerPageScan int) {
+	db.inner.Memory().StartVerifier(opsPerPageScan)
+}
+
+// StopVerifier stops background verification, completing the pass in
+// flight.
+func (db *DB) StopVerifier() { db.inner.Memory().StopVerifier() }
+
+// Stats returns verification and enclave counters.
+func (db *DB) Stats() Stats {
+	m := db.inner.Memory().Stats()
+	e := db.inner.Enclave().Stats()
+	return Stats{
+		Ops: m.Ops, PRFEvals: m.PRFEvals, PagesAlive: m.PagesAlive,
+		Scans: m.Scans, FastScans: m.FastScans, Rotations: m.Rotations,
+		Alarms: m.Alarms, ECalls: e.ECalls, OCalls: e.OCalls, EPCUsed: e.EPCUsed,
+	}
+}
+
+// Measurement returns the enclave identity hash clients attest against.
+func (db *DB) Measurement() [32]byte { return db.inner.Enclave().Measurement() }
+
+// Attest produces an attestation quote over the client's nonce.
+func (db *DB) Attest(nonce []byte) Quote { return db.inner.Enclave().Attest(nonce) }
+
+// ProvisionClient installs a pre-exchanged MAC key for a client id.
+func (db *DB) ProvisionClient(id string, key []byte) {
+	db.inner.Enclave().ProvisionMACKey(id, key)
+}
+
+// Serve executes an authenticated request through the query portal
+// (authorisation, sequencing, response MAC — §5.1).
+func (db *DB) Serve(req Request) (*Response, error) {
+	return db.inner.Portal().Serve(req)
+}
+
+// RecoverFrom rebuilds this (fresh) database from a replica by replaying
+// its contents through the protected write interfaces, then resumes the
+// sequence counter above seqFloor (the client's highest seen number).
+func (db *DB) RecoverFrom(replica *DB, seqFloor uint64) error {
+	return db.inner.Recover(replica.inner, seqFloor)
+}
+
+// TableNames lists the database's tables.
+func (db *DB) TableNames() []string { return db.inner.TableNames() }
+
+// RowCount returns the number of rows in a table.
+func (db *DB) RowCount(table string) (int, error) {
+	t, err := db.inner.Store().Table(table)
+	if err != nil {
+		return 0, err
+	}
+	return t.RowCount(), nil
+}
+
+// InjectTamper simulates the §3.1 adversary: it flips bytes of one stored
+// record directly in untrusted memory, bypassing every protected
+// interface. Verification must subsequently raise an alarm. Demo/test use
+// only.
+func (db *DB) InjectTamper(table string) error {
+	t, err := db.inner.Store().Table(table)
+	if err != nil {
+		return err
+	}
+	mem := db.inner.Memory()
+	for _, pid := range mem.PageIDs() {
+		// Pick a victim record first; Slots holds the page lock, so the
+		// actual tampering happens after it returns.
+		victim := -1
+		var corrupted []byte
+		err := mem.Slots(pid, func(slot int, rec []byte) bool {
+			if len(rec) < 4 {
+				return true
+			}
+			victim = slot
+			corrupted = append([]byte(nil), rec...)
+			for i := len(corrupted) - 4; i < len(corrupted); i++ {
+				corrupted[i] ^= 0xFF
+			}
+			return false
+		})
+		if err != nil || victim < 0 {
+			continue
+		}
+		if mem.TamperRecord(pid, victim, corrupted) == nil {
+			// Make sure the tampered page is covered by the next scan even
+			// under touched-page tracking.
+			_, _ = mem.Get(pid, victim)
+			return nil
+		}
+	}
+	return fmt.Errorf("veridb: table %q has no record to tamper", t.Name())
+}
+
+// ParseOnly checks a statement's syntax without executing it.
+func ParseOnly(query string) error {
+	_, err := sql.Parse(query)
+	return err
+}

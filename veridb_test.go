@@ -1,0 +1,227 @@
+package veridb
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func open(t *testing.T, cfg Config) *DB {
+	t.Helper()
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	return db
+}
+
+func mustExec(t *testing.T, db *DB, q string) *Result {
+	t.Helper()
+	res, err := db.Exec(q)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", q, err)
+	}
+	return res
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	db := open(t, Config{})
+	mustExec(t, db, `CREATE TABLE accounts (id INT PRIMARY KEY, owner TEXT, balance FLOAT)`)
+	mustExec(t, db, `INSERT INTO accounts VALUES (1,'alice',100.0),(2,'bob',250.5)`)
+	res := mustExec(t, db, `SELECT owner, balance FROM accounts WHERE id = 2`)
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "bob" || res.Rows[0][1].F != 250.5 {
+		t.Fatalf("rows %v", res.Rows)
+	}
+	if res.Columns[0] != "owner" {
+		t.Fatalf("columns %v", res.Columns)
+	}
+	if err := db.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := db.RowCount("accounts"); err != nil || n != 2 {
+		t.Fatalf("RowCount = %d, %v", n, err)
+	}
+	if got := db.TableNames(); len(got) != 1 || got[0] != "accounts" {
+		t.Fatalf("TableNames %v", got)
+	}
+}
+
+func TestTamperDetectionEndToEnd(t *testing.T) {
+	db := open(t, Config{})
+	mustExec(t, db, `CREATE TABLE t (a INT PRIMARY KEY, b TEXT)`)
+	for i := 0; i < 20; i++ {
+		mustExec(t, db, fmt.Sprintf(`INSERT INTO t VALUES (%d, 'row-%d-payload')`, i, i))
+	}
+	if err := db.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.InjectTamper("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Verify(); err == nil {
+		t.Fatal("tampering not detected")
+	}
+	if db.Alarm() == nil {
+		t.Fatal("alarm not sticky")
+	}
+	if db.Stats().Alarms == 0 {
+		t.Fatal("alarm counter zero")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Open(Config{Join: "quantum"}); err == nil {
+		t.Fatal("bad join strategy accepted")
+	}
+}
+
+func TestJoinStrategiesAgree(t *testing.T) {
+	want := ""
+	for _, j := range []string{JoinAuto, JoinIndex, JoinMerge, JoinHash, JoinNested} {
+		db := open(t, Config{Join: j})
+		mustExec(t, db, `CREATE TABLE a (id INT PRIMARY KEY, v INT)`)
+		mustExec(t, db, `CREATE TABLE b (id INT PRIMARY KEY, w INT)`)
+		for i := 0; i < 30; i++ {
+			mustExec(t, db, fmt.Sprintf(`INSERT INTO a VALUES (%d, %d)`, i, i*2))
+			if i%2 == 0 {
+				mustExec(t, db, fmt.Sprintf(`INSERT INTO b VALUES (%d, %d)`, i, i*3))
+			}
+		}
+		res := mustExec(t, db, `SELECT a.id, a.v, b.w FROM a, b WHERE a.id = b.id AND a.v > 10 ORDER BY a.id`)
+		var sb strings.Builder
+		for _, r := range res.Rows {
+			fmt.Fprintf(&sb, "%v;", r)
+		}
+		if want == "" {
+			want = sb.String()
+			if len(res.Rows) == 0 {
+				t.Fatal("empty join result")
+			}
+		} else if sb.String() != want {
+			t.Fatalf("join strategy %s disagrees:\n%s\nvs\n%s", j, sb.String(), want)
+		}
+	}
+}
+
+func TestBaselineModeRuns(t *testing.T) {
+	db := open(t, Config{Baseline: true})
+	mustExec(t, db, `CREATE TABLE t (a INT PRIMARY KEY)`)
+	mustExec(t, db, `INSERT INTO t VALUES (1)`)
+	if s := db.Stats(); s.PRFEvals != 0 {
+		t.Fatalf("baseline did PRF work: %+v", s)
+	}
+}
+
+func TestAuthenticatedSession(t *testing.T) {
+	db := open(t, Config{})
+	mustExec(t, db, `CREATE TABLE t (a INT PRIMARY KEY)`)
+	mustExec(t, db, `INSERT INTO t VALUES (7)`)
+	key := []byte("shared-secret")
+	db.ProvisionClient("c1", key)
+	c := NewClient("c1", key)
+	nonce := []byte("fresh")
+	if err := c.Attest(db.Attest(nonce), db.Measurement(), nonce); err != nil {
+		t.Fatal(err)
+	}
+	req := c.NewRequest(`SELECT a FROM t`)
+	resp, err := db.Serve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyResponse(req, resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 1 || resp.Rows[0][0].I != 7 {
+		t.Fatalf("rows %v", resp.Rows)
+	}
+}
+
+func TestRecoverFrom(t *testing.T) {
+	src := open(t, Config{Seed: 2})
+	mustExec(t, src, `CREATE TABLE t (a INT PRIMARY KEY, b TEXT, INDEX(b))`)
+	for i := 0; i < 50; i++ {
+		mustExec(t, src, fmt.Sprintf(`INSERT INTO t VALUES (%d, 'v%d')`, i, i%5))
+	}
+	dst := open(t, Config{Seed: 3})
+	if err := dst.RecoverFrom(src, 1000); err != nil {
+		t.Fatal(err)
+	}
+	res := mustExec(t, dst, `SELECT COUNT(*) FROM t`)
+	if res.Rows[0][0].I != 50 {
+		t.Fatalf("recovered %v rows", res.Rows[0][0])
+	}
+	// Secondary chain survives recovery.
+	res = mustExec(t, dst, `SELECT COUNT(*) FROM t WHERE b = 'v3'`)
+	if res.Rows[0][0].I != 10 {
+		t.Fatalf("chain after recovery: %v", res.Rows)
+	}
+	if err := dst.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplainPublic(t *testing.T) {
+	db := open(t, Config{})
+	mustExec(t, db, `CREATE TABLE t (a INT PRIMARY KEY)`)
+	out, err := db.Explain(`SELECT a FROM t WHERE a BETWEEN 1 AND 5`)
+	if err != nil || !strings.Contains(out, "RangeScan") {
+		t.Fatalf("explain %q, %v", out, err)
+	}
+}
+
+func TestParseOnly(t *testing.T) {
+	if err := ParseOnly(`SELECT 1 FROM t`); err != nil {
+		t.Fatal(err)
+	}
+	if err := ParseOnly(`SELEC nope`); err == nil {
+		t.Fatal("bad SQL accepted")
+	}
+}
+
+func TestVerifierLifecycle(t *testing.T) {
+	db := open(t, Config{})
+	mustExec(t, db, `CREATE TABLE t (a INT PRIMARY KEY)`)
+	db.StartVerifier(5)
+	// The verifier is asynchronous: keep driving operations until it has
+	// completed at least one epoch (bounded by a deadline).
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; db.Stats().Rotations == 0 && time.Now().Before(deadline); i++ {
+		mustExec(t, db, fmt.Sprintf(`INSERT INTO t VALUES (%d)`, i))
+		if i%50 == 49 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	db.StopVerifier()
+	if db.Stats().Rotations == 0 {
+		t.Fatal("no verification epochs completed")
+	}
+	if err := db.Alarm(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrorsSurfaceCleanly(t *testing.T) {
+	db := open(t, Config{})
+	cases := []string{
+		`SELECT * FROM missing`,
+		`CREATE TABLE`,
+		`INSERT INTO missing VALUES (1)`,
+		`UPDATE missing SET a = 1`,
+		`DELETE FROM missing`,
+	}
+	for _, q := range cases {
+		if _, err := db.Exec(q); err == nil {
+			t.Fatalf("Exec(%q) succeeded", q)
+		}
+	}
+	var errNil error
+	if errors.Is(errNil, nil) { // keep errors import honest
+		_ = errNil
+	}
+}
