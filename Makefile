@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build vet test race bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The verification pipeline is the concurrency-heavy part of the tree; the
+# race detector must stay green with multi-worker scanning enabled.
+race:
+	$(GO) test -race -count=1 ./...
+
+bench:
+	$(GO) test -bench=BenchmarkVerifyScaling -benchtime=1x -run=^$$ .
+
+ci: build vet test race

@@ -11,14 +11,23 @@
 //	veridb-bench fig11 [-rows N] [-ops N]
 //	veridb-bench fig12 [-lineitems N]
 //	veridb-bench fig13 [-warehouses N] [-seconds S]
+//	veridb-bench verify [-pages N] [-workers 1,2,4,8] [-json BENCH_verify.json]
 //	veridb-bench ablations [-rows N]
 //	veridb-bench all
+//
+// The verify subcommand measures the parallel verification pipeline
+// (full-scan latency and epoch-rotation throughput vs. worker count) and,
+// with -json, writes the sweep as machine-readable JSON so the perf
+// trajectory is tracked across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"veridb/internal/bench"
@@ -38,6 +47,9 @@ func main() {
 	lineitems := fs.Int("lineitems", 60_000, "lineitem rows (fig 12); parts scale 1:30")
 	warehouses := fs.Int("warehouses", 20, "warehouses (fig 13)")
 	seconds := fs.Float64("seconds", 2, "seconds per throughput point (fig 13)")
+	pages := fs.Int("pages", 10_000, "pages in the verify-scaling memory (verify)")
+	workerList := fs.String("workers", "1,2,4,8", "comma-separated worker counts (verify)")
+	jsonPath := fs.String("json", "", "write verify-scaling results as JSON to this path (verify)")
 	fs.Parse(os.Args[2:])
 
 	run := func(name string, f func() error) {
@@ -49,7 +61,7 @@ func main() {
 		}
 	}
 	known := map[string]bool{"fig9": true, "fig10": true, "fig11": true,
-		"fig12": true, "fig13": true, "ablations": true, "all": true}
+		"fig12": true, "fig13": true, "verify": true, "ablations": true, "all": true}
 	if !known[cmd] {
 		usage()
 		os.Exit(2)
@@ -59,11 +71,12 @@ func main() {
 	run("fig11", func() error { return fig11(*rows, *ops) })
 	run("fig12", func() error { return fig12(*lineitems) })
 	run("fig13", func() error { return fig13(*warehouses, *seconds) })
+	run("verify", func() error { return verifyScaling(*pages, *workerList, *jsonPath) })
 	run("ablations", func() error { return ablations(*rows) })
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `veridb-bench <fig9|fig10|fig11|fig12|fig13|ablations|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `veridb-bench <fig9|fig10|fig11|fig12|fig13|verify|ablations|all> [flags]`)
 }
 
 func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
@@ -186,6 +199,42 @@ func fig13(warehouses int, seconds float64) error {
 		fmt.Println()
 	}
 	fmt.Println("-- headline (§6.3): paper reports ~3-4x overhead with 1024 RSWSs, worse with fewer")
+	fmt.Println()
+	return nil
+}
+
+func verifyScaling(pages int, workerList, jsonPath string) error {
+	var workers []int
+	for _, s := range strings.Split(workerList, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || w < 1 {
+			return fmt.Errorf("bad -workers entry %q", s)
+		}
+		workers = append(workers, w)
+	}
+	fmt.Printf("== Verification scaling: full-scan latency vs. workers (pages=%d) ==\n", pages)
+	run, err := bench.RunVerifyScaling(bench.VerifyScalingConfig{Pages: pages, Workers: workers})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %14s %12s %14s %9s %18s\n",
+		"workers", "full-scan(ms)", "pages/sec", "rotations/sec", "speedup", "resident-checksum")
+	for _, pt := range run.Points {
+		fmt.Printf("%-8d %14.2f %12.0f %14.1f %8.2fx %18s\n",
+			pt.Workers, float64(pt.FullScan.Microseconds())/1e3,
+			pt.PagesPerSecond, pt.RotationsPerSecond, pt.Speedup, pt.Checksum)
+	}
+	fmt.Println("-- checksums are asserted identical across worker counts (XOR-fold exactness)")
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(run, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("-- wrote %s\n", jsonPath)
+	}
 	fmt.Println()
 	return nil
 }

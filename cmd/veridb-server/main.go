@@ -66,6 +66,7 @@ type wireQuote struct {
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7788", "listen address")
 	verifyEvery := flag.Int("verify-every", 1000, "background verifier pacing")
+	verifyWorkers := flag.Int("verify-workers", 0, "verification worker pool size (0 = GOMAXPROCS)")
 	partitions := flag.Int("rsws", 16, "RSWS partitions")
 	init := flag.String("init", "", "semicolon-separated SQL to run at startup")
 	var clients clientFlags
@@ -75,6 +76,7 @@ func main() {
 	db, err := veridb.Open(veridb.Config{
 		RSWSPartitions: *partitions,
 		VerifyEveryOps: *verifyEvery,
+		VerifyWorkers:  *verifyWorkers,
 	})
 	if err != nil {
 		log.Fatal(err)

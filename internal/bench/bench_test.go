@@ -103,6 +103,29 @@ func TestRunTPCCPointSmall(t *testing.T) {
 	}
 }
 
+func TestRunVerifyScalingSmall(t *testing.T) {
+	run, err := RunVerifyScaling(VerifyScalingConfig{
+		Pages: 64, RecordsPerPage: 4, RecordBytes: 32,
+		Partitions: 4, Passes: 1, Workers: []int{1, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Points) != 2 {
+		t.Fatalf("points = %d, want 2", len(run.Points))
+	}
+	for _, pt := range run.Points {
+		if pt.FullScan <= 0 || pt.PagesPerSecond <= 0 || pt.RotationsPerSecond <= 0 {
+			t.Fatalf("degenerate point %+v", pt)
+		}
+		// RunVerifyScaling itself fails on checksum divergence; pin the
+		// equality here too so the contract survives refactors.
+		if pt.Checksum != run.Points[0].Checksum {
+			t.Fatalf("checksum diverged across worker counts: %+v", run.Points)
+		}
+	}
+}
+
 func TestAblations(t *testing.T) {
 	comp, err := RunAblationCompaction(500, 400)
 	if err != nil {

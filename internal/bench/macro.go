@@ -194,7 +194,9 @@ func RunTPCCPoint(cfg TPCCConfig, vc vmem.Config, configName string, clients int
 		return TPCCPoint{}, err
 	}
 	if cfg.VerifyEvery > 0 && vc.Mode == vmem.ModeRSWS {
-		mem.StartVerifier(cfg.VerifyEvery)
+		if err := mem.StartVerifier(cfg.VerifyEvery); err != nil {
+			return TPCCPoint{}, err
+		}
 		defer mem.StopVerifier()
 	}
 	var done atomic.Bool

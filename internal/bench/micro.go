@@ -102,7 +102,9 @@ func RunMicro(cfg MicroConfig) (OpLatencies, error) {
 		return OpLatencies{}, err
 	}
 	if cfg.VerifyEvery > 0 {
-		mem.StartVerifier(cfg.VerifyEvery)
+		if err := mem.StartVerifier(cfg.VerifyEvery); err != nil {
+			return OpLatencies{}, err
+		}
 		defer mem.StopVerifier()
 	}
 	// Pre-generate values and key choices: only the storage operation

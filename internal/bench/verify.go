@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"veridb/internal/enclave"
+	"veridb/internal/vmem"
+)
+
+// VerifyScalingConfig sizes the verification-scaling experiment: a memory
+// of Pages pages, each holding RecordsPerPage records of RecordBytes, is
+// fully verified under each worker count in Workers. Full-scan mode is
+// forced so every pass re-hashes every cell — the workload whose PRF cost
+// dominates verification (§6.1) and that the parallel pipeline targets.
+type VerifyScalingConfig struct {
+	Pages          int   // distinct pages (recorded run: ≥10k)
+	RecordsPerPage int   // records inserted per page
+	RecordBytes    int   // bytes per record
+	Partitions     int   // RSWS partitions (§4.3)
+	Passes         int   // timed full passes per point
+	Workers        []int // worker counts to sweep
+	Seed           int64
+}
+
+func (c VerifyScalingConfig) withDefaults() VerifyScalingConfig {
+	if c.Pages <= 0 {
+		c.Pages = 10_000
+	}
+	if c.RecordsPerPage <= 0 {
+		c.RecordsPerPage = 8
+	}
+	if c.RecordBytes <= 0 {
+		c.RecordBytes = 64
+	}
+	if c.Partitions <= 0 {
+		c.Partitions = 16
+	}
+	if c.Passes <= 0 {
+		c.Passes = 3
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1, 2, 4, 8}
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// VerifyScalingPoint is one worker count's measurement.
+type VerifyScalingPoint struct {
+	Workers            int           `json:"workers"`
+	FullScan           time.Duration `json:"full_scan_ns"`
+	PagesPerSecond     float64       `json:"pages_per_second"`
+	RotationsPerSecond float64       `json:"rotations_per_second"`
+	Speedup            float64       `json:"speedup_vs_serial"`
+	Checksum           string        `json:"resident_checksum"`
+}
+
+// VerifyScalingRun is the whole sweep, shaped for JSON emission
+// (BENCH_verify.json) so the perf trajectory is comparable across PRs.
+type VerifyScalingRun struct {
+	Pages          int                  `json:"pages"`
+	RecordsPerPage int                  `json:"records_per_page"`
+	RecordBytes    int                  `json:"record_bytes"`
+	Partitions     int                  `json:"partitions"`
+	Passes         int                  `json:"passes"`
+	Points         []VerifyScalingPoint `json:"points"`
+}
+
+// setupVerifyMemory builds the scaling experiment's memory: Pages pages
+// filled with deterministic records. The PRF key derives from the seed, so
+// two memories built from the same config hold identical verified sets and
+// must produce identical resident checksums when scanned.
+func setupVerifyMemory(cfg VerifyScalingConfig, workers int) (*vmem.Memory, error) {
+	m, err := vmem.New(enclave.NewForTest(uint64(cfg.Seed)), vmem.Config{
+		Partitions:    cfg.Partitions,
+		FullScan:      true,
+		VerifyWorkers: workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rec := make([]byte, cfg.RecordBytes)
+	for p := 0; p < cfg.Pages; p++ {
+		pid, err := m.NewPage()
+		if err != nil {
+			return nil, err
+		}
+		for r := 0; r < cfg.RecordsPerPage; r++ {
+			rng.Read(rec)
+			if _, err := m.Insert(pid, rec); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, nil
+}
+
+// RunVerifyScaling measures full-memory verification latency and epoch-
+// rotation throughput at each worker count. Every point's resident
+// checksum must agree with the serial point's: the parallel XOR fold is
+// exact, not approximate — a mismatch is returned as an error.
+func RunVerifyScaling(cfg VerifyScalingConfig) (*VerifyScalingRun, error) {
+	cfg = cfg.withDefaults()
+	run := &VerifyScalingRun{
+		Pages:          cfg.Pages,
+		RecordsPerPage: cfg.RecordsPerPage,
+		RecordBytes:    cfg.RecordBytes,
+		Partitions:     cfg.Partitions,
+		Passes:         cfg.Passes,
+	}
+	var serialChecksum string
+	var serialLatency time.Duration
+	for _, w := range cfg.Workers {
+		m, err := setupVerifyMemory(cfg, w)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.VerifyAll(); err != nil { // warm-up pass, untimed
+			return nil, fmt.Errorf("bench: warm-up pass (workers=%d): %w", w, err)
+		}
+		// Settle the heap so the first point doesn't absorb the GC cost of
+		// growing into a fresh multi-thousand-page memory while later points
+		// run against an already-sized heap.
+		runtime.GC()
+		before := m.Stats()
+		start := time.Now()
+		for p := 0; p < cfg.Passes; p++ {
+			if err := m.VerifyAll(); err != nil {
+				return nil, fmt.Errorf("bench: clean memory raised alarm (workers=%d): %w", w, err)
+			}
+		}
+		elapsed := time.Since(start)
+		after := m.Stats()
+		pt := VerifyScalingPoint{
+			Workers:            w,
+			FullScan:           elapsed / time.Duration(cfg.Passes),
+			PagesPerSecond:     float64(after.Scans-before.Scans) / elapsed.Seconds(),
+			RotationsPerSecond: float64(after.Rotations-before.Rotations) / elapsed.Seconds(),
+			Checksum:           m.ResidentChecksum().String(),
+		}
+		if w == 1 || serialChecksum == "" {
+			serialChecksum = pt.Checksum
+			serialLatency = pt.FullScan
+		}
+		if pt.Checksum != serialChecksum {
+			return nil, fmt.Errorf("bench: workers=%d resident checksum %s != serial %s (parallel fold must be bit-identical)",
+				w, pt.Checksum, serialChecksum)
+		}
+		if pt.FullScan > 0 {
+			pt.Speedup = float64(serialLatency) / float64(pt.FullScan)
+		}
+		run.Points = append(run.Points, pt)
+	}
+	return run, nil
+}

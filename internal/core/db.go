@@ -64,7 +64,9 @@ func Open(cfg Config) (*DB, error) {
 	}
 	db.portal = portal.New(enc, db)
 	if cfg.VerifyEveryOps > 0 {
-		mem.StartVerifier(cfg.VerifyEveryOps)
+		if err := mem.StartVerifier(cfg.VerifyEveryOps); err != nil {
+			return nil, fmt.Errorf("core: starting background verifier: %w", err)
+		}
 	}
 	return db, nil
 }

@@ -43,9 +43,16 @@ func (d *Digest) Equal(o *Digest) bool {
 
 // XOR folds o into d in place. Because XOR is its own inverse, the same
 // operation both inserts into and removes from a multiset accumulator.
+//
+// The fold works eight uint64 words at a time rather than byte-wise: the
+// accumulator fold sits on the verification scan's hot path (one XOR per
+// live cell per scan), and the word loads/stores compile to plain 64-bit
+// moves. Loading and storing through the same byte order keeps the result
+// independent of host endianness.
 func (d *Digest) XOR(o *Digest) {
-	for i := range d {
-		d[i] ^= o[i]
+	for i := 0; i < Size; i += 8 {
+		binary.LittleEndian.PutUint64(d[i:i+8],
+			binary.LittleEndian.Uint64(d[i:i+8])^binary.LittleEndian.Uint64(o[i:i+8]))
 	}
 }
 
@@ -113,6 +120,52 @@ func (k *Key) PRFv(addr, ver uint64, data []byte) Digest {
 	mac.Sum(d[:0])
 	k.put(mac)
 	return d
+}
+
+// PRFvInto computes PRF_k(addr ‖ ver ‖ data) directly into out, avoiding
+// the 64-byte return-value copy of PRFv. Equivalent to *out = k.PRFv(...).
+func (k *Key) PRFvInto(addr, ver uint64, data []byte, out *Digest) {
+	mac := k.mac()
+	prfvInto(mac, addr, ver, data, out)
+	k.put(mac)
+}
+
+func prfvInto(mac hash.Hash, addr, ver uint64, data []byte, out *Digest) {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[:8], addr)
+	binary.LittleEndian.PutUint64(hdr[8:], ver)
+	mac.Write(hdr[:])
+	mac.Write(data)
+	mac.Sum(out[:0])
+}
+
+// Hasher is a batch PRF evaluator: it checks one keyed HMAC state out of
+// the key's pool and reuses it for every evaluation until Close. Scanners
+// that evaluate thousands of PRFs per page (vmem's verification workers)
+// use one Hasher per worker, paying the pool synchronisation once per
+// batch instead of once per cell. A Hasher is not safe for concurrent use.
+type Hasher struct {
+	k   *Key
+	mac hash.Hash
+}
+
+// NewHasher checks an HMAC state out of the pool. Callers must Close.
+func (k *Key) NewHasher() *Hasher {
+	return &Hasher{k: k, mac: k.mac()}
+}
+
+// PRFvInto evaluates PRF_k(addr ‖ ver ‖ data) into out.
+func (h *Hasher) PRFvInto(addr, ver uint64, data []byte, out *Digest) {
+	h.mac.Reset()
+	prfvInto(h.mac, addr, ver, data, out)
+}
+
+// Close returns the HMAC state to the key's pool.
+func (h *Hasher) Close() {
+	if h.mac != nil {
+		h.k.put(h.mac)
+		h.mac = nil
+	}
 }
 
 // Accumulator is an incrementally maintained multiset hash h(S). The zero

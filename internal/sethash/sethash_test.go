@@ -200,6 +200,77 @@ func TestTamperBreaksConsistency(t *testing.T) {
 	}
 }
 
+// xorBytewise is the pre-optimisation byte-at-a-time fold, kept here as
+// the reference the word-wise XOR must agree with (and the baseline
+// BenchmarkDigestXOR compares against).
+func xorBytewise(d, o *Digest) {
+	for i := range d {
+		d[i] ^= o[i]
+	}
+}
+
+func TestXORMatchesBytewiseReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var a, b, ref Digest
+		rng.Read(a[:])
+		rng.Read(b[:])
+		ref = a
+		xorBytewise(&ref, &b)
+		a.XOR(&b)
+		return a.Equal(&ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXORSelfCancels(t *testing.T) {
+	var a, b Digest
+	rand.New(rand.NewSource(5)).Read(a[:])
+	b = a
+	a.XOR(&b)
+	if !a.Zero() {
+		t.Fatal("d XOR d is not zero")
+	}
+}
+
+func TestPRFvIntoMatchesPRFv(t *testing.T) {
+	k := KeyFromSeed(21)
+	data := []byte("cell-payload")
+	want := k.PRFv(7, 3, data)
+	var got Digest
+	k.PRFvInto(7, 3, data, &got)
+	if !got.Equal(&want) {
+		t.Fatal("PRFvInto disagrees with PRFv")
+	}
+}
+
+func TestHasherMatchesPRFv(t *testing.T) {
+	k := KeyFromSeed(22)
+	h := k.NewHasher()
+	defer h.Close()
+	rng := rand.New(rand.NewSource(22))
+	for i := 0; i < 64; i++ {
+		data := make([]byte, rng.Intn(128))
+		rng.Read(data)
+		addr, ver := rng.Uint64(), rng.Uint64()
+		want := k.PRFv(addr, ver, data)
+		var got Digest
+		h.PRFvInto(addr, ver, data, &got)
+		if !got.Equal(&want) {
+			t.Fatalf("evaluation %d: Hasher disagrees with PRFv", i)
+		}
+	}
+}
+
+func TestHasherCloseIdempotent(t *testing.T) {
+	k := KeyFromSeed(23)
+	h := k.NewHasher()
+	h.Close()
+	h.Close() // second close must not panic or double-pool the state
+}
+
 func TestDigestString(t *testing.T) {
 	var d Digest
 	d[0] = 0xAB
@@ -227,4 +298,46 @@ func BenchmarkAccumulatorAdd500B(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		a.Add(k, uint64(i), data)
 	}
+}
+
+// BenchmarkDigestXOR pins the word-wise fold's win over the byte-wise
+// reference; the scan fold path executes one of these per live cell.
+func BenchmarkDigestXOR(b *testing.B) {
+	var d, o Digest
+	rand.New(rand.NewSource(1)).Read(o[:])
+	b.Run("wordwise", func(b *testing.B) {
+		b.SetBytes(Size)
+		for i := 0; i < b.N; i++ {
+			d.XOR(&o)
+		}
+	})
+	b.Run("bytewise", func(b *testing.B) {
+		b.SetBytes(Size)
+		for i := 0; i < b.N; i++ {
+			xorBytewise(&d, &o)
+		}
+	})
+}
+
+// BenchmarkPRFvInto measures the batch path against the per-call pool
+// round-trip of PRFv.
+func BenchmarkPRFvInto(b *testing.B) {
+	k := KeyFromSeed(1)
+	data := make([]byte, 500)
+	b.Run("pooledPerCall", func(b *testing.B) {
+		b.SetBytes(int64(len(data)))
+		for i := 0; i < b.N; i++ {
+			_ = k.PRFv(uint64(i), 1, data)
+		}
+	})
+	b.Run("hasherBatch", func(b *testing.B) {
+		h := k.NewHasher()
+		defer h.Close()
+		var d Digest
+		b.SetBytes(int64(len(data)))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.PRFvInto(uint64(i), 1, data, &d)
+		}
+	})
 }

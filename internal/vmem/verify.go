@@ -2,10 +2,95 @@ package vmem
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"veridb/internal/sethash"
 )
+
+// prfJob is one cell awaiting PRF evaluation during a page scan. Collecting
+// jobs first and folding them second lets the expensive HMAC work run on
+// any number of workers while the page lock freezes the content.
+type prfJob struct {
+	addr Addr
+	ver  uint64
+	data []byte // aliases the locked page buffer; read-only
+}
+
+// scanChunkMin is the smallest per-worker chunk worth a goroutine: below
+// this many PRF evaluations (~16×2 µs) the handoff overhead dominates.
+const scanChunkMin = 16
+
+// collectScanJobs lists every live cell of the page as a PRF job, growing
+// the version ledgers up front so workers only ever read them. Callers must
+// hold vp.mu.
+func (m *Memory) collectScanJobs(vp *vPage) []prfJob {
+	jobs := make([]prfJob, 0, vp.p.LiveRecords()+1)
+	vp.p.Slots(func(slot int, rec []byte) bool {
+		vp.ensureVers(slot)
+		jobs = append(jobs, prfJob{CellAddr(vp.id, slot), vp.vers[slot], rec})
+		if m.cfg.VerifyMetadata {
+			jobs = append(jobs, prfJob{MetaAddr(vp.id, slot), vp.mver[slot], vp.p.SlotPointerBytes(slot)})
+		}
+		return true
+	})
+	if m.cfg.VerifyMetadata {
+		jobs = append(jobs, prfJob{HeaderAddr(vp.id), vp.hver, vp.headerBytes()})
+	}
+	return jobs
+}
+
+// hashJobs folds every job's PRF image into one digest. With more than one
+// configured worker and enough jobs, the evaluations are chunked across
+// goroutines into thread-local accumulators that XOR-combine at the end —
+// bit-identical to the serial fold because XOR is associative and
+// commutative. Each worker reuses one pooled HMAC state for its whole
+// chunk (sethash.Hasher).
+func (m *Memory) hashJobs(jobs []prfJob) sethash.Digest {
+	workers := m.cfg.VerifyWorkers
+	if max := (len(jobs) + scanChunkMin - 1) / scanChunkMin; workers > max {
+		workers = max
+	}
+	var out sethash.Digest
+	if workers <= 1 {
+		h := m.key.NewHasher()
+		var d sethash.Digest
+		for _, j := range jobs {
+			h.PRFvInto(uint64(j.addr), j.ver, j.data, &d)
+			out.XOR(&d)
+		}
+		h.Close()
+		m.prfEvals.Add(uint64(len(jobs)))
+		return out
+	}
+	partials := make([]sethash.Digest, workers)
+	chunk := (len(jobs) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(jobs))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(acc *sethash.Digest, jobs []prfJob) {
+			defer wg.Done()
+			h := m.key.NewHasher()
+			defer h.Close()
+			var d sethash.Digest
+			for _, j := range jobs {
+				h.PRFvInto(uint64(j.addr), j.ver, j.data, &d)
+				acc.XOR(&d)
+			}
+		}(&partials[w], jobs[lo:hi])
+	}
+	wg.Wait()
+	for i := range partials {
+		out.XOR(&partials[i])
+	}
+	m.prfEvals.Add(uint64(len(jobs)))
+	return out
+}
 
 // scanPage performs the Alg. 2 inner loop on one page: every live cell is
 // read into the current epoch's ReadSet and written into the next epoch's
@@ -16,11 +101,19 @@ import (
 // Untouched pages take the fast path of the touched-page optimisation
 // (§4.3): their content digest from the previous scan is carried forward
 // without re-hashing a single byte.
+//
+// scanPage may run on any verification worker: the partition's scanMu is
+// held by the pass that dispatched it, every page is dispatched at most
+// once per pass, and the kick-off of each worker (goroutine start or task
+// channel send) orders the pass's epoch rotation before the worker's
+// unlocked reads of part.epoch.
 func (m *Memory) scanPage(part *partition, vp *vPage) {
 	vp.mu.Lock()
 	defer vp.mu.Unlock()
-	// Epoch and scannedEpoch are only written by scanners, which scanMu
-	// serialises, so the scanner may read them without the RSWS lock.
+	// Epoch and scannedEpoch are only written under part.mu by scanners of
+	// this partition, which scanMu (held by the dispatching pass) and the
+	// per-page dispatch ordering serialise, so reading them here without
+	// the RSWS lock is safe.
 	if vp.scannedEpoch == part.epoch {
 		return
 	}
@@ -50,23 +143,10 @@ func (m *Memory) scanPage(part *partition, vp *vPage) {
 		}
 	}
 	// Hash every live cell. The page lock freezes the content, so the
-	// (expensive) PRF evaluations can happen outside the RSWS lock; only
-	// the final fold contends.
-	var resident sethash.Digest
-	vp.p.Slots(func(slot int, rec []byte) bool {
-		vp.ensureVers(slot)
-		d := m.prf(CellAddr(vp.id, slot), vp.vers[slot], rec)
-		resident.XOR(&d)
-		if m.cfg.VerifyMetadata {
-			md := m.prf(MetaAddr(vp.id, slot), vp.mver[slot], vp.p.SlotPointerBytes(slot))
-			resident.XOR(&md)
-		}
-		return true
-	})
-	if m.cfg.VerifyMetadata {
-		hd := m.prf(HeaderAddr(vp.id), vp.hver, vp.headerBytes())
-		resident.XOR(&hd)
-	}
+	// (expensive) PRF evaluations can happen outside the RSWS lock —
+	// chunked across VerifyWorkers goroutines — and only the final fold
+	// contends.
+	resident := m.hashJobs(m.collectScanJobs(vp))
 	part.mu.Lock()
 	part.rsCur.AddDigest(&resident)  // Alg. 2 line 6
 	part.wsNext.AddDigest(&resident) // Alg. 2 line 7
@@ -138,36 +218,96 @@ func (m *Memory) scanPartition(part *partition) error {
 }
 
 // VerifyAll runs a full verification pass over every partition and returns
-// the first tamper alarm encountered (all partitions are still scanned, so
-// every epoch rotates). Callers running a background verifier should stop
-// it first; otherwise VerifyAll waits for in-flight partition passes.
+// the first (lowest-partition-index) tamper alarm encountered; all
+// partitions are still scanned, so every epoch rotates. Partitions are
+// scanned by up to VerifyWorkers goroutines at once — each partition has
+// its own RSWS lock and scan lock (§4.3), so passes are independent.
+// Callers running a background verifier should stop it first; otherwise
+// VerifyAll waits for in-flight partition passes.
 func (m *Memory) VerifyAll() error {
-	var first error
-	for _, part := range m.parts {
-		if err := m.scanPartition(part); err != nil && first == nil {
-			first = err
+	workers := min(m.cfg.VerifyWorkers, len(m.parts))
+	if workers <= 1 {
+		var first error
+		for _, part := range m.parts {
+			if err := m.scanPartition(part); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	errs := make([]error, len(m.parts))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(m.parts) {
+					return
+				}
+				errs[i] = m.scanPartition(m.parts[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
 		}
 	}
-	return first
+	return nil
 }
 
-// verifier is the non-quiescent background verification thread (§6.1: "the
-// background verification thread always running, and perform a memory scan
-// after x operations"). Each batch of opsPerScan protected operations
-// triggers the scan of one page; completing a pass over a partition rotates
-// its epoch.
+// ResidentChecksum XORs every page's last-scanned resident digest into one
+// value. Identical memory contents scanned under the same PRF key must
+// produce identical checksums regardless of VerifyWorkers — the
+// observable that pins parallel scans bit-identical to serial ones
+// (tests and the verify-scaling benchmark check it). Diagnostic only.
+func (m *Memory) ResidentChecksum() sethash.Digest {
+	var sum sethash.Digest
+	for _, part := range m.parts {
+		for _, id := range part.pageIDSnapshot() {
+			if vp := part.lookupLocal(id); vp != nil {
+				vp.mu.Lock()
+				sum.XOR(&vp.resident)
+				vp.mu.Unlock()
+			}
+		}
+	}
+	return sum
+}
+
+// scanTask is one background page scan handed to a verifier worker.
+type scanTask struct {
+	part *partition
+	vp   *vPage
+}
+
+// verifier is the non-quiescent background verification machinery (§6.1:
+// "the background verification thread always running, and perform a memory
+// scan after x operations"). Each batch of opsPerScan protected operations
+// triggers the scan of one page; the scans themselves execute on a pool of
+// VerifyWorkers scanner goroutines fed from the kick-paced queue, and
+// completing a pass over a partition rotates its epoch.
 type verifier struct {
 	opsPerScan uint64
 	opsSince   atomic.Uint64
 	kick       chan struct{}
 	stop       chan struct{}
 	done       chan struct{}
+
+	tasks    chan scanTask
+	inflight sync.WaitGroup // page scans of the current pass
+	workerWG sync.WaitGroup
 }
 
 // StartVerifier launches the background verifier. opsPerPageScan is the
-// Fig. 10 x-axis: one page is scanned per that many protected operations.
-// It panics if a verifier is already running.
-func (m *Memory) StartVerifier(opsPerPageScan int) {
+// Fig. 10 x-axis: one page is scanned per that many protected operations;
+// the scans run on the memory's VerifyWorkers scanner goroutines. It
+// returns ErrVerifierRunning if a verifier is already attached.
+func (m *Memory) StartVerifier(opsPerPageScan int) error {
 	if opsPerPageScan <= 0 {
 		opsPerPageScan = 1
 	}
@@ -176,15 +316,28 @@ func (m *Memory) StartVerifier(opsPerPageScan int) {
 		kick:       make(chan struct{}, 4096),
 		stop:       make(chan struct{}),
 		done:       make(chan struct{}),
+		tasks:      make(chan scanTask),
 	}
 	if !m.verifier.CompareAndSwap(nil, v) {
-		panic("vmem: verifier already running")
+		return ErrVerifierRunning
+	}
+	for w := 0; w < m.cfg.VerifyWorkers; w++ {
+		v.workerWG.Add(1)
+		go func() {
+			defer v.workerWG.Done()
+			for t := range v.tasks {
+				m.scanPage(t.part, t.vp)
+				v.inflight.Done()
+			}
+		}()
 	}
 	go m.verifierLoop(v)
+	return nil
 }
 
 // StopVerifier signals the background verifier, waits for it to finish its
-// current partition pass (so no epoch is left half-scanned), and returns.
+// current partition pass (so no epoch is left half-scanned), shuts the
+// scanner workers down, and returns.
 func (m *Memory) StopVerifier() {
 	v := m.verifier.Load()
 	if v == nil {
@@ -192,6 +345,8 @@ func (m *Memory) StopVerifier() {
 	}
 	close(v.stop)
 	<-v.done
+	close(v.tasks)
+	v.workerWG.Wait()
 	m.verifier.Store(nil)
 }
 
@@ -210,10 +365,11 @@ func (m *Memory) maybePace() {
 	}
 }
 
-// verifierLoop drives paced scanning: one page per kick, rotating a
-// partition's epoch whenever its pass completes, then moving to the next
-// partition. On stop it completes the in-flight pass so locks and epoch
-// state end balanced.
+// verifierLoop drives paced scanning: one page dispatched to the scanner
+// pool per kick, rotating a partition's epoch whenever its pass completes
+// (after all in-flight page scans of the pass have drained), then moving to
+// the next partition. On stop it completes the in-flight pass so locks and
+// epoch state end balanced.
 func (m *Memory) verifierLoop(v *verifier) {
 	defer close(v.done)
 	pi := 0
@@ -230,6 +386,19 @@ func (m *Memory) verifierLoop(v *verifier) {
 		pending = part.pageIDSnapshot()
 		inPass = true
 	}
+	dispatch := func(id uint64) {
+		if vp := part.lookupLocal(id); vp != nil {
+			v.inflight.Add(1)
+			v.tasks <- scanTask{part, vp}
+		}
+	}
+	endPass := func() {
+		v.inflight.Wait() // every page of the pass scanned before rotation
+		_ = m.rotate(part) // alarm recorded; background pass keeps going
+		part.scanMu.Unlock()
+		inPass = false
+		pi = (pi + 1) % len(m.parts)
+	}
 	step := func() {
 		if !inPass {
 			startPass()
@@ -237,15 +406,10 @@ func (m *Memory) verifierLoop(v *verifier) {
 		if len(pending) > 0 {
 			id := pending[0]
 			pending = pending[1:]
-			if vp := part.lookupLocal(id); vp != nil {
-				m.scanPage(part, vp)
-			}
+			dispatch(id)
 		}
 		if len(pending) == 0 {
-			_ = m.rotate(part) // alarm recorded; background pass keeps going
-			part.scanMu.Unlock()
-			inPass = false
-			pi = (pi + 1) % len(m.parts)
+			endPass()
 		}
 	}
 	finishPass := func() {
@@ -253,14 +417,10 @@ func (m *Memory) verifierLoop(v *verifier) {
 			return
 		}
 		for _, id := range pending {
-			if vp := part.lookupLocal(id); vp != nil {
-				m.scanPage(part, vp)
-			}
+			dispatch(id)
 		}
 		pending = nil
-		_ = m.rotate(part)
-		part.scanMu.Unlock()
-		inPass = false
+		endPass()
 	}
 
 	for {

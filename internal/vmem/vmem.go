@@ -22,6 +22,7 @@ package vmem
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
@@ -67,6 +68,16 @@ type Config struct {
 	EagerCompaction bool
 	// NoScanCompaction disables compaction during verification scans.
 	NoScanCompaction bool
+	// VerifyWorkers is the number of concurrent verification workers:
+	// VerifyAll scans that many partitions at once, the background
+	// verifier runs that many page scanners off its kick queue, and a
+	// touched page's PRF evaluations are chunked across that many
+	// goroutines. Partition passes are independent because each partition
+	// has its own RSWS and scan locks (§4.3); intra-page parallelism is
+	// exact because the XOR fold is associative and commutative, so the
+	// combined digest is bit-identical to the serial scan's. Zero means
+	// GOMAXPROCS; 1 recovers the fully serial verifier.
+	VerifyWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -76,6 +87,9 @@ func (c Config) withDefaults() Config {
 	if c.PageSize <= 0 {
 		c.PageSize = page.DefaultSize
 	}
+	if c.VerifyWorkers <= 0 {
+		c.VerifyWorkers = runtime.GOMAXPROCS(0)
+	}
 	return c
 }
 
@@ -84,6 +98,10 @@ var ErrTamperDetected = errors.New("vmem: read set and write set diverged (memor
 
 // ErrNoSuchPage is returned for operations on unregistered page IDs.
 var ErrNoSuchPage = errors.New("vmem: no such page")
+
+// ErrVerifierRunning is returned by StartVerifier when a background
+// verifier is already attached to the memory.
+var ErrVerifierRunning = errors.New("vmem: verifier already running")
 
 // Addr identifies one protected cell: 48 bits of page ID, a metadata bit,
 // and 15 bits of slot number.

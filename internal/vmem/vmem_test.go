@@ -516,7 +516,9 @@ func TestConcurrentOpsWithBackgroundVerifier(t *testing.T) {
 				pid, _ := m.NewPage()
 				pids = append(pids, pid)
 			}
-			m.StartVerifier(50)
+			if err := m.StartVerifier(50); err != nil {
+				t.Fatal(err)
+			}
 			var wg sync.WaitGroup
 			for w := 0; w < workers; w++ {
 				wg.Add(1)
@@ -573,7 +575,9 @@ func TestBackgroundVerifierDetectsTamper(t *testing.T) {
 	if err := m.TamperRecord(pid, slot, []byte("corrupted-xxx")); err != nil {
 		t.Fatal(err)
 	}
-	m.StartVerifier(1) // scan a page per op
+	if err := m.StartVerifier(1); err != nil { // scan a page per op
+		t.Fatal(err)
+	}
 	// Drive ops on another page so the verifier advances; the verifier is
 	// asynchronous, so give it wall time to drain its kicks.
 	other, _ := m.NewPage()
@@ -591,10 +595,25 @@ func TestBackgroundVerifierDetectsTamper(t *testing.T) {
 func TestStopVerifierIdempotentAndRestartable(t *testing.T) {
 	m := newMem(t, Config{})
 	m.StopVerifier() // no-op when not running
-	m.StartVerifier(10)
+	if err := m.StartVerifier(10); err != nil {
+		t.Fatal(err)
+	}
 	m.StopVerifier()
-	m.StartVerifier(10) // restart allowed after stop
+	if err := m.StartVerifier(10); err != nil { // restart allowed after stop
+		t.Fatal(err)
+	}
 	m.StopVerifier()
+}
+
+func TestStartVerifierTwiceReturnsError(t *testing.T) {
+	m := newMem(t, Config{})
+	if err := m.StartVerifier(10); err != nil {
+		t.Fatal(err)
+	}
+	defer m.StopVerifier()
+	if err := m.StartVerifier(10); !errors.Is(err, ErrVerifierRunning) {
+		t.Fatalf("double start = %v, want ErrVerifierRunning", err)
+	}
 }
 
 func TestStatsCounters(t *testing.T) {

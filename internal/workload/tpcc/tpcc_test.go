@@ -118,7 +118,9 @@ func TestConcurrentWorkersVerifyClean(t *testing.T) {
 	} {
 		t.Run(name, func(t *testing.T) {
 			tables, st := setup(t, vc)
-			st.Memory().StartVerifier(200)
+			if err := st.Memory().StartVerifier(200); err != nil {
+				t.Fatal(err)
+			}
 			var wg sync.WaitGroup
 			errs := make(chan error, 8)
 			for c := 0; c < 8; c++ {

@@ -137,6 +137,10 @@ type Config struct {
 	// VerifyEveryOps starts the background verifier scanning one page per
 	// this many operations (Fig. 10's knob). Zero: verify manually.
 	VerifyEveryOps int
+	// VerifyWorkers is the number of concurrent verification workers used
+	// by Verify, the background verifier's scanner pool, and intra-page
+	// PRF evaluation. Zero means GOMAXPROCS; 1 is the serial verifier.
+	VerifyWorkers int
 	// Join selects the default join strategy ("auto" if empty).
 	Join string
 	// ECallCycles simulates SGX boundary-crossing cost in CPU cycles
@@ -177,6 +181,7 @@ func (c Config) coreConfig() (core.Config, error) {
 			VerifyMetadata:  c.VerifyMetadata,
 			FullScan:        c.FullScan,
 			EagerCompaction: c.EagerCompaction,
+			VerifyWorkers:   c.VerifyWorkers,
 		},
 		Join:           js,
 		VerifyEveryOps: c.VerifyEveryOps,
@@ -259,9 +264,10 @@ func (db *DB) Verify() error { return db.inner.Memory().VerifyAll() }
 func (db *DB) Alarm() error { return db.inner.Memory().Alarm() }
 
 // StartVerifier launches non-quiescent background verification, scanning
-// one page per opsPerPageScan protected operations.
-func (db *DB) StartVerifier(opsPerPageScan int) {
-	db.inner.Memory().StartVerifier(opsPerPageScan)
+// one page per opsPerPageScan protected operations on the configured
+// worker pool. It returns an error if a verifier is already running.
+func (db *DB) StartVerifier(opsPerPageScan int) error {
+	return db.inner.Memory().StartVerifier(opsPerPageScan)
 }
 
 // StopVerifier stops background verification, completing the pass in

@@ -187,7 +187,12 @@ func TestParseOnly(t *testing.T) {
 func TestVerifierLifecycle(t *testing.T) {
 	db := open(t, Config{})
 	mustExec(t, db, `CREATE TABLE t (a INT PRIMARY KEY)`)
-	db.StartVerifier(5)
+	if err := db.StartVerifier(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.StartVerifier(5); err == nil {
+		t.Fatal("second StartVerifier did not return an error")
+	}
 	// The verifier is asynchronous: keep driving operations until it has
 	// completed at least one epoch (bounded by a deadline).
 	deadline := time.Now().Add(10 * time.Second)
