@@ -1,12 +1,21 @@
 GO ?= go
 
-.PHONY: build vet test race bench ci
+.PHONY: build vet lint test race bench ci
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis: go vet always, staticcheck when installed (CI installs
+# it; local runs degrade gracefully so the target never needs network).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; ran go vet only"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -19,4 +28,4 @@ race:
 bench:
 	$(GO) test -bench=BenchmarkVerifyScaling -benchtime=1x -run=^$$ .
 
-ci: build vet test race
+ci: build lint test race

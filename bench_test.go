@@ -303,6 +303,35 @@ func BenchmarkFig13(b *testing.B) {
 	}
 }
 
+// BenchmarkShardScaling measures TPC-C throughput as tables split into
+// more hash shards under a fixed 16-partition RSWS. With several clients
+// the single table latch is the residual bottleneck §4.3's partitioned
+// RSWS cannot remove; shards split that latch, so multi-client TPS should
+// rise (or at worst hold) from 1 → 16 shards. veridb-bench fig13 runs the
+// same sweep at scale and emits BENCH_shard.json.
+func BenchmarkShardScaling(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			cfg := bench.TPCCConfig{
+				Workload:    tpcc.Config{Warehouses: 4, Customers: 5, Items: 100},
+				Duration:    500 * time.Millisecond,
+				VerifyEvery: 1000,
+				TableShards: shards,
+			}
+			var tps float64
+			for i := 0; i < b.N; i++ {
+				pt, err := bench.RunTPCCPoint(cfg, vmem.Config{Partitions: 16},
+					fmt.Sprintf("%d shard(s)", shards), 4)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tps = pt.TPS
+			}
+			b.ReportMetric(tps, "tps")
+		})
+	}
+}
+
 // BenchmarkVerifyScaling measures full-memory verification latency on a
 // ≥10k-page memory as the verification worker count grows. On a multi-core
 // host latency should fall monotonically from 1 → 4 workers (partition

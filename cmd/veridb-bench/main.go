@@ -10,7 +10,7 @@
 //	veridb-bench fig10 [-rows N] [-ops N]
 //	veridb-bench fig11 [-rows N] [-ops N]
 //	veridb-bench fig12 [-lineitems N]
-//	veridb-bench fig13 [-warehouses N] [-seconds S]
+//	veridb-bench fig13 [-warehouses N] [-seconds S] [-shards 1,4,16] [-shard-json BENCH_shard.json]
 //	veridb-bench verify [-pages N] [-workers 1,2,4,8] [-json BENCH_verify.json]
 //	veridb-bench ablations [-rows N]
 //	veridb-bench all
@@ -47,6 +47,8 @@ func main() {
 	lineitems := fs.Int("lineitems", 60_000, "lineitem rows (fig 12); parts scale 1:30")
 	warehouses := fs.Int("warehouses", 20, "warehouses (fig 13)")
 	seconds := fs.Float64("seconds", 2, "seconds per throughput point (fig 13)")
+	shardList := fs.String("shards", "1,4,16", "comma-separated TableShards sweep (fig 13)")
+	shardJSON := fs.String("shard-json", "BENCH_shard.json", "write the shard sweep as JSON to this path (fig 13); empty disables")
 	pages := fs.Int("pages", 10_000, "pages in the verify-scaling memory (verify)")
 	workerList := fs.String("workers", "1,2,4,8", "comma-separated worker counts (verify)")
 	jsonPath := fs.String("json", "", "write verify-scaling results as JSON to this path (verify)")
@@ -70,7 +72,7 @@ func main() {
 	run("fig10", func() error { return fig10(*rows, *ops) })
 	run("fig11", func() error { return fig11(*rows, *ops) })
 	run("fig12", func() error { return fig12(*lineitems) })
-	run("fig13", func() error { return fig13(*warehouses, *seconds) })
+	run("fig13", func() error { return fig13(*warehouses, *seconds, *shardList, *shardJSON) })
 	run("verify", func() error { return verifyScaling(*pages, *workerList, *jsonPath) })
 	run("ablations", func() error { return ablations(*rows) })
 }
@@ -174,7 +176,7 @@ func fig12(lineitems int) error {
 	return nil
 }
 
-func fig13(warehouses int, seconds float64) error {
+func fig13(warehouses int, seconds float64, shardList, shardJSON string) error {
 	fmt.Printf("== Figure 13: TPC-C throughput vs clients (warehouses=%d, %.1fs/point) ==\n", warehouses, seconds)
 	cfg := bench.TPCCConfig{
 		Workload:    tpcc.Config{Warehouses: warehouses, Customers: 10, Items: 200},
@@ -199,6 +201,52 @@ func fig13(warehouses int, seconds float64) error {
 		fmt.Println()
 	}
 	fmt.Println("-- headline (§6.3): paper reports ~3-4x overhead with 1024 RSWSs, worse with fewer")
+	fmt.Println()
+
+	var shards []int
+	for _, s := range strings.Split(shardList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -shards entry %q", s)
+		}
+		shards = append(shards, n)
+	}
+	shardClients := []int{1, 4, 8}
+	fmt.Printf("== TableShards sweep: TPC-C throughput vs per-table shard count (16 RSWSs) ==\n")
+	run, err := bench.RunShardScaling(bench.ShardScalingConfig{
+		TPCC:    cfg,
+		Vmem:    vmem.Config{Partitions: 16},
+		Shards:  shards,
+		Clients: shardClients,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-18s", "shards\\clients")
+	for _, c := range shardClients {
+		fmt.Printf(" %8d", c)
+	}
+	fmt.Println()
+	i := 0
+	for _, n := range shards {
+		fmt.Printf("%-18d", n)
+		for range shardClients {
+			fmt.Printf(" %8.0f", run.Points[i].TPS)
+			i++
+		}
+		fmt.Println()
+	}
+	fmt.Println("-- splitting the table latch should lift multi-client throughput once RSWS contention is gone")
+	if shardJSON != "" {
+		data, err := json.MarshalIndent(run, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(shardJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("-- wrote %s\n", shardJSON)
+	}
 	fmt.Println()
 	return nil
 }

@@ -23,11 +23,13 @@ import (
 func main() {
 	verifyEvery := flag.Int("verify-every", 1000, "background verifier pacing (ops per page scan; 0 = manual)")
 	partitions := flag.Int("rsws", 1, "number of RSWS partitions")
+	tableShards := flag.Int("table-shards", 1, "hash shards per table (1 = unsharded)")
 	flag.Parse()
 
 	db, err := veridb.Open(veridb.Config{
 		RSWSPartitions: *partitions,
 		VerifyEveryOps: *verifyEvery,
+		TableShards:    *tableShards,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "veridb-cli:", err)

@@ -68,6 +68,7 @@ func main() {
 	verifyEvery := flag.Int("verify-every", 1000, "background verifier pacing")
 	verifyWorkers := flag.Int("verify-workers", 0, "verification worker pool size (0 = GOMAXPROCS)")
 	partitions := flag.Int("rsws", 16, "RSWS partitions")
+	tableShards := flag.Int("table-shards", 1, "hash shards per table (1 = unsharded)")
 	init := flag.String("init", "", "semicolon-separated SQL to run at startup")
 	var clients clientFlags
 	flag.Var(&clients, "client", "client credential id:hexkey (repeatable)")
@@ -77,6 +78,7 @@ func main() {
 		RSWSPartitions: *partitions,
 		VerifyEveryOps: *verifyEvery,
 		VerifyWorkers:  *verifyWorkers,
+		TableShards:    *tableShards,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -103,6 +103,32 @@ func TestRunTPCCPointSmall(t *testing.T) {
 	}
 }
 
+func TestRunShardScalingSmall(t *testing.T) {
+	run, err := RunShardScaling(ShardScalingConfig{
+		TPCC: TPCCConfig{
+			Workload: tpcc.Config{Warehouses: 2, Customers: 3, Items: 30},
+			Duration: 100 * time.Millisecond,
+		},
+		Vmem:    vmem.Config{Partitions: 4},
+		Shards:  []int{1, 4},
+		Clients: []int{2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Points) != 2 {
+		t.Fatalf("points = %d", len(run.Points))
+	}
+	for _, pt := range run.Points {
+		if pt.TPS <= 0 || pt.Clients != 2 {
+			t.Fatalf("point %+v", pt)
+		}
+	}
+	if run.Points[0].Shards != 1 || run.Points[1].Shards != 4 {
+		t.Fatalf("shard labels %+v", run.Points)
+	}
+}
+
 func TestRunVerifyScalingSmall(t *testing.T) {
 	run, err := RunVerifyScaling(VerifyScalingConfig{
 		Pages: 64, RecordsPerPage: 4, RecordBytes: 32,

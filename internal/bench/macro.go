@@ -154,6 +154,8 @@ type TPCCConfig struct {
 	Duration time.Duration
 	// VerifyEvery paces the background verifier (0 disables).
 	VerifyEvery int
+	// TableShards is the per-table hash-shard count (0 or 1: unsharded).
+	TableShards int
 	Seed        int64
 }
 
@@ -174,7 +176,9 @@ func (c TPCCConfig) withDefaults() TPCCConfig {
 type TPCCPoint struct {
 	Config  string
 	Clients int
-	TPS     float64
+	// Shards is the per-table shard count the point ran with (0: unsharded).
+	Shards int
+	TPS    float64
 }
 
 // RunTPCCPoint populates a fresh database and measures transaction
@@ -186,6 +190,9 @@ func RunTPCCPoint(cfg TPCCConfig, vc vmem.Config, configName string, clients int
 		return TPCCPoint{}, err
 	}
 	st := storage.NewStore(mem)
+	if cfg.TableShards > 0 {
+		st.SetDefaultShards(cfg.TableShards)
+	}
 	tables, err := tpcc.CreateTables(st)
 	if err != nil {
 		return TPCCPoint{}, err
@@ -231,8 +238,64 @@ func RunTPCCPoint(cfg TPCCConfig, vc vmem.Config, configName string, clients int
 	return TPCCPoint{
 		Config:  configName,
 		Clients: clients,
+		Shards:  cfg.TableShards,
 		TPS:     float64(txns.Load()) / cfg.Duration.Seconds(),
 	}, nil
+}
+
+// ShardScalingConfig sizes the TableShards sweep riding along Fig. 13:
+// same TPC-C mix, fixed RSWS layout, varying only the per-table shard
+// count so the remaining contention is the table latch the shards split.
+type ShardScalingConfig struct {
+	TPCC    TPCCConfig
+	Vmem    vmem.Config
+	Shards  []int
+	Clients []int
+}
+
+func (c ShardScalingConfig) withDefaults() ShardScalingConfig {
+	c.TPCC = c.TPCC.withDefaults()
+	if c.Vmem.Partitions == 0 {
+		c.Vmem.Partitions = 16
+	}
+	if len(c.Shards) == 0 {
+		c.Shards = []int{1, 4, 16}
+	}
+	if len(c.Clients) == 0 {
+		c.Clients = []int{1, 4, 8}
+	}
+	return c
+}
+
+// ShardScalingRun is the BENCH_shard.json payload.
+type ShardScalingRun struct {
+	Warehouses int
+	Partitions int
+	DurationMS int64
+	Points     []TPCCPoint
+}
+
+// RunShardScaling measures TPC-C throughput across per-table shard counts.
+func RunShardScaling(cfg ShardScalingConfig) (*ShardScalingRun, error) {
+	cfg = cfg.withDefaults()
+	run := &ShardScalingRun{
+		Warehouses: cfg.TPCC.Workload.Warehouses,
+		Partitions: cfg.Vmem.Partitions,
+		DurationMS: cfg.TPCC.Duration.Milliseconds(),
+	}
+	for _, shards := range cfg.Shards {
+		tc := cfg.TPCC
+		tc.TableShards = shards
+		name := fmt.Sprintf("%d shard(s)", shards)
+		for _, clients := range cfg.Clients {
+			pt, err := RunTPCCPoint(tc, cfg.Vmem, name, clients)
+			if err != nil {
+				return nil, fmt.Errorf("bench: shard sweep %s × %d clients: %w", name, clients, err)
+			}
+			run.Points = append(run.Points, pt)
+		}
+	}
+	return run, nil
 }
 
 // Fig13Configs returns the paper's RSWS-count series.

@@ -29,6 +29,10 @@ type Config struct {
 	// VerifyEveryOps starts the background verifier scanning one page per
 	// this many operations (Fig. 10's x). Zero leaves verification manual.
 	VerifyEveryOps int
+	// TableShards is the hash-shard count for tables created through SQL
+	// (each shard has its own latch, chains and pages). Zero or one keeps
+	// the unsharded layout bit-for-bit.
+	TableShards int
 	// Seed, when nonzero, makes the enclave's PRF key deterministic
 	// (benchmarks and tests only).
 	Seed uint64
@@ -56,10 +60,14 @@ func Open(cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	st := storage.NewStore(mem)
+	if cfg.TableShards > 0 {
+		st.SetDefaultShards(cfg.TableShards)
+	}
 	db := &DB{
 		enc:   enc,
 		mem:   mem,
-		store: storage.NewStore(mem),
+		store: st,
 		opts:  plan.Options{Join: cfg.Join},
 	}
 	db.portal = portal.New(enc, db)
@@ -233,7 +241,7 @@ func (db *DB) insert(ins *sql.Insert) (*portal.Result, error) {
 // matchingRows plans and materialises the rows of one table satisfying
 // where (the scan closes before any write begins, so DML never deadlocks
 // with its own read phase).
-func (db *DB) matchingRows(t *storage.Table, where sql.Expr) ([]record.Tuple, error) {
+func (db *DB) matchingRows(t storage.Engine, where sql.Expr) ([]record.Tuple, error) {
 	sel := &sql.Select{
 		Items: []sql.SelectItem{{Star: true}},
 		From:  []sql.TableRef{{Table: t.Name(), Alias: t.Name()}},
@@ -351,11 +359,11 @@ func (db *DB) Recover(replica *DB, seqFloor uint64) error {
 		for _, c := range src.ChainColumns()[1:] {
 			spec.ChainColumns = append(spec.ChainColumns, c)
 		}
-		dst, err := db.store.CreateTable(spec)
+		dst, err := db.store.Register(spec)
 		if err != nil {
 			return err
 		}
-		sc, err := src.NewScan(0, storage.ScanBounds{})
+		sc, err := src.SeqScan()
 		if err != nil {
 			return err
 		}

@@ -97,7 +97,7 @@ func (j *NestedLoopJoin) Close() error {
 // inventory.id).
 type IndexJoin struct {
 	Outer      Operator
-	InnerTable *storage.Table
+	InnerTable storage.Engine
 	InnerAlias string
 	// InnerCol is the chained inner column the key probes.
 	InnerCol int
@@ -167,7 +167,8 @@ func (j *IndexJoin) probe(key record.Value) ([]record.Tuple, error) {
 		return nil, nil // NULL joins nothing
 	}
 	if j.InnerCol == j.InnerTable.PrimaryKeyColumn() {
-		tup, ev, err := j.InnerTable.SearchPK(key)
+		// The probe routes to the single shard owning the key.
+		tup, ev, err := j.InnerTable.Get(key)
 		if err != nil {
 			return nil, err
 		}
@@ -176,7 +177,9 @@ func (j *IndexJoin) probe(key record.Value) ([]record.Tuple, error) {
 		}
 		return []record.Tuple{tup}, nil
 	}
-	sc, err := j.InnerTable.ScanRange(j.InnerCol, &key, &key)
+	// Secondary-chain probes fan out: every shard's sub-chain contributes
+	// its matches (and its absence proof) for the key.
+	sc, err := j.InnerTable.RangeScan(j.InnerCol, &key, &key)
 	if err != nil {
 		return nil, err
 	}

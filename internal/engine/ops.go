@@ -43,23 +43,23 @@ func Drain(op Operator) ([]record.Tuple, error) {
 // for range (⊥,⊤)", §5.4); with bounds on a chained column it becomes a
 // verified range scan on that column's chain.
 type TableScan struct {
-	Table *storage.Table
+	Table storage.Engine
 	Alias string
 	// Col is the bounded column index; -1 scans the primary chain fully.
 	Col    int
 	Lo, Hi *record.Value
 
-	sc      *storage.Scanner
+	sc      storage.Iterator
 	visited int
 }
 
 // NewTableScan builds a full scan over the primary chain.
-func NewTableScan(t *storage.Table, alias string) *TableScan {
+func NewTableScan(t storage.Engine, alias string) *TableScan {
 	return &TableScan{Table: t, Alias: alias, Col: -1}
 }
 
 // NewRangeScan builds a verified range scan on col's chain.
-func NewRangeScan(t *storage.Table, alias string, col int, lo, hi *record.Value) *TableScan {
+func NewRangeScan(t storage.Engine, alias string, col int, lo, hi *record.Value) *TableScan {
 	return &TableScan{Table: t, Alias: alias, Col: col, Lo: lo, Hi: hi}
 }
 
@@ -81,9 +81,11 @@ func (s *TableScan) Open() error {
 	}
 	var err error
 	if s.Col < 0 {
-		s.sc, err = s.Table.NewScan(0, storage.ScanBounds{})
+		// SeqScan iterates every shard; on a sharded table the storage
+		// layer fans the per-shard sub-scans out across VerifyWorkers.
+		s.sc, err = s.Table.SeqScan()
 	} else {
-		s.sc, err = s.Table.ScanRange(s.Col, s.Lo, s.Hi)
+		s.sc, err = s.Table.RangeScan(s.Col, s.Lo, s.Hi)
 	}
 	return err
 }

@@ -27,11 +27,11 @@ var spoolSeq atomic.Uint64
 type Spool struct {
 	Child Operator
 	// Store hosts the temporary table.
-	Store *storage.Store
+	Store storage.Catalog
 
-	table  *storage.Table
+	table  storage.Engine
 	name   string
-	sc     *storage.Scanner
+	sc     storage.Iterator
 	filled bool
 }
 
@@ -51,7 +51,7 @@ func (s *Spool) Open() error {
 		s.sc.Close()
 	}
 	var err error
-	s.sc, err = s.table.NewScan(0, storage.ScanBounds{})
+	s.sc, err = s.table.SeqScan()
 	return err
 }
 
@@ -67,10 +67,13 @@ func (s *Spool) fill() error {
 		})
 	}
 	s.name = fmt.Sprintf("__spool_%d", spoolSeq.Add(1))
-	t, err := s.Store.CreateTable(storage.TableSpec{
+	// Spools are filled and replayed by one goroutine in row order; a
+	// single shard keeps the scan a straight chain walk.
+	t, err := s.Store.Register(storage.TableSpec{
 		Name:       s.name,
 		Schema:     record.NewSchema(cols...),
 		PrimaryKey: 0,
+		Shards:     1,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,37 @@
+package index
+
+// Shard routing. A sharded table keeps one B-tree family per shard; the
+// storage router picks the family by hashing the encoded chain key. The
+// hash lives in this package because it is part of the same untrusted
+// location-lookup machinery: a wrong shard assignment is caught exactly
+// like a wrong (page, index) pair — the access method's ⟨key, nKey⟩
+// verification fails in the shard that was consulted, because that shard's
+// own ⊥/⊤-anchored chain proves the key absent there while the insert-time
+// routing (which uses the same deterministic function inside the enclave)
+// guarantees the key could live nowhere else.
+
+// fnvOffset and fnvPrime are the FNV-1a 64-bit parameters.
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+// Fingerprint hashes an encoded key with FNV-1a (64-bit). Deterministic
+// across processes and runs: shard routing must be a pure function of the
+// key so recovery re-routes every record identically.
+func Fingerprint(key []byte) uint64 {
+	h := uint64(fnvOffset)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// ShardOf maps an encoded key to one of n shards. n must be ≥ 1.
+func ShardOf(key []byte, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(Fingerprint(key) % uint64(n))
+}

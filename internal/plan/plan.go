@@ -21,9 +21,11 @@ import (
 	"veridb/internal/storage"
 )
 
-// Catalog resolves table names; *storage.Store satisfies it.
+// Catalog resolves table names to their storage engines; *storage.Store
+// satisfies it. The planner sees only the Engine seam, never the concrete
+// sharded table.
 type Catalog interface {
-	Table(name string) (*storage.Table, error)
+	Table(name string) (storage.Engine, error)
 }
 
 // JoinStrategy forces a join algorithm; JoinAuto picks per join.
@@ -51,7 +53,7 @@ type Options struct {
 // binding is one FROM/JOIN table with its alias.
 type binding struct {
 	alias string
-	table *storage.Table
+	table storage.Engine
 }
 
 // PlanSelect compiles a SELECT into an operator tree.
@@ -351,6 +353,12 @@ func accessPath(b binding, conjuncts []sql.Expr, used []bool) (engine.Operator, 
 			score++
 		}
 		if cb.eq {
+			score++
+		}
+		if cb.eq && ci == b.table.PrimaryKeyColumn() && b.table.ShardCount() > 1 {
+			// Shard-aware costing: a primary-key equality routes to a
+			// single shard, while an equally tight secondary-chain scan
+			// must visit every shard for its per-shard absence proofs.
 			score++
 		}
 		if score > bestScore {

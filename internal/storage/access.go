@@ -7,7 +7,7 @@ import (
 	"veridb/internal/record"
 )
 
-// tableLock serialises structural mutation of a table; scanners hold it
+// tableLock serialises structural mutation of a shard; scanners hold it
 // shared so the chain they verify is stable for the statement's duration.
 type tableLock = sync.RWMutex
 
@@ -31,49 +31,6 @@ func (e Evidence) String() string {
 	return fmt.Sprintf("%s.chain%d ⟨%v,%v⟩ %s probe", e.Table, e.Chain, e.Key, e.NKey, rel)
 }
 
-// SearchPK is the verified index search of §5.2: SELECT * WHERE pk = v.
-// The untrusted index supplies a candidate location; the record fetched
-// from write-read consistent memory must satisfy key == v (present) or
-// key < v < nKey (absent), otherwise ErrVerifyFailed is returned.
-func (t *Table) SearchPK(v record.Value) (record.Tuple, Evidence, error) {
-	pk, err := record.KeyOf(v)
-	if err != nil {
-		return nil, Evidence{}, err
-	}
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.searchChainLocked(0, pk)
-}
-
-func (t *Table) searchChainLocked(chain int, k record.Key) (record.Tuple, Evidence, error) {
-	_, loc, ok := t.chains[chain].SeekLE(k.Encode())
-	if !ok {
-		return nil, Evidence{}, fmt.Errorf("%w: chain %d returned no candidate for %v (missing ⊥ anchor)", ErrVerifyFailed, chain, k)
-	}
-	rec, err := t.fetch(loc)
-	if err != nil {
-		return nil, Evidence{}, err
-	}
-	if len(rec.Links) <= chain || rec.Links[chain].Key.IsNull() {
-		return nil, Evidence{}, fmt.Errorf("%w: evidence record does not participate in chain %d", ErrVerifyFailed, chain)
-	}
-	l := rec.Links[chain]
-	ev := Evidence{Table: t.name, Chain: chain, Key: l.Key, NKey: l.NKey}
-	switch {
-	case l.Key.Equal(k):
-		// Condition (1): the record itself proves presence.
-		ev.Found = true
-		return rec.Data.Clone(), ev, nil
-	case l.Key.Compare(k) < 0 && k.Compare(l.NKey) < 0:
-		// Condition (2): key < probe < nKey proves absence.
-		return nil, ev, nil
-	default:
-		// The untrusted index returned a tampered (page, index) pair.
-		return nil, Evidence{}, fmt.Errorf("%w: record ⟨%v,%v⟩ does not witness probe %v on chain %d",
-			ErrVerifyFailed, l.Key, l.NKey, k, chain)
-	}
-}
-
 // ScanBounds delimit a verified range scan in chain-key space. Nil Start
 // means ⊥ (scan from the beginning); nil End means ⊤.
 type ScanBounds struct {
@@ -81,18 +38,22 @@ type ScanBounds struct {
 	End   *record.Key // inclusive target upper bound ('b')
 }
 
-// Scanner is the verified range/sequential scan of §5.2. It walks the key
-// chain record by record and enforces the three conditions of Example 5.1:
+// Scanner is the verified range/sequential scan of §5.2 over one shard's
+// sub-chain. It walks the key chain record by record and enforces the three
+// conditions of Example 5.1:
 //
 //  1. the first record's key is ≤ the range start,
 //  2. scanning continues until a record's nKey exceeds the range end (so
 //     the final nKey proves nothing was omitted at the top), and
 //  3. every record's key equals its predecessor's nKey (no gaps).
 //
-// The scanner holds the table's shared lock from creation until Close (or
+// The scanner holds the shard's shared latch from creation until Close (or
 // exhaustion), so concurrent writers cannot invalidate the chain mid-scan.
+// On a multi-shard table a merge iterator stitches one Scanner per shard
+// (merge.go); each Scanner's conditions cover its shard and the merge
+// checks the stitch points.
 type Scanner struct {
-	t      *Table
+	sh     *shard
 	chain  int
 	start  record.Key
 	end    record.Key
@@ -103,13 +64,10 @@ type Scanner struct {
 	visited int
 }
 
-// NewScan opens a verified scan of the given chain over bounds. For
-// chain 0 the bounds are primary keys; for secondary chains callers pass
-// composite bounds (record.CompositeLow/High).
-func (t *Table) NewScan(chain int, bounds ScanBounds) (*Scanner, error) {
-	if chain < 0 || chain >= len(t.chains) {
-		return nil, fmt.Errorf("storage: table %q has no chain %d", t.name, chain)
-	}
+// newScan opens a verified scan of the given chain of this shard over
+// bounds. On a verification failure the returned scanner is already closed
+// and carries the error.
+func (sh *shard) newScan(chain int, bounds ScanBounds) (*Scanner, error) {
 	start := record.Bottom()
 	if bounds.Start != nil {
 		start = *bounds.Start
@@ -118,16 +76,16 @@ func (t *Table) NewScan(chain int, bounds ScanBounds) (*Scanner, error) {
 	if bounds.End != nil {
 		end = *bounds.End
 	}
-	s := &Scanner{t: t, chain: chain, start: start, end: end}
-	t.mu.RLock()
+	s := &Scanner{sh: sh, chain: chain, start: start, end: end}
+	sh.mu.RLock()
 	// Locate the chain entry point: the record with the greatest key ≤
 	// start. Its key ≤ start establishes condition (1).
-	_, loc, ok := t.chains[chain].SeekLE(start.Encode())
+	_, loc, ok := sh.chains[chain].SeekLE(start.Encode())
 	if !ok {
 		s.fail(fmt.Errorf("%w: chain %d has no record ≤ %v (missing ⊥ anchor)", ErrVerifyFailed, chain, start))
 		return s, s.err
 	}
-	rec, err := t.fetch(loc)
+	rec, err := sh.fetch(loc)
 	if err != nil {
 		s.fail(err)
 		return s, s.err
@@ -145,57 +103,6 @@ func (t *Table) NewScan(chain int, bounds ScanBounds) (*Scanner, error) {
 	return s, nil
 }
 
-// ScanRange opens a verified scan over the chain serving column col,
-// restricted to column values in [lo, hi] (nil bounds are open). For
-// secondary chains the value bounds are translated to composite-key bounds
-// so duplicate column values are all covered.
-func (t *Table) ScanRange(col int, lo, hi *record.Value) (*Scanner, error) {
-	chain := t.ChainFor(col)
-	if chain < 0 {
-		return nil, fmt.Errorf("storage: table %q column %d has no access-method chain", t.name, col)
-	}
-	var bounds ScanBounds
-	if lo != nil {
-		var k record.Key
-		var err error
-		if chain == 0 {
-			k, err = record.KeyOf(*lo)
-		} else {
-			k, err = record.CompositeLow(*lo)
-		}
-		if err != nil {
-			return nil, err
-		}
-		bounds.Start = &k
-	}
-	if hi != nil {
-		var k record.Key
-		var err error
-		if chain == 0 {
-			k, err = record.KeyOf(*hi)
-		} else {
-			k, err = record.CompositeHigh(*hi)
-		}
-		if err != nil {
-			return nil, err
-		}
-		bounds.End = &k
-	}
-	sc, err := t.NewScan(chain, bounds)
-	if err != nil {
-		return nil, err
-	}
-	if chain != 0 && hi != nil {
-		// CompositeHigh is an exclusive bound in chain-key space: the scan
-		// must emit keys strictly below it. NewScan treats End as
-		// inclusive, which is harmless here because CompositeHigh itself
-		// never equals a real composite key (it ends in the bumped
-		// terminator 0x00 0x01, real keys embed 0x00 0x00).
-		_ = sc
-	}
-	return sc, nil
-}
-
 // fail records a verification error and releases the lock.
 func (s *Scanner) fail(err error) {
 	s.err = err
@@ -205,11 +112,11 @@ func (s *Scanner) fail(err error) {
 func (s *Scanner) close() {
 	if !s.closed {
 		s.closed = true
-		s.t.mu.RUnlock()
+		s.sh.mu.RUnlock()
 	}
 }
 
-// Close releases the scanner's shared table lock. Safe to call repeatedly;
+// Close releases the scanner's shared shard latch. Safe to call repeatedly;
 // exhausting the scan closes it implicitly.
 func (s *Scanner) Close() { s.close() }
 
@@ -224,9 +131,16 @@ func (s *Scanner) Visited() int { return s.visited }
 // Next returns the next in-range tuple. ok is false when the scan is
 // complete or failed; check Err.
 func (s *Scanner) Next() (record.Tuple, bool, error) {
+	tup, _, ok, err := s.nextKeyed()
+	return tup, ok, err
+}
+
+// nextKeyed is Next plus the emitted record's chain key — the merge order
+// key the cross-shard stitch needs (merge.go).
+func (s *Scanner) nextKeyed() (record.Tuple, record.Key, bool, error) {
 	for {
 		if s.err != nil || s.closed || s.cur == nil {
-			return nil, false, s.err
+			return nil, record.Key{}, false, s.err
 		}
 		rec := s.cur
 		l := rec.Links[s.chain]
@@ -244,17 +158,17 @@ func (s *Scanner) Next() (record.Tuple, bool, error) {
 		if l.NKey.Compare(s.end) <= 0 {
 			if err := s.step(l.NKey); err != nil {
 				s.fail(err)
-				return nil, false, s.err
+				return nil, record.Key{}, false, s.err
 			}
 		} else {
 			s.cur = nil
 			s.close()
 		}
 		if out != nil {
-			return out, true, nil
+			return out, l.Key, true, nil
 		}
 		if s.cur == nil {
-			return nil, false, s.err
+			return nil, record.Key{}, false, s.err
 		}
 	}
 }
@@ -267,11 +181,11 @@ func (s *Scanner) step(nKey record.Key) error {
 		s.close()
 		return nil
 	}
-	loc, ok := s.t.chains[s.chain].Get(nKey.Encode())
+	loc, ok := s.sh.chains[s.chain].Get(nKey.Encode())
 	if !ok {
 		return fmt.Errorf("%w: chain %d broken: no record for nKey %v (condition 3)", ErrVerifyFailed, s.chain, nKey)
 	}
-	rec, err := s.t.fetch(loc)
+	rec, err := s.sh.fetch(loc)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,76 @@
+package storage
+
+import (
+	"veridb/internal/record"
+)
+
+// Iterator is a verified scan in progress. Next returns the next in-range
+// tuple; ok is false when the scan is complete or failed, in which case Err
+// reports the verification error, if any. Close is idempotent and releases
+// the shard latches the scan holds; exhausting the scan closes it
+// implicitly. Visited counts chain records read (including sentinels and
+// boundary records) — the verification-overhead metric of §6.
+type Iterator interface {
+	Next() (record.Tuple, bool, error)
+	Close()
+	Err() error
+	Visited() int
+}
+
+// Engine is the storage seam the upper layers (core, plan, engine) consume
+// instead of the concrete *Table. It carries exactly the paper's verified
+// access methods — point lookup with evidence (§5.2 index search), DML
+// (§4.2 Insert/Delete/Update), and verified range/sequential scans — plus
+// the schema metadata planning needs. Every future backend (disk pages,
+// remote shards) plugs in here; the in-memory sharded table is the first
+// implementation.
+type Engine interface {
+	// Schema metadata.
+	Name() string
+	Schema() *record.Schema
+	PrimaryKeyColumn() int
+	ChainColumns() []int
+	ChainFor(col int) int
+	RowCount() int
+	ShardCount() int
+
+	// Verified point access: the result carries single-record ⟨key, nKey⟩
+	// presence/absence evidence (Definition 4.2).
+	Get(pk record.Value) (record.Tuple, Evidence, error)
+
+	// DML, each maintaining every ⟨key, nKey⟩ chain (§4.2).
+	Insert(tup record.Tuple) error
+	Delete(pk record.Value) error
+	Update(pk record.Value, newTup record.Tuple) error
+	// UpdateFunc is the read-modify-write primitive: mutate runs on a copy
+	// of the row under the owning shard's write latch. Chain-key columns
+	// must not change; use Update for key-changing writes.
+	UpdateFunc(pk record.Value, mutate func(record.Tuple) (record.Tuple, error)) error
+
+	// Verified scans (§5.2 Example 5.1 conditions). RangeScan covers column
+	// values in [lo, hi] on the chain serving col (nil bounds are open);
+	// SeqScan walks the whole primary chain. On a sharded table both stitch
+	// the per-shard sub-chains in key order.
+	RangeScan(col int, lo, hi *record.Value) (Iterator, error)
+	SeqScan() (Iterator, error)
+}
+
+// Catalog is the table-registry half of the seam: Register creates a table
+// (the §4.2 Register step — its chain sentinels join the verified set) and
+// hands back its Engine. The executor's spill operator and the SQL layer
+// create and drop tables only through this interface.
+type Catalog interface {
+	Register(spec TableSpec) (Engine, error)
+	Table(name string) (Engine, error)
+	DropTable(name string) error
+	TableNames() []string
+}
+
+// Interface conformance pins.
+var (
+	_ Engine   = (*Table)(nil)
+	_ Catalog  = (*Store)(nil)
+	_ Iterator = (*Scanner)(nil)
+	_ Iterator = (*mergeIterator)(nil)
+	_ Iterator = (*parallelMergeIterator)(nil)
+)

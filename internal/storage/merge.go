@@ -1,0 +1,300 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"veridb/internal/record"
+)
+
+// Cross-shard scan stitching. Every shard owns a complete ⊥/⊤-anchored
+// sub-chain, so a per-shard Scanner proves the three §5.2 conditions for
+// the keys that route to that shard; since routing is a total function
+// (each key hashes to exactly one shard), the union of the per-shard
+// result streams is complete for the whole range. The merge replays the
+// streams in global key order and verifies the stitch points: emitted keys
+// must be strictly increasing across shard boundaries, so two shards can
+// never both claim a key (a duplicate would mean the untrusted host
+// replayed a record into a second shard's stream).
+
+// mergeHead is one shard stream's current front row.
+type mergeHead struct {
+	tup   record.Tuple
+	key   record.Key
+	valid bool
+}
+
+// stitchCheck enforces strictly increasing keys across the merged output.
+func stitchCheck(hasLast bool, last, next record.Key, chain int) error {
+	if hasLast && next.Compare(last) <= 0 {
+		return fmt.Errorf("%w: chain %d stitch violation: key %v not above %v (duplicate across shards)",
+			ErrVerifyFailed, chain, next, last)
+	}
+	return nil
+}
+
+// mergeIterator stitches one Scanner per shard sequentially. Shard latches
+// are acquired shared in shard order at open; writers hold at most one
+// shard latch at a time (see shard.update), so the ordered acquisition
+// cannot deadlock against them.
+type mergeIterator struct {
+	chain   int
+	scs     []*Scanner
+	heads   []mergeHead
+	last    record.Key
+	hasLast bool
+	err     error
+	closed  bool
+}
+
+func newMergeIterator(t *Table, chain int, bounds ScanBounds) (*mergeIterator, error) {
+	m := &mergeIterator{chain: chain, scs: make([]*Scanner, 0, len(t.shards)), heads: make([]mergeHead, len(t.shards))}
+	for i, sh := range t.shards {
+		sc, err := sh.newScan(chain, bounds)
+		if err != nil {
+			sc.Close()
+			m.fail(err)
+			return m, m.err
+		}
+		m.scs = append(m.scs, sc)
+		if err := m.advance(i); err != nil {
+			m.fail(err)
+			return m, m.err
+		}
+	}
+	return m, nil
+}
+
+// advance pulls the next row from shard stream i into its head.
+func (m *mergeIterator) advance(i int) error {
+	tup, key, ok, err := m.scs[i].nextKeyed()
+	if err != nil {
+		return err
+	}
+	m.heads[i] = mergeHead{tup: tup, key: key, valid: ok}
+	return nil
+}
+
+func (m *mergeIterator) Next() (record.Tuple, bool, error) {
+	if m.err != nil || m.closed {
+		return nil, false, m.err
+	}
+	best := -1
+	for i := range m.heads {
+		if !m.heads[i].valid {
+			continue
+		}
+		if best < 0 || m.heads[i].key.Compare(m.heads[best].key) < 0 {
+			best = i
+		}
+	}
+	if best < 0 {
+		m.Close()
+		return nil, false, nil
+	}
+	out, key := m.heads[best].tup, m.heads[best].key
+	if err := stitchCheck(m.hasLast, m.last, key, m.chain); err != nil {
+		m.fail(err)
+		return nil, false, m.err
+	}
+	m.last, m.hasLast = key, true
+	if err := m.advance(best); err != nil {
+		m.fail(err)
+		return nil, false, m.err
+	}
+	return out, true, nil
+}
+
+func (m *mergeIterator) fail(err error) {
+	m.err = err
+	m.Close()
+}
+
+func (m *mergeIterator) Close() {
+	if m.closed {
+		return
+	}
+	m.closed = true
+	for _, sc := range m.scs {
+		sc.Close()
+	}
+}
+
+func (m *mergeIterator) Err() error { return m.err }
+
+func (m *mergeIterator) Visited() int {
+	n := 0
+	for _, sc := range m.scs {
+		n += sc.Visited()
+	}
+	return n
+}
+
+// shardRow is one row (or terminal error) produced by a shard stream.
+type shardRow struct {
+	tup record.Tuple
+	key record.Key
+	err error
+}
+
+// parallelMergeIterator fans a scan out across shards: one producer
+// goroutine per shard drives that shard's verified Scanner and feeds a
+// bounded channel; the consumer merges the streams in key order with the
+// same stitch check as the sequential path. One producer per shard is a
+// correctness requirement, not a tuning choice: the merge cannot emit a
+// row until it has a head from every live stream, so capping producers
+// below the shard count would deadlock the merge. VerifyWorkers gates
+// whether this path is used at all (Table.SeqScan), mirroring how
+// VerifyAll fans its partition scans out.
+type parallelMergeIterator struct {
+	chain   int
+	chans   []chan shardRow
+	heads   []mergeHead
+	last    record.Key
+	hasLast bool
+	err     error
+	closed  bool
+
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+	visited   atomic.Int64
+}
+
+// producerBuf is the per-shard channel depth: enough to keep producers busy
+// across consumer stalls without buffering whole shards.
+const producerBuf = 64
+
+func newParallelMergeIterator(t *Table, chain int, bounds ScanBounds) (*parallelMergeIterator, error) {
+	m := &parallelMergeIterator{
+		chain: chain,
+		chans: make([]chan shardRow, len(t.shards)),
+		heads: make([]mergeHead, len(t.shards)),
+		done:  make(chan struct{}),
+	}
+	for i := range t.shards {
+		ch := make(chan shardRow, producerBuf)
+		m.chans[i] = ch
+		m.wg.Add(1)
+		go m.produce(t.shards[i], ch, bounds)
+	}
+	// Prime the heads so open-time verification failures (condition 1,
+	// broken anchors) surface from the constructor like the sequential path.
+	for i := range m.chans {
+		if err := m.advance(i); err != nil {
+			m.fail(err)
+			return m, m.err
+		}
+	}
+	return m, nil
+}
+
+func (m *parallelMergeIterator) produce(sh *shard, ch chan<- shardRow, bounds ScanBounds) {
+	defer m.wg.Done()
+	defer close(ch)
+	sc, err := sh.newScan(m.chain, bounds)
+	if err != nil {
+		select {
+		case ch <- shardRow{err: err}:
+		case <-m.done:
+		}
+		return
+	}
+	defer func() {
+		m.visited.Add(int64(sc.Visited()))
+		sc.Close()
+	}()
+	for {
+		tup, key, ok, err := sc.nextKeyed()
+		if err != nil {
+			select {
+			case ch <- shardRow{err: err}:
+			case <-m.done:
+			}
+			return
+		}
+		if !ok {
+			return
+		}
+		select {
+		case ch <- shardRow{tup: tup, key: key}:
+		case <-m.done:
+			return
+		}
+	}
+}
+
+// advance receives the next row from shard stream i.
+func (m *parallelMergeIterator) advance(i int) error {
+	row, ok := <-m.chans[i]
+	if !ok {
+		m.heads[i] = mergeHead{}
+		return nil
+	}
+	if row.err != nil {
+		return row.err
+	}
+	m.heads[i] = mergeHead{tup: row.tup, key: row.key, valid: true}
+	return nil
+}
+
+func (m *parallelMergeIterator) Next() (record.Tuple, bool, error) {
+	if m.err != nil || m.closed {
+		return nil, false, m.err
+	}
+	best := -1
+	for i := range m.heads {
+		if !m.heads[i].valid {
+			continue
+		}
+		if best < 0 || m.heads[i].key.Compare(m.heads[best].key) < 0 {
+			best = i
+		}
+	}
+	if best < 0 {
+		m.Close()
+		return nil, false, nil
+	}
+	out, key := m.heads[best].tup, m.heads[best].key
+	if err := stitchCheck(m.hasLast, m.last, key, m.chain); err != nil {
+		m.fail(err)
+		return nil, false, m.err
+	}
+	m.last, m.hasLast = key, true
+	if err := m.advance(best); err != nil {
+		m.fail(err)
+		return nil, false, m.err
+	}
+	return out, true, nil
+}
+
+func (m *parallelMergeIterator) fail(err error) {
+	m.err = err
+	m.Close()
+}
+
+// Close stops the producers and waits for them to release their shard
+// latches, so a writer issued right after Close cannot block on a scan
+// that is still winding down.
+func (m *parallelMergeIterator) Close() {
+	if m.closed {
+		return
+	}
+	m.closed = true
+	m.closeOnce.Do(func() { close(m.done) })
+	for _, ch := range m.chans {
+		// Drain so producers blocked on a full channel exit promptly even
+		// though they also select on done.
+		for range ch {
+		}
+	}
+	m.wg.Wait()
+}
+
+func (m *parallelMergeIterator) Err() error { return m.err }
+
+// Visited sums the per-shard scanner counts; producers publish their count
+// when they finish, so the value is complete once the scan is closed or
+// exhausted.
+func (m *parallelMergeIterator) Visited() int { return int(m.visited.Load()) }

@@ -1,0 +1,477 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+
+	"veridb/internal/index"
+	"veridb/internal/page"
+	"veridb/internal/record"
+)
+
+// shard is one independently latched slice of a table. Each shard owns a
+// complete ⊥/⊤-anchored sub-chain per chain column, its own untrusted
+// B-tree indexes, page set and fill target, so DML on different shards
+// never contends on a latch. Rows are assigned to shards by hashing the
+// encoded primary key (index.ShardOf); a row's secondary-chain entries
+// live in the same shard as the row itself, so a shard is self-contained:
+// its chains prove presence/absence for exactly the keys that route to it
+// (Definition 4.2 holds per shard).
+//
+// The mutex serialises structural mutation (chain maintenance and the
+// untrusted indexes); scanners hold it shared for their lifetime so the
+// chain they verify is stable. The expensive verification work (PRF
+// folding) happens inside vmem under its own per-partition RSWS locks.
+type shard struct {
+	t  *Table
+	id int
+	// affinity pins this shard's pages to one RSWS partition so the shard
+	// latch and the partition lock contend on the same subset of traffic
+	// (§4.3). -1 means no preference (single-shard tables keep the plain
+	// allocation order, bit-for-bit).
+	affinity int
+
+	mu       tableLock
+	chains   []*index.BTree // chains[i] indexes chain i by encoded key
+	pages    []uint64
+	fill     uint64          // current insertion target page
+	spacious map[uint64]bool // pages with known reclaimable or free space
+	rows     int
+}
+
+func newShard(t *Table, id, affinity int) (*shard, error) {
+	sh := &shard{
+		t:        t,
+		id:       id,
+		affinity: affinity,
+		chains:   make([]*index.BTree, len(t.chainCols)),
+		spacious: make(map[uint64]bool),
+	}
+	for i := range sh.chains {
+		sh.chains[i] = index.New()
+	}
+	// One sentinel record per chain: ⟨⊥, ⊤⟩ on its own chain, null links on
+	// the others — two empty key chains, exactly as Fig. 6(a) initialises.
+	// Every shard carries its own sentinels, so absence below the shard's
+	// minimum and in an empty shard stays provable.
+	for i := range sh.chains {
+		links := make([]record.ChainLink, len(t.chainCols))
+		for j := range links {
+			links[j] = record.ChainLink{Key: record.NullKey(), NKey: record.NullKey()}
+		}
+		links[i] = record.ChainLink{Key: record.Bottom(), NKey: record.Top()}
+		loc, err := sh.placeRecord(record.Encode(&record.Record{Links: links}))
+		if err != nil {
+			return nil, fmt.Errorf("storage: creating sentinel for %q shard %d chain %d: %w", t.name, id, i, err)
+		}
+		sh.chains[i].Set(record.Bottom().Encode(), loc)
+	}
+	return sh, nil
+}
+
+// spaciousSweepCap bounds how many spacious-map entries one placeRecord call
+// may examine while pruning re-filled pages; random map order spreads the
+// sweep across inserts.
+const spaciousSweepCap = 32
+
+// placeRecord stores encoded bytes in a page with room, allocating pages as
+// needed, and returns the location.
+func (sh *shard) placeRecord(enc []byte) (index.Loc, error) {
+	try := func(pid uint64) (index.Loc, error) {
+		slot, err := sh.t.mem.Insert(pid, enc)
+		if err != nil {
+			return index.Loc{}, err
+		}
+		return index.Loc{Page: pid, Slot: slot}, nil
+	}
+	if sh.fill != 0 {
+		if loc, err := try(sh.fill); err == nil {
+			return loc, nil
+		} else if !errors.Is(err, page.ErrPageFull) {
+			return index.Loc{}, err
+		}
+	}
+	// Retry a few pages known to have reclaimable space before growing.
+	// Pages that have been re-filled since they were marked (compaction
+	// plus later inserts) are dropped without spending a placement attempt:
+	// without the pruning the map only ever shrinks by failed tries, and
+	// under long delete/insert churn it accumulates entries for full pages.
+	tried, examined := 0, 0
+	for pid := range sh.spacious {
+		if pid == sh.fill {
+			delete(sh.spacious, pid)
+			continue
+		}
+		if examined++; examined > spaciousSweepCap {
+			break
+		}
+		if info, err := sh.t.mem.Info(pid); err == nil &&
+			info.ContiguousFree+info.Reclaimable < len(enc) {
+			delete(sh.spacious, pid)
+			continue
+		}
+		loc, err := try(pid)
+		if err == nil {
+			sh.fill = pid
+			delete(sh.spacious, pid)
+			return loc, nil
+		}
+		if !errors.Is(err, page.ErrPageFull) {
+			return index.Loc{}, err
+		}
+		delete(sh.spacious, pid)
+		if tried++; tried >= 4 {
+			break
+		}
+	}
+	pid, err := sh.t.mem.NewPageIn(sh.affinity)
+	if err != nil {
+		return index.Loc{}, err
+	}
+	sh.pages = append(sh.pages, pid)
+	sh.fill = pid
+	return try(pid)
+}
+
+// fetch reads and decodes the record at loc through the protected Get.
+func (sh *shard) fetch(loc index.Loc) (*record.Record, error) {
+	raw, err := sh.t.mem.Get(loc.Page, loc.Slot)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := record.Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%w: undecodable record at (%d,%d): %v", ErrVerifyFailed, loc.Page, loc.Slot, err)
+	}
+	return rec, nil
+}
+
+// rewrite stores a mutated record back at loc, relocating it (and fixing
+// every chain index entry) when the grown record no longer fits its page
+// (§4.2: an oversized update performs a delete followed by an insert,
+// possibly on a different page).
+func (sh *shard) rewrite(loc index.Loc, rec *record.Record) (index.Loc, error) {
+	enc := record.Encode(rec)
+	err := sh.t.mem.Update(loc.Page, loc.Slot, enc)
+	if err == nil {
+		return loc, nil
+	}
+	if !errors.Is(err, page.ErrPageFull) {
+		return index.Loc{}, err
+	}
+	newLoc, err := sh.placeRecord(enc)
+	if err != nil {
+		return index.Loc{}, err
+	}
+	if err := sh.t.mem.Delete(loc.Page, loc.Slot); err != nil {
+		return index.Loc{}, err
+	}
+	sh.spacious[loc.Page] = true
+	for i := range sh.chains {
+		l := rec.Links[i]
+		if l.Key.IsNull() {
+			continue
+		}
+		sh.chains[i].Set(l.Key.Encode(), newLoc)
+	}
+	return newLoc, nil
+}
+
+// setPredNKey updates the chain-i predecessor of key so that its nKey
+// becomes nk. The predecessor is located through the untrusted index and
+// its identity verified against the chain (pred.key < key ≤ pred's old
+// nKey would have held before the mutation this call is part of).
+func (sh *shard) setPredNKey(i int, key record.Key, nk record.Key) error {
+	_, loc, ok := sh.chains[i].SeekLT(key.Encode())
+	if !ok {
+		return fmt.Errorf("%w: chain %d has no predecessor for %v", ErrVerifyFailed, i, key)
+	}
+	rec, err := sh.fetch(loc)
+	if err != nil {
+		return err
+	}
+	if len(rec.Links) != len(sh.chains) || rec.Links[i].Key.IsNull() {
+		return fmt.Errorf("%w: chain %d predecessor of %v does not participate", ErrVerifyFailed, i, key)
+	}
+	if rec.Links[i].Key.Compare(key) >= 0 {
+		return fmt.Errorf("%w: chain %d predecessor %v not below %v", ErrVerifyFailed, i, rec.Links[i].Key, key)
+	}
+	rec.Links[i].NKey = nk
+	_, err = sh.rewrite(loc, rec)
+	return err
+}
+
+// insert adds a tuple whose primary key routes to this shard, maintaining
+// every chain (§4.2 Insert: "identifies the record whose primary key right
+// precedes the current one, and updates its nKey").
+func (sh *shard) insert(tup record.Tuple, pk record.Key) error {
+	t := sh.t
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	// One pass per chain: fetch the predecessor once, capture its current
+	// nKey (the new record's successor) and relink it to the new key —
+	// §4.2's "identifies the record whose primary key right precedes the
+	// current one, and updates its nKey", paid as one verifiable read plus
+	// one verifiable write per chain. Re-seeking per chain keeps this
+	// correct when several chains share one predecessor record.
+	keys := make([]record.Key, len(sh.chains))
+	present := make([]bool, len(sh.chains))
+	succs := make([]record.Key, len(sh.chains))
+	relinked := 0
+	undo := func() {
+		// Restore predecessors updated so far (failure of a later step).
+		for i := 0; i < relinked; i++ {
+			if present[i] {
+				_ = sh.setPredNKey(i, keys[i], succs[i])
+			}
+		}
+	}
+	for i := range sh.chains {
+		k, ok, err := t.chainKey(i, tup, pk)
+		if err != nil {
+			undo()
+			return err
+		}
+		if !ok {
+			relinked++
+			continue
+		}
+		keys[i], present[i] = k, true
+		pKey, pLoc, found := sh.chains[i].SeekLE(k.Encode())
+		if !found {
+			undo()
+			return fmt.Errorf("%w: chain %d missing ⊥ anchor", ErrVerifyFailed, i)
+		}
+		pRec, err := sh.fetch(pLoc)
+		if err != nil {
+			undo()
+			return err
+		}
+		if i == 0 && pRec.Links[0].Key.Equal(k) {
+			undo()
+			return fmt.Errorf("%w: %v in table %q", ErrDuplicateKey, tup[t.chainCols[0]], t.name)
+		}
+		if pRec.Links[i].Key.IsNull() {
+			undo()
+			return fmt.Errorf("%w: chain %d anchor at %x does not participate", ErrVerifyFailed, i, pKey)
+		}
+		succs[i] = pRec.Links[i].NKey
+		pRec.Links[i].NKey = k
+		if _, err := sh.rewrite(pLoc, pRec); err != nil {
+			undo()
+			return err
+		}
+		relinked++
+	}
+
+	links := make([]record.ChainLink, len(sh.chains))
+	for i := range links {
+		if present[i] {
+			links[i] = record.ChainLink{Key: keys[i], NKey: succs[i]}
+		} else {
+			links[i] = record.ChainLink{Key: record.NullKey(), NKey: record.NullKey()}
+		}
+	}
+	loc, err := sh.placeRecord(record.Encode(&record.Record{Links: links, Data: tup}))
+	if err != nil {
+		undo()
+		return err
+	}
+	for i := range sh.chains {
+		if present[i] {
+			sh.chains[i].Set(keys[i].Encode(), loc)
+		}
+	}
+	sh.rows++
+	return nil
+}
+
+func (sh *shard) delete(pk record.Key) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.deleteLocked(pk)
+}
+
+func (sh *shard) deleteLocked(pk record.Key) error {
+	loc, ok := sh.chains[0].Get(pk.Encode())
+	if !ok {
+		return fmt.Errorf("%w: primary key %v in %q", ErrNotFound, pk, sh.t.name)
+	}
+	rec, err := sh.fetch(loc)
+	if err != nil {
+		return err
+	}
+	if !rec.Links[0].Key.Equal(pk) {
+		return fmt.Errorf("%w: index pointed %v at record keyed %v", ErrVerifyFailed, pk, rec.Links[0].Key)
+	}
+	// Unlink from every chain the record participates in.
+	for i := range sh.chains {
+		l := rec.Links[i]
+		if l.Key.IsNull() {
+			continue
+		}
+		if err := sh.setPredNKey(i, l.Key, l.NKey); err != nil {
+			return err
+		}
+	}
+	// The predecessor rewrites may have relocated this record; re-resolve.
+	loc, ok = sh.chains[0].Get(pk.Encode())
+	if !ok {
+		return fmt.Errorf("%w: record vanished during delete", ErrVerifyFailed)
+	}
+	for i := range sh.chains {
+		if l := rec.Links[i]; !l.Key.IsNull() {
+			sh.chains[i].Delete(l.Key.Encode())
+		}
+	}
+	if err := sh.t.mem.Delete(loc.Page, loc.Slot); err != nil {
+		return err
+	}
+	sh.spacious[loc.Page] = true
+	sh.rows--
+	return nil
+}
+
+// updateFunc is the read-modify-write primitive, run entirely under this
+// shard's write latch. Chain-key columns must not change.
+func (sh *shard) updateFunc(pkVal record.Value, pk record.Key, mutate func(record.Tuple) (record.Tuple, error)) error {
+	t := sh.t
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	loc, ok := sh.chains[0].Get(pk.Encode())
+	if !ok {
+		return fmt.Errorf("%w: primary key %v in %q", ErrNotFound, pkVal, t.name)
+	}
+	rec, err := sh.fetch(loc)
+	if err != nil {
+		return err
+	}
+	newTup, err := mutate(rec.Data.Clone())
+	if err != nil {
+		return err
+	}
+	if err := t.schema.Validate(newTup); err != nil {
+		return err
+	}
+	newTup = t.schema.Coerce(newTup)
+	newPK, err := record.KeyOf(newTup[t.chainCols[0]])
+	if err != nil {
+		return err
+	}
+	if !newPK.Equal(pk) {
+		return fmt.Errorf("storage: UpdateFunc on %q changed chain column %q",
+			t.name, t.schema.Columns[t.chainCols[0]].Name)
+	}
+	for i := 1; i < len(sh.chains); i++ {
+		nk, ok, err := t.chainKey(i, newTup, pk)
+		if err != nil {
+			return err
+		}
+		old := rec.Links[i]
+		same := (!ok && old.Key.IsNull()) || (ok && !old.Key.IsNull() && nk.Equal(old.Key))
+		if !same {
+			return fmt.Errorf("storage: UpdateFunc on %q changed chain column %q",
+				t.name, t.schema.Columns[t.chainCols[i]].Name)
+		}
+	}
+	rec.Data = newTup
+	_, err = sh.rewrite(loc, rec)
+	return err
+}
+
+// update replaces the row keyed pk by newTup when no chain key changes
+// (in-place data rewrite, §4.2 Update: "there is no need to update the key
+// chain"). When a chain key does change it deletes the old row and reports
+// reinsert=true: the router then re-inserts newTup, which re-routes it if
+// the primary key moved to another shard. The shard latch is released
+// between the delete and the re-insert (exactly the pre-sharding
+// behaviour), so a writer never holds two shard latches at once — the
+// lock-order argument that keeps multi-shard scans deadlock-free.
+func (sh *shard) update(pkVal record.Value, pk record.Key, newTup record.Tuple) (reinsert bool, err error) {
+	t := sh.t
+	sh.mu.Lock()
+	loc, ok := sh.chains[0].Get(pk.Encode())
+	if !ok {
+		sh.mu.Unlock()
+		return false, fmt.Errorf("%w: primary key %v in %q", ErrNotFound, pkVal, t.name)
+	}
+	rec, err := sh.fetch(loc)
+	if err != nil {
+		sh.mu.Unlock()
+		return false, err
+	}
+	newPK, err := record.KeyOf(newTup[t.chainCols[0]])
+	if err != nil {
+		sh.mu.Unlock()
+		return false, err
+	}
+	sameKeys := newPK.Equal(pk)
+	if sameKeys {
+		for i := 1; i < len(sh.chains) && sameKeys; i++ {
+			nk, ok, err := t.chainKey(i, newTup, newPK)
+			if err != nil {
+				sh.mu.Unlock()
+				return false, err
+			}
+			old := rec.Links[i]
+			switch {
+			case !ok && old.Key.IsNull():
+			case ok && !old.Key.IsNull() && nk.Equal(old.Key):
+			default:
+				sameKeys = false
+			}
+		}
+	}
+	if sameKeys {
+		rec.Data = newTup
+		_, err = sh.rewrite(loc, rec)
+		sh.mu.Unlock()
+		return false, err
+	}
+	// Chain keys changed: delete + insert (possibly on a different page —
+	// or, if the primary key changed, a different shard).
+	if err := sh.deleteLocked(pk); err != nil {
+		sh.mu.Unlock()
+		return false, err
+	}
+	sh.mu.Unlock()
+	return true, nil
+}
+
+// searchChain runs the verified index search of §5.2 against this shard's
+// chain under the shard's read latch.
+func (sh *shard) searchChain(chain int, k record.Key) (record.Tuple, Evidence, error) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.searchChainLocked(chain, k)
+}
+
+func (sh *shard) searchChainLocked(chain int, k record.Key) (record.Tuple, Evidence, error) {
+	_, loc, ok := sh.chains[chain].SeekLE(k.Encode())
+	if !ok {
+		return nil, Evidence{}, fmt.Errorf("%w: chain %d returned no candidate for %v (missing ⊥ anchor)", ErrVerifyFailed, chain, k)
+	}
+	rec, err := sh.fetch(loc)
+	if err != nil {
+		return nil, Evidence{}, err
+	}
+	if len(rec.Links) <= chain || rec.Links[chain].Key.IsNull() {
+		return nil, Evidence{}, fmt.Errorf("%w: evidence record does not participate in chain %d", ErrVerifyFailed, chain)
+	}
+	l := rec.Links[chain]
+	ev := Evidence{Table: sh.t.name, Chain: chain, Key: l.Key, NKey: l.NKey}
+	switch {
+	case l.Key.Equal(k):
+		// Condition (1): the record itself proves presence.
+		ev.Found = true
+		return rec.Data.Clone(), ev, nil
+	case l.Key.Compare(k) < 0 && k.Compare(l.NKey) < 0:
+		// Condition (2): key < probe < nKey proves absence.
+		return nil, ev, nil
+	default:
+		// The untrusted index returned a tampered (page, index) pair.
+		return nil, Evidence{}, fmt.Errorf("%w: record ⟨%v,%v⟩ does not witness probe %v on chain %d",
+			ErrVerifyFailed, l.Key, l.NKey, k, chain)
+	}
+}

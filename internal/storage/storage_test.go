@@ -42,7 +42,7 @@ func mustInsert(t *testing.T, tb *Table, tup record.Tuple) {
 	}
 }
 
-func drain(t *testing.T, sc *Scanner) []record.Tuple {
+func drain(t *testing.T, sc Iterator) []record.Tuple {
 	t.Helper()
 	var out []record.Tuple
 	for {
@@ -449,8 +449,8 @@ func TestEvilIndexDetected(t *testing.T) {
 	// Redirect key 50's index entry at key 20's record.
 	k50, _ := record.KeyOf(record.Int(50))
 	k20, _ := record.KeyOf(record.Int(20))
-	loc20, _ := tb.chains[0].Get(k20.Encode())
-	tb.chains[0].Set(k50.Encode(), loc20)
+	loc20, _ := tb.shards[0].chains[0].Get(k20.Encode())
+	tb.shards[0].chains[0].Set(k50.Encode(), loc20)
 
 	if _, _, err := tb.SearchPK(record.Int(50)); !errors.Is(err, ErrVerifyFailed) {
 		t.Fatalf("lying index not detected on point search: %v", err)
@@ -482,7 +482,7 @@ func TestEvilIndexHidingKeyDetected(t *testing.T) {
 		mustInsert(t, tb, record.Tuple{record.Int(id), record.Int(1), record.Float(0)})
 	}
 	k20, _ := record.KeyOf(record.Int(20))
-	tb.chains[0].Delete(k20.Encode())
+	tb.shards[0].chains[0].Delete(k20.Encode())
 	_, _, err := tb.SearchPK(record.Int(20))
 	if !errors.Is(err, ErrVerifyFailed) {
 		t.Fatalf("hidden row produced %v; want verification failure", err)

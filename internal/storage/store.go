@@ -37,6 +37,9 @@ type TableSpec struct {
 	// ChainColumns lists additional column indexes that get ⟨key, nKey⟩
 	// chains (the columns usable as verified search/range keys, §5.3).
 	ChainColumns []int
+	// Shards is the hash-shard count; 0 falls back to the store default and
+	// 1 (the overall default) reproduces the unsharded layout bit-for-bit.
+	Shards int
 }
 
 // Store owns the verifiable storage for a set of tables over one
@@ -44,13 +47,25 @@ type TableSpec struct {
 type Store struct {
 	mem *vmem.Memory
 
-	mu     sync.RWMutex
-	tables map[string]*Table
+	mu            sync.RWMutex
+	tables        map[string]*Table
+	defaultShards int
 }
 
 // NewStore builds a store over mem.
 func NewStore(mem *vmem.Memory) *Store {
-	return &Store{mem: mem, tables: make(map[string]*Table)}
+	return &Store{mem: mem, tables: make(map[string]*Table), defaultShards: 1}
+}
+
+// SetDefaultShards sets the shard count used when a TableSpec leaves Shards
+// at zero (the TableShards configuration knob). n < 1 is treated as 1.
+func (s *Store) SetDefaultShards(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.mu.Lock()
+	s.defaultShards = n
+	s.mu.Unlock()
 }
 
 // Memory exposes the underlying write-read consistent memory (for
@@ -84,7 +99,14 @@ func (s *Store) CreateTable(spec TableSpec) (*Table, error) {
 	if _, ok := s.tables[spec.Name]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrTableExists, spec.Name)
 	}
-	t, err := newTable(s, spec.Name, spec.Schema, chainCols)
+	shards := spec.Shards
+	if shards == 0 {
+		shards = s.defaultShards
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("storage: table %q shard count %d must be ≥ 1", spec.Name, shards)
+	}
+	t, err := newTable(s, spec.Name, spec.Schema, chainCols, shards)
 	if err != nil {
 		return nil, err
 	}
@@ -92,8 +114,18 @@ func (s *Store) CreateTable(spec TableSpec) (*Table, error) {
 	return t, nil
 }
 
+// Register creates a table and returns it through the Engine seam (the
+// §4.2 Register step: the table's chain sentinels join the verified set).
+func (s *Store) Register(spec TableSpec) (Engine, error) {
+	t, err := s.CreateTable(spec)
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
 // Table looks a table up by name.
-func (s *Store) Table(name string) (*Table, error) {
+func (s *Store) Table(name string) (Engine, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	t, ok := s.tables[name]
@@ -103,7 +135,7 @@ func (s *Store) Table(name string) (*Table, error) {
 	return t, nil
 }
 
-// DropTable removes a table and frees its pages.
+// DropTable removes a table and frees the pages of every shard.
 func (s *Store) DropTable(name string) error {
 	s.mu.Lock()
 	t, ok := s.tables[name]
@@ -114,12 +146,15 @@ func (s *Store) DropTable(name string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchTable, name)
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	for _, pid := range t.pages {
-		if err := s.mem.FreePage(pid); err != nil {
-			return err
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		for _, pid := range sh.pages {
+			if err := s.mem.FreePage(pid); err != nil {
+				sh.mu.Unlock()
+				return err
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return nil
 }

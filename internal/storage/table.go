@@ -1,24 +1,29 @@
 package storage
 
 import (
-	"errors"
 	"fmt"
 
 	"veridb/internal/index"
-	"veridb/internal/page"
 	"veridb/internal/record"
 	"veridb/internal/vmem"
 )
 
-// Table is one relational table in the verifiable storage. Every row is
-// stored as a record carrying one ⟨key, nKey⟩ link per chain column; each
-// chain additionally has a ⊥-anchored sentinel record so that absence below
-// the minimum and in an empty table is provable (Definition 4.2, Fig. 6).
+// Table is one relational table in the verifiable storage: a router over N
+// hash shards. Every row is stored as a record carrying one ⟨key, nKey⟩
+// link per chain column inside the shard its primary key hashes to; each
+// shard additionally has one ⊥-anchored sentinel record per chain so that
+// absence below the shard's minimum and in an empty shard is provable
+// (Definition 4.2, Fig. 6).
 //
-// The mutex serialises structural mutation (chain maintenance and the
-// untrusted indexes); scanners hold it shared for their lifetime so the
-// chain they verify is stable. The expensive verification work (PRF
-// folding) happens inside vmem under its own per-partition RSWS locks.
+// Point operations touch exactly one shard (routing is a deterministic
+// in-enclave function of the primary key, so a key can live nowhere else
+// and the owning shard's ⟨key, nKey⟩ interval is a complete absence
+// proof). Scans open one verified scanner per shard and stitch the
+// sub-chains in key order; see merge.go.
+//
+// With a single shard the layout, page-allocation order and verification
+// traffic are bit-for-bit identical to the pre-sharding code (pinned by
+// TestShardsOneGoldenChecksum).
 type Table struct {
 	store  *Store
 	mem    *vmem.Memory
@@ -29,40 +34,34 @@ type Table struct {
 	// columns in ascending column order.
 	chainCols []int
 
-	mu       tableLock
-	chains   []*index.BTree // chains[i] indexes chain i by encoded key
-	pages    []uint64
-	fill     uint64          // current insertion target page
-	spacious map[uint64]bool // pages with known reclaimable or free space
-	rows     int
+	shards []*shard
 }
 
-func newTable(s *Store, name string, schema *record.Schema, chainCols []int) (*Table, error) {
+func newTable(s *Store, name string, schema *record.Schema, chainCols []int, nShards int) (*Table, error) {
+	if nShards < 1 {
+		nShards = 1
+	}
 	t := &Table{
 		store:     s,
 		mem:       s.mem,
 		name:      name,
 		schema:    schema,
 		chainCols: chainCols,
-		chains:    make([]*index.BTree, len(chainCols)),
-		spacious:  make(map[uint64]bool),
+		shards:    make([]*shard, nShards),
 	}
-	for i := range t.chains {
-		t.chains[i] = index.New()
-	}
-	// One sentinel record per chain: ⟨⊥, ⊤⟩ on its own chain, null links on
-	// the others — two empty key chains, exactly as Fig. 6(a) initialises.
-	for i := range t.chains {
-		links := make([]record.ChainLink, len(chainCols))
-		for j := range links {
-			links[j] = record.ChainLink{Key: record.NullKey(), NKey: record.NullKey()}
+	for i := range t.shards {
+		affinity := -1
+		if nShards > 1 {
+			// Map shard i onto RSWS partition i mod P so the shard latch and
+			// the partition lock see the same traffic (§4.3). Single-shard
+			// tables keep the plain allocation order, bit-for-bit.
+			affinity = i % s.mem.Partitions()
 		}
-		links[i] = record.ChainLink{Key: record.Bottom(), NKey: record.Top()}
-		loc, err := t.placeRecord(record.Encode(&record.Record{Links: links}))
+		sh, err := newShard(t, i, affinity)
 		if err != nil {
-			return nil, fmt.Errorf("storage: creating sentinel for %q chain %d: %w", name, i, err)
+			return nil, err
 		}
-		t.chains[i].Set(record.Bottom().Encode(), loc)
+		t.shards[i] = sh
 	}
 	return t, nil
 }
@@ -91,11 +90,29 @@ func (t *Table) ChainFor(col int) int {
 	return -1
 }
 
+// ShardCount returns the number of hash shards.
+func (t *Table) ShardCount() int { return len(t.shards) }
+
 // RowCount returns the number of data rows (sentinels excluded).
 func (t *Table) RowCount() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.rows
+	n := 0
+	for _, sh := range t.shards {
+		sh.mu.RLock()
+		n += sh.rows
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// shardFor routes an encoded primary key to its owning shard. Routing is a
+// pure function of the key, evaluated inside the enclave: the untrusted
+// host cannot steer a key to a shard whose chain would not prove its
+// absence.
+func (t *Table) shardFor(pk record.Key) *shard {
+	if len(t.shards) == 1 {
+		return t.shards[0]
+	}
+	return t.shards[index.ShardOf(pk.Encode(), len(t.shards))]
 }
 
 // chainKey derives the chain-i key for a tuple: the plain primary key for
@@ -116,124 +133,8 @@ func (t *Table) chainKey(i int, tup record.Tuple, pk record.Key) (record.Key, bo
 	return k, true, nil
 }
 
-// placeRecord stores encoded bytes in a page with room, allocating pages as
-// needed, and returns the location.
-func (t *Table) placeRecord(enc []byte) (index.Loc, error) {
-	try := func(pid uint64) (index.Loc, error) {
-		slot, err := t.mem.Insert(pid, enc)
-		if err != nil {
-			return index.Loc{}, err
-		}
-		return index.Loc{Page: pid, Slot: slot}, nil
-	}
-	if t.fill != 0 {
-		if loc, err := try(t.fill); err == nil {
-			return loc, nil
-		} else if !errors.Is(err, page.ErrPageFull) {
-			return index.Loc{}, err
-		}
-	}
-	// Retry a few pages known to have reclaimable space before growing.
-	tried := 0
-	for pid := range t.spacious {
-		if pid == t.fill {
-			delete(t.spacious, pid)
-			continue
-		}
-		loc, err := try(pid)
-		if err == nil {
-			t.fill = pid
-			delete(t.spacious, pid)
-			return loc, nil
-		}
-		if !errors.Is(err, page.ErrPageFull) {
-			return index.Loc{}, err
-		}
-		delete(t.spacious, pid)
-		if tried++; tried >= 4 {
-			break
-		}
-	}
-	pid, err := t.mem.NewPage()
-	if err != nil {
-		return index.Loc{}, err
-	}
-	t.pages = append(t.pages, pid)
-	t.fill = pid
-	return try(pid)
-}
-
-// fetch reads and decodes the record at loc through the protected Get.
-func (t *Table) fetch(loc index.Loc) (*record.Record, error) {
-	raw, err := t.mem.Get(loc.Page, loc.Slot)
-	if err != nil {
-		return nil, err
-	}
-	rec, err := record.Decode(raw)
-	if err != nil {
-		return nil, fmt.Errorf("%w: undecodable record at (%d,%d): %v", ErrVerifyFailed, loc.Page, loc.Slot, err)
-	}
-	return rec, nil
-}
-
-// rewrite stores a mutated record back at loc, relocating it (and fixing
-// every chain index entry) when the grown record no longer fits its page
-// (§4.2: an oversized update performs a delete followed by an insert,
-// possibly on a different page).
-func (t *Table) rewrite(loc index.Loc, rec *record.Record) (index.Loc, error) {
-	enc := record.Encode(rec)
-	err := t.mem.Update(loc.Page, loc.Slot, enc)
-	if err == nil {
-		return loc, nil
-	}
-	if !errors.Is(err, page.ErrPageFull) {
-		return index.Loc{}, err
-	}
-	newLoc, err := t.placeRecord(enc)
-	if err != nil {
-		return index.Loc{}, err
-	}
-	if err := t.mem.Delete(loc.Page, loc.Slot); err != nil {
-		return index.Loc{}, err
-	}
-	t.spacious[loc.Page] = true
-	for i := range t.chains {
-		l := rec.Links[i]
-		if l.Key.IsNull() {
-			continue
-		}
-		t.chains[i].Set(l.Key.Encode(), newLoc)
-	}
-	return newLoc, nil
-}
-
-// setPredNKey updates the chain-i predecessor of key so that its nKey
-// becomes nk. The predecessor is located through the untrusted index and
-// its identity verified against the chain (pred.key < key ≤ pred's old
-// nKey would have held before the mutation this call is part of).
-func (t *Table) setPredNKey(i int, key record.Key, nk record.Key) error {
-	_, loc, ok := t.chains[i].SeekLT(key.Encode())
-	if !ok {
-		return fmt.Errorf("%w: chain %d has no predecessor for %v", ErrVerifyFailed, i, key)
-	}
-	rec, err := t.fetch(loc)
-	if err != nil {
-		return err
-	}
-	if len(rec.Links) != len(t.chains) || rec.Links[i].Key.IsNull() {
-		return fmt.Errorf("%w: chain %d predecessor of %v does not participate", ErrVerifyFailed, i, key)
-	}
-	if rec.Links[i].Key.Compare(key) >= 0 {
-		return fmt.Errorf("%w: chain %d predecessor %v not below %v", ErrVerifyFailed, i, rec.Links[i].Key, key)
-	}
-	rec.Links[i].NKey = nk
-	_, err = t.rewrite(loc, rec)
-	return err
-}
-
-// Insert adds a tuple, maintaining every chain (§4.2 Insert: "identifies
-// the record whose primary key right precedes the current one, and updates
-// its nKey").
+// Insert adds a tuple to the shard its primary key routes to, maintaining
+// every chain (§4.2 Insert).
 func (t *Table) Insert(tup record.Tuple) error {
 	if err := t.schema.Validate(tup); err != nil {
 		return err
@@ -243,86 +144,7 @@ func (t *Table) Insert(tup record.Tuple) error {
 	if err != nil {
 		return fmt.Errorf("storage: table %q: %w", t.name, err)
 	}
-
-	t.mu.Lock()
-	defer t.mu.Unlock()
-
-	// One pass per chain: fetch the predecessor once, capture its current
-	// nKey (the new record's successor) and relink it to the new key —
-	// §4.2's "identifies the record whose primary key right precedes the
-	// current one, and updates its nKey", paid as one verifiable read plus
-	// one verifiable write per chain. Re-seeking per chain keeps this
-	// correct when several chains share one predecessor record.
-	keys := make([]record.Key, len(t.chains))
-	present := make([]bool, len(t.chains))
-	succs := make([]record.Key, len(t.chains))
-	relinked := 0
-	undo := func() {
-		// Restore predecessors updated so far (failure of a later step).
-		for i := 0; i < relinked; i++ {
-			if present[i] {
-				_ = t.setPredNKey(i, keys[i], succs[i])
-			}
-		}
-	}
-	for i := range t.chains {
-		k, ok, err := t.chainKey(i, tup, pk)
-		if err != nil {
-			undo()
-			return err
-		}
-		if !ok {
-			relinked++
-			continue
-		}
-		keys[i], present[i] = k, true
-		pKey, pLoc, found := t.chains[i].SeekLE(k.Encode())
-		if !found {
-			undo()
-			return fmt.Errorf("%w: chain %d missing ⊥ anchor", ErrVerifyFailed, i)
-		}
-		pRec, err := t.fetch(pLoc)
-		if err != nil {
-			undo()
-			return err
-		}
-		if i == 0 && pRec.Links[0].Key.Equal(k) {
-			undo()
-			return fmt.Errorf("%w: %v in table %q", ErrDuplicateKey, tup[t.chainCols[0]], t.name)
-		}
-		if pRec.Links[i].Key.IsNull() {
-			undo()
-			return fmt.Errorf("%w: chain %d anchor at %x does not participate", ErrVerifyFailed, i, pKey)
-		}
-		succs[i] = pRec.Links[i].NKey
-		pRec.Links[i].NKey = k
-		if _, err := t.rewrite(pLoc, pRec); err != nil {
-			undo()
-			return err
-		}
-		relinked++
-	}
-
-	links := make([]record.ChainLink, len(t.chains))
-	for i := range links {
-		if present[i] {
-			links[i] = record.ChainLink{Key: keys[i], NKey: succs[i]}
-		} else {
-			links[i] = record.ChainLink{Key: record.NullKey(), NKey: record.NullKey()}
-		}
-	}
-	loc, err := t.placeRecord(record.Encode(&record.Record{Links: links, Data: tup}))
-	if err != nil {
-		undo()
-		return err
-	}
-	for i := range t.chains {
-		if present[i] {
-			t.chains[i].Set(keys[i].Encode(), loc)
-		}
-	}
-	t.rows++
-	return nil
+	return t.shardFor(pk).insert(tup, pk)
 }
 
 // Delete removes the row with the given primary-key value (§4.2 Delete:
@@ -333,108 +155,28 @@ func (t *Table) Delete(pkVal record.Value) error {
 	if err != nil {
 		return err
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.deleteLocked(pk)
-}
-
-func (t *Table) deleteLocked(pk record.Key) error {
-	loc, ok := t.chains[0].Get(pk.Encode())
-	if !ok {
-		return fmt.Errorf("%w: primary key %v in %q", ErrNotFound, pk, t.name)
-	}
-	rec, err := t.fetch(loc)
-	if err != nil {
-		return err
-	}
-	if !rec.Links[0].Key.Equal(pk) {
-		return fmt.Errorf("%w: index pointed %v at record keyed %v", ErrVerifyFailed, pk, rec.Links[0].Key)
-	}
-	// Unlink from every chain the record participates in.
-	for i := range t.chains {
-		l := rec.Links[i]
-		if l.Key.IsNull() {
-			continue
-		}
-		if err := t.setPredNKey(i, l.Key, l.NKey); err != nil {
-			return err
-		}
-	}
-	// The predecessor rewrites may have relocated this record; re-resolve.
-	loc, ok = t.chains[0].Get(pk.Encode())
-	if !ok {
-		return fmt.Errorf("%w: record vanished during delete", ErrVerifyFailed)
-	}
-	for i := range t.chains {
-		if l := rec.Links[i]; !l.Key.IsNull() {
-			t.chains[i].Delete(l.Key.Encode())
-		}
-	}
-	if err := t.mem.Delete(loc.Page, loc.Slot); err != nil {
-		return err
-	}
-	t.spacious[loc.Page] = true
-	t.rows--
-	return nil
+	return t.shardFor(pk).delete(pk)
 }
 
 // UpdateFunc atomically reads the row with the given primary key, applies
-// mutate to a copy, and writes the result back, all under the table's
-// write lock — the read-modify-write primitive transactional workloads
-// need (lost updates are otherwise possible between SearchPK and Update).
-// Chain-key columns must not change; use Update for key-changing writes.
+// mutate to a copy, and writes the result back, all under the owning
+// shard's write latch — the read-modify-write primitive transactional
+// workloads need (lost updates are otherwise possible between Get and
+// Update). Chain-key columns must not change; use Update for key-changing
+// writes.
 func (t *Table) UpdateFunc(pkVal record.Value, mutate func(record.Tuple) (record.Tuple, error)) error {
 	pk, err := record.KeyOf(pkVal)
 	if err != nil {
 		return err
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	loc, ok := t.chains[0].Get(pk.Encode())
-	if !ok {
-		return fmt.Errorf("%w: primary key %v in %q", ErrNotFound, pkVal, t.name)
-	}
-	rec, err := t.fetch(loc)
-	if err != nil {
-		return err
-	}
-	newTup, err := mutate(rec.Data.Clone())
-	if err != nil {
-		return err
-	}
-	if err := t.schema.Validate(newTup); err != nil {
-		return err
-	}
-	newTup = t.schema.Coerce(newTup)
-	newPK, err := record.KeyOf(newTup[t.chainCols[0]])
-	if err != nil {
-		return err
-	}
-	if !newPK.Equal(pk) {
-		return fmt.Errorf("storage: UpdateFunc on %q changed chain column %q",
-			t.name, t.schema.Columns[t.chainCols[0]].Name)
-	}
-	for i := 1; i < len(t.chains); i++ {
-		nk, ok, err := t.chainKey(i, newTup, pk)
-		if err != nil {
-			return err
-		}
-		old := rec.Links[i]
-		same := (!ok && old.Key.IsNull()) || (ok && !old.Key.IsNull() && nk.Equal(old.Key))
-		if !same {
-			return fmt.Errorf("storage: UpdateFunc on %q changed chain column %q",
-				t.name, t.schema.Columns[t.chainCols[i]].Name)
-		}
-	}
-	rec.Data = newTup
-	_, err = t.rewrite(loc, rec)
-	return err
+	return t.shardFor(pk).updateFunc(pkVal, pk, mutate)
 }
 
 // Update replaces the row with the given primary key by newTup. When no
 // chain key changes, the data field is rewritten in place (§4.2 Update:
 // "there is no need to update the key chain"); otherwise the row is
-// deleted and re-inserted.
+// deleted and re-inserted — which re-routes it when the primary key now
+// hashes to a different shard.
 func (t *Table) Update(pkVal record.Value, newTup record.Tuple) error {
 	if err := t.schema.Validate(newTup); err != nil {
 		return err
@@ -444,54 +186,107 @@ func (t *Table) Update(pkVal record.Value, newTup record.Tuple) error {
 	if err != nil {
 		return err
 	}
-
-	t.mu.Lock()
-	loc, ok := t.chains[0].Get(pk.Encode())
-	if !ok {
-		t.mu.Unlock()
-		return fmt.Errorf("%w: primary key %v in %q", ErrNotFound, pkVal, t.name)
-	}
-	rec, err := t.fetch(loc)
+	reinsert, err := t.shardFor(pk).update(pkVal, pk, newTup)
 	if err != nil {
-		t.mu.Unlock()
 		return err
 	}
-	newPK, err := record.KeyOf(newTup[t.chainCols[0]])
-	if err != nil {
-		t.mu.Unlock()
-		return err
+	if !reinsert {
+		return nil
 	}
-	sameKeys := newPK.Equal(pk)
-	if sameKeys {
-		for i := 1; i < len(t.chains) && sameKeys; i++ {
-			nk, ok, err := t.chainKey(i, newTup, newPK)
-			if err != nil {
-				t.mu.Unlock()
-				return err
-			}
-			old := rec.Links[i]
-			switch {
-			case !ok && old.Key.IsNull():
-			case ok && !old.Key.IsNull() && nk.Equal(old.Key):
-			default:
-				sameKeys = false
-			}
-		}
-	}
-	if sameKeys {
-		rec.Data = newTup
-		_, err = t.rewrite(loc, rec)
-		t.mu.Unlock()
-		return err
-	}
-	// Chain keys changed: delete + insert (possibly on a different page).
-	if err := t.deleteLocked(pk); err != nil {
-		t.mu.Unlock()
-		return err
-	}
-	t.mu.Unlock()
 	if err := t.Insert(newTup); err != nil {
 		return fmt.Errorf("storage: update of %v lost its row on re-insert: %w", pkVal, err)
 	}
 	return nil
+}
+
+// Get is the verified index search of §5.2: SELECT * WHERE pk = v. The
+// probe routes to the single shard that could hold the key; the untrusted
+// index supplies a candidate location and the record fetched from
+// write-read consistent memory must satisfy key == v (present) or
+// key < v < nKey (absent), otherwise ErrVerifyFailed is returned.
+func (t *Table) Get(v record.Value) (record.Tuple, Evidence, error) {
+	pk, err := record.KeyOf(v)
+	if err != nil {
+		return nil, Evidence{}, err
+	}
+	return t.shardFor(pk).searchChain(0, pk)
+}
+
+// SearchPK is the historical name of Get.
+func (t *Table) SearchPK(v record.Value) (record.Tuple, Evidence, error) {
+	return t.Get(v)
+}
+
+// NewScan opens a verified scan of the given chain over bounds. For
+// chain 0 the bounds are primary keys; for secondary chains callers pass
+// composite bounds (record.CompositeLow/High). On a sharded table the scan
+// stitches every shard's sub-chain in key order.
+func (t *Table) NewScan(chain int, bounds ScanBounds) (Iterator, error) {
+	if chain < 0 || chain >= len(t.chainCols) {
+		return nil, fmt.Errorf("storage: table %q has no chain %d", t.name, chain)
+	}
+	if len(t.shards) == 1 {
+		return t.shards[0].newScan(chain, bounds)
+	}
+	return newMergeIterator(t, chain, bounds)
+}
+
+// RangeScan opens a verified scan over the chain serving column col,
+// restricted to column values in [lo, hi] (nil bounds are open). For
+// secondary chains the value bounds are translated to composite-key bounds
+// so duplicate column values are all covered.
+func (t *Table) RangeScan(col int, lo, hi *record.Value) (Iterator, error) {
+	chain := t.ChainFor(col)
+	if chain < 0 {
+		return nil, fmt.Errorf("storage: table %q column %d has no access-method chain", t.name, col)
+	}
+	var bounds ScanBounds
+	if lo != nil {
+		var k record.Key
+		var err error
+		if chain == 0 {
+			k, err = record.KeyOf(*lo)
+		} else {
+			k, err = record.CompositeLow(*lo)
+		}
+		if err != nil {
+			return nil, err
+		}
+		bounds.Start = &k
+	}
+	if hi != nil {
+		var k record.Key
+		var err error
+		if chain == 0 {
+			k, err = record.KeyOf(*hi)
+		} else {
+			// CompositeHigh is an exclusive bound in chain-key space: the
+			// scan must emit keys strictly below it. NewScan treats End as
+			// inclusive, which is harmless here because CompositeHigh itself
+			// never equals a real composite key (it ends in the bumped
+			// terminator 0x00 0x01, real keys embed 0x00 0x00).
+			k, err = record.CompositeHigh(*hi)
+		}
+		if err != nil {
+			return nil, err
+		}
+		bounds.End = &k
+	}
+	return t.NewScan(chain, bounds)
+}
+
+// ScanRange is the historical name of RangeScan.
+func (t *Table) ScanRange(col int, lo, hi *record.Value) (Iterator, error) {
+	return t.RangeScan(col, lo, hi)
+}
+
+// SeqScan opens a verified scan of the whole primary chain. On a sharded
+// table with VerifyWorkers > 1 the per-shard sub-scans run on concurrent
+// producers and are merged in key order (see merge.go); the output and its
+// verification guarantees are identical to the sequential stitch.
+func (t *Table) SeqScan() (Iterator, error) {
+	if len(t.shards) > 1 && t.mem.Config().VerifyWorkers > 1 {
+		return newParallelMergeIterator(t, 0, ScanBounds{})
+	}
+	return t.NewScan(0, ScanBounds{})
 }

@@ -264,7 +264,24 @@ func (m *Memory) lookup(pageID uint64) (*vPage, error) {
 // touched-page bookkeeping per page (paper budgets one bit; we account
 // conservatively).
 func (m *Memory) NewPage() (uint64, error) {
+	return m.NewPageIn(-1)
+}
+
+// NewPageIn is NewPage with a partition-affinity hint: when part is a valid
+// partition index the returned page is guaranteed to map onto that RSWS
+// partition (pageID mod partitions). Sharded tables use this to align a
+// shard's pages with one partition so shard latches and RSWS locks contend
+// on the same subset of cores. part < 0 means no preference, in which case
+// the allocation is identical to NewPage. Skipped IDs are never registered;
+// the ID space is sparse by design (48-bit page field in Addr).
+func (m *Memory) NewPageIn(affinity int) (uint64, error) {
 	id := m.nextPage.Add(1) // IDs start at 1
+	if affinity >= 0 {
+		want := uint64(affinity % len(m.parts))
+		for id%uint64(len(m.parts)) != want {
+			id = m.nextPage.Add(1)
+		}
+	}
 	if err := m.enc.ReserveEPC(1); err != nil {
 		return 0, err
 	}

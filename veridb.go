@@ -141,6 +141,11 @@ type Config struct {
 	// by Verify, the background verifier's scanner pool, and intra-page
 	// PRF evaluation. Zero means GOMAXPROCS; 1 is the serial verifier.
 	VerifyWorkers int
+	// TableShards is the number of hash shards per table, each with its
+	// own latch, key chains and pages; scans stitch the shards back
+	// together in key order. Zero or 1 keeps the single-shard layout
+	// (bit-identical to pre-sharding builds).
+	TableShards int
 	// Join selects the default join strategy ("auto" if empty).
 	Join string
 	// ECallCycles simulates SGX boundary-crossing cost in CPU cycles
@@ -152,7 +157,34 @@ type Config struct {
 	Seed uint64
 }
 
+// validate rejects configurations that would otherwise surface as opaque
+// failures deep inside the memory or storage layers.
+func (c Config) validate() error {
+	if c.RSWSPartitions < 0 {
+		return fmt.Errorf("veridb: RSWSPartitions is %d; want 0 (default) or a positive partition count", c.RSWSPartitions)
+	}
+	if c.VerifyWorkers < 0 {
+		return fmt.Errorf("veridb: VerifyWorkers is %d; want 0 (GOMAXPROCS) or a positive worker count", c.VerifyWorkers)
+	}
+	if c.PageSize < 0 {
+		return fmt.Errorf("veridb: PageSize is %d bytes; want 0 (default 8 KB) or a positive size", c.PageSize)
+	}
+	if c.TableShards < 0 {
+		return fmt.Errorf("veridb: TableShards is %d; want 0 (unsharded) or a positive shard count", c.TableShards)
+	}
+	if c.VerifyEveryOps < 0 {
+		return fmt.Errorf("veridb: VerifyEveryOps is %d; want 0 (manual verification) or a positive op interval", c.VerifyEveryOps)
+	}
+	if c.EPCBytes < 0 {
+		return fmt.Errorf("veridb: EPCBytes is %d; want 0 (default 96 MB) or a positive cap", c.EPCBytes)
+	}
+	return nil
+}
+
 func (c Config) coreConfig() (core.Config, error) {
+	if err := c.validate(); err != nil {
+		return core.Config{}, err
+	}
 	var js plan.JoinStrategy
 	switch c.Join {
 	case "", JoinAuto:
@@ -185,6 +217,7 @@ func (c Config) coreConfig() (core.Config, error) {
 		},
 		Join:           js,
 		VerifyEveryOps: c.VerifyEveryOps,
+		TableShards:    c.TableShards,
 		Seed:           c.Seed,
 	}, nil
 }

@@ -79,6 +79,64 @@ func TestConfigValidation(t *testing.T) {
 	if _, err := Open(Config{Join: "quantum"}); err == nil {
 		t.Fatal("bad join strategy accepted")
 	}
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"negative partitions", Config{RSWSPartitions: -2}, "RSWSPartitions"},
+		{"negative workers", Config{VerifyWorkers: -1}, "VerifyWorkers"},
+		{"negative page size", Config{PageSize: -4096}, "PageSize"},
+		{"negative shards", Config{TableShards: -3}, "TableShards"},
+		{"negative verify interval", Config{VerifyEveryOps: -10}, "VerifyEveryOps"},
+		{"negative epc", Config{EPCBytes: -1}, "EPCBytes"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Open(c.cfg)
+			if err == nil {
+				t.Fatalf("Open accepted %+v", c.cfg)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not name the bad field %s", err, c.want)
+			}
+		})
+	}
+}
+
+func TestShardedSQLEndToEnd(t *testing.T) {
+	// The same SQL workload must produce identical answers whether tables
+	// are sharded or not; sharding is purely a storage-layout knob.
+	run := func(t *testing.T, shards int) ([]Row, []Row) {
+		db := open(t, Config{TableShards: shards, VerifyWorkers: 4})
+		mustExec(t, db, `CREATE TABLE orders (id INT PRIMARY KEY, qty INT, INDEX (qty))`)
+		for i := 0; i < 200; i++ {
+			mustExec(t, db, fmt.Sprintf(`INSERT INTO orders VALUES (%d, %d)`, (i*29)%500, i%10))
+		}
+		mustExec(t, db, `DELETE FROM orders WHERE qty = 3`)
+		mustExec(t, db, `UPDATE orders SET qty = 99 WHERE qty = 5`)
+		all := mustExec(t, db, `SELECT id, qty FROM orders ORDER BY id`)
+		rng := mustExec(t, db, `SELECT id FROM orders WHERE qty >= 4 AND qty <= 9 ORDER BY id`)
+		if err := db.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		return all.Rows, rng.Rows
+	}
+	baseAll, baseRng := run(t, 1)
+	if len(baseAll) == 0 || len(baseRng) == 0 {
+		t.Fatal("baseline workload produced no rows")
+	}
+	for _, shards := range []int{4, 16} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			all, rng := run(t, shards)
+			if fmt.Sprint(all) != fmt.Sprint(baseAll) {
+				t.Fatalf("full query disagrees at %d shards:\n got %v\nwant %v", shards, all, baseAll)
+			}
+			if fmt.Sprint(rng) != fmt.Sprint(baseRng) {
+				t.Fatalf("range query disagrees at %d shards:\n got %v\nwant %v", shards, rng, baseRng)
+			}
+		})
+	}
 }
 
 func TestJoinStrategiesAgree(t *testing.T) {
