@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench ci
+.PHONY: build vet lint test race bench chaos ci
 
 build:
 	$(GO) build ./...
@@ -28,4 +28,13 @@ race:
 bench:
 	$(GO) test -bench=BenchmarkVerifyScaling -benchtime=1x -run=^$$ .
 
-ci: build lint test race
+# Fault-injection suite: the chaos injector, quarantine/failover paths in
+# core, the retrying client, the portal response cache, and the end-to-end
+# fault-recovery bench — all under the race detector, uncached, with a
+# hard timeout so a hung failover fails the run instead of wedging it.
+chaos:
+	$(GO) test -race -count=1 -timeout 5m \
+		./internal/chaos ./internal/core ./internal/client \
+		./internal/portal ./internal/bench
+
+ci: build lint test race chaos

@@ -12,6 +12,7 @@
 //	veridb-bench fig12 [-lineitems N]
 //	veridb-bench fig13 [-warehouses N] [-seconds S] [-shards 1,4,16] [-shard-json BENCH_shard.json]
 //	veridb-bench verify [-pages N] [-workers 1,2,4,8] [-json BENCH_verify.json]
+//	veridb-bench fault  [-rows N] [-trials N] [-json BENCH_fault.json]
 //	veridb-bench ablations [-rows N]
 //	veridb-bench all
 //
@@ -19,6 +20,11 @@
 // (full-scan latency and epoch-rotation throughput vs. worker count) and,
 // with -json, writes the sweep as machine-readable JSON so the perf
 // trajectory is tracked across PRs.
+//
+// The fault subcommand measures the containment pipeline: per injected
+// fault kind, the latency from corruption to an authenticated quarantine
+// response (detection) and to a verified replacement serving again
+// (time-to-recovered).
 package main
 
 import (
@@ -51,7 +57,9 @@ func main() {
 	shardJSON := fs.String("shard-json", "BENCH_shard.json", "write the shard sweep as JSON to this path (fig 13); empty disables")
 	pages := fs.Int("pages", 10_000, "pages in the verify-scaling memory (verify)")
 	workerList := fs.String("workers", "1,2,4,8", "comma-separated worker counts (verify)")
-	jsonPath := fs.String("json", "", "write verify-scaling results as JSON to this path (verify)")
+	jsonPath := fs.String("json", "", "write results as JSON to this path (verify, fault)")
+	trials := fs.Int("trials", 8, "fault/recovery cycles, kinds rotating (fault)")
+	faultRows := fs.Int("fault-rows", 128, "seeded rows per instance (fault)")
 	fs.Parse(os.Args[2:])
 
 	run := func(name string, f func() error) {
@@ -63,7 +71,8 @@ func main() {
 		}
 	}
 	known := map[string]bool{"fig9": true, "fig10": true, "fig11": true,
-		"fig12": true, "fig13": true, "verify": true, "ablations": true, "all": true}
+		"fig12": true, "fig13": true, "verify": true, "fault": true,
+		"ablations": true, "all": true}
 	if !known[cmd] {
 		usage()
 		os.Exit(2)
@@ -74,11 +83,12 @@ func main() {
 	run("fig12", func() error { return fig12(*lineitems) })
 	run("fig13", func() error { return fig13(*warehouses, *seconds, *shardList, *shardJSON) })
 	run("verify", func() error { return verifyScaling(*pages, *workerList, *jsonPath) })
+	run("fault", func() error { return faultRecovery(*faultRows, *trials, *jsonPath) })
 	run("ablations", func() error { return ablations(*rows) })
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `veridb-bench <fig9|fig10|fig11|fig12|fig13|verify|ablations|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `veridb-bench <fig9|fig10|fig11|fig12|fig13|verify|fault|ablations|all> [flags]`)
 }
 
 func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
@@ -273,6 +283,39 @@ func verifyScaling(pages int, workerList, jsonPath string) error {
 			pt.PagesPerSecond, pt.RotationsPerSecond, pt.Speedup, pt.Checksum)
 	}
 	fmt.Println("-- checksums are asserted identical across worker counts (XOR-fold exactness)")
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(run, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("-- wrote %s\n", jsonPath)
+	}
+	fmt.Println()
+	return nil
+}
+
+func faultRecovery(rows, trials int, jsonPath string) error {
+	fmt.Printf("== Fault recovery: detection and failover latency by fault kind (rows=%d, trials=%d) ==\n", rows, trials)
+	run, err := bench.RunFaultRecovery(bench.FaultRecoveryConfig{Rows: rows, Trials: trials})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-15s %14s %14s %18s %12s %10s\n",
+		"fault", "detection(ms)", "failover(ms)", "to-recovered(ms)", "quarantined", "seq-floor")
+	for _, tr := range run.Trials {
+		fmt.Printf("%-15s %14.2f %14.2f %18.2f %12d %10d\n",
+			tr.Fault,
+			float64(tr.Detection.Microseconds())/1e3,
+			float64(tr.Failover.Microseconds())/1e3,
+			float64(tr.TimeToRecovered.Microseconds())/1e3,
+			tr.QuarantinedResponses, tr.SeqFloor)
+	}
+	fmt.Printf("-- mean: detection %.2fms, time-to-recovered %.2fms (inject -> verified replacement serving)\n",
+		float64(run.MeanDetection.Microseconds())/1e3,
+		float64(run.MeanTimeToRecovered.Microseconds())/1e3)
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(run, "", "  ")
 		if err != nil {

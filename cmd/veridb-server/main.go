@@ -1,7 +1,8 @@
 // Command veridb-server exposes a VeriDB instance over TCP with the
 // paper's client protocol (Fig. 2): newline-delimited JSON messages
 // carrying MAC-authenticated queries in and sequenced, MAC-endorsed
-// responses out, plus an attestation operation for session setup.
+// responses out, plus an attestation operation for session setup and a
+// health operation for supervisors.
 //
 // Message formats (one JSON object per line):
 //
@@ -9,9 +10,18 @@
 //	← {"measurement":"<base64>","publicKey":"<base64>","nonce":"<base64>","signature":"<base64>"}
 //
 //	→ {"op":"query","client":"alice","qid":1,"query":"SELECT ...","mac":"<base64>"}
-//	← {"qid":1,"seq":5,"columns":[...],"rows":[[...]],"affected":0,"err":"","mac":"<base64>"}
+//	← {"qid":1,"seq":5,"columns":[...],"rows":[[...]],"affected":0,"err":"","quarantined":false,"mac":"<base64>"}
+//
+//	→ {"op":"health"}
+//	← {"quarantined":false,"alarm":"","verifierRunning":true,"epochs":[...]}
 //
 // Clients are provisioned with -client id:hexkey (repeatable).
+//
+// Hardening: per-connection read/write deadlines (-io-timeout), a maximum
+// request line size (-max-line) answered with a structured error instead
+// of a silent drop, a connection cap (-max-conns) answered with a
+// structured busy error, and graceful drain on SIGINT/SIGTERM (stop
+// accepting, wait for in-flight connections up to -drain-timeout).
 package main
 
 import (
@@ -19,11 +29,17 @@ import (
 	"encoding/base64"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"syscall"
+	"time"
 
 	"veridb"
 	"veridb/internal/record"
@@ -47,13 +63,14 @@ type wireRequest struct {
 }
 
 type wireResponse struct {
-	QID      uint64     `json:"qid"`
-	Seq      uint64     `json:"seq"`
-	Columns  []string   `json:"columns,omitempty"`
-	Rows     [][]string `json:"rows,omitempty"`
-	Affected int        `json:"affected"`
-	Err      string     `json:"err,omitempty"`
-	MAC      string     `json:"mac"`
+	QID         uint64     `json:"qid"`
+	Seq         uint64     `json:"seq"`
+	Columns     []string   `json:"columns,omitempty"`
+	Rows        [][]string `json:"rows,omitempty"`
+	Affected    int        `json:"affected"`
+	Err         string     `json:"err,omitempty"`
+	Quarantined bool       `json:"quarantined,omitempty"`
+	MAC         string     `json:"mac"`
 }
 
 type wireQuote struct {
@@ -63,13 +80,33 @@ type wireQuote struct {
 	Signature   string `json:"signature"`
 }
 
+type wireHealth struct {
+	Quarantined     bool     `json:"quarantined"`
+	Alarm           string   `json:"alarm,omitempty"`
+	VerifierRunning bool     `json:"verifierRunning"`
+	Epochs          []uint64 `json:"epochs"`
+}
+
+// server is the connection-handling state shared by every session.
+type server struct {
+	db        *veridb.DB
+	maxLine   int           // largest accepted request line, bytes
+	ioTimeout time.Duration // per-read and per-write deadline (0 = none)
+	sem       chan struct{} // connection-cap semaphore (nil = uncapped)
+	wg        sync.WaitGroup
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7788", "listen address")
 	verifyEvery := flag.Int("verify-every", 1000, "background verifier pacing")
 	verifyWorkers := flag.Int("verify-workers", 0, "verification worker pool size (0 = GOMAXPROCS)")
 	partitions := flag.Int("rsws", 16, "RSWS partitions")
 	tableShards := flag.Int("table-shards", 1, "hash shards per table (1 = unsharded)")
-	init := flag.String("init", "", "semicolon-separated SQL to run at startup")
+	initSQL := flag.String("init", "", "semicolon-separated SQL to run at startup")
+	maxLine := flag.Int("max-line", 1<<20, "maximum request line size, bytes")
+	maxConns := flag.Int("max-conns", 256, "maximum concurrent connections (0 = unlimited)")
+	ioTimeout := flag.Duration("io-timeout", 5*time.Minute, "per-connection read/write deadline (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown wait for in-flight connections")
 	var clients clientFlags
 	flag.Var(&clients, "client", "client credential id:hexkey (repeatable)")
 	flag.Parse()
@@ -95,8 +132,8 @@ func main() {
 		}
 		db.ProvisionClient(id, key)
 	}
-	if *init != "" {
-		for _, stmt := range strings.Split(*init, ";") {
+	if *initSQL != "" {
+		for _, stmt := range strings.Split(*initSQL, ";") {
 			if strings.TrimSpace(stmt) == "" {
 				continue
 			}
@@ -106,73 +143,159 @@ func main() {
 		}
 	}
 
+	srv := &server{db: db, maxLine: *maxLine, ioTimeout: *ioTimeout}
+	if *maxConns > 0 {
+		srv.sem = make(chan struct{}, *maxConns)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("veridb-server listening on %s (%d clients provisioned)", ln.Addr(), len(clients))
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-stop
+		log.Printf("received %v: draining connections", sig)
+		ln.Close() // unblocks Accept; in-flight sessions finish
+	}()
+
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				break
+			}
 			log.Print(err)
 			continue
 		}
-		go serve(db, conn)
+		if srv.sem != nil {
+			select {
+			case srv.sem <- struct{}{}:
+			default:
+				// Over capacity: a structured refusal beats a silent RST.
+				srv.writeLine(conn, map[string]string{"err": "server at connection capacity"})
+				conn.Close()
+				continue
+			}
+		}
+		srv.wg.Add(1)
+		go func() {
+			defer srv.wg.Done()
+			if srv.sem != nil {
+				defer func() { <-srv.sem }()
+			}
+			srv.handle(conn)
+		}()
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		srv.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		log.Print("drained; shutting down")
+	case <-time.After(*drainTimeout):
+		log.Printf("drain timeout (%v) elapsed with connections still open", *drainTimeout)
 	}
 }
 
-func serve(db *veridb.DB, conn net.Conn) {
+// writeLine encodes one JSON line under the write deadline.
+func (s *server) writeLine(conn net.Conn, v any) error {
+	if s.ioTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.ioTimeout))
+	}
+	return json.NewEncoder(conn).Encode(v)
+}
+
+// handle runs one session: read a line under the deadline, dispatch,
+// answer. Oversized requests get a structured error before the connection
+// closes — a silently dropped session is indistinguishable from an
+// adversarial one, so the server never drops silently.
+func (s *server) handle(conn net.Conn) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	enc := json.NewEncoder(conn)
-	for sc.Scan() {
+	// Scanner's limit is max(cap(buf), maxLine): keep the initial buffer
+	// at or below the line limit so the limit actually binds.
+	initial := 64 * 1024
+	if initial > s.maxLine {
+		initial = s.maxLine
+	}
+	sc.Buffer(make([]byte, initial), s.maxLine)
+	for {
+		if s.ioTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.ioTimeout))
+		}
+		if !sc.Scan() {
+			if errors.Is(sc.Err(), bufio.ErrTooLong) {
+				s.writeLine(conn, map[string]string{
+					"err": fmt.Sprintf("request exceeds %d-byte line limit", s.maxLine),
+				})
+			}
+			return
+		}
 		var req wireRequest
 		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
-			enc.Encode(map[string]string{"err": "bad request: " + err.Error()})
+			s.writeLine(conn, map[string]string{"err": "bad request: " + err.Error()})
 			continue
 		}
-		switch req.Op {
-		case "attest":
-			nonce, err := base64.StdEncoding.DecodeString(req.Nonce)
-			if err != nil {
-				enc.Encode(map[string]string{"err": "bad nonce"})
-				continue
-			}
-			q := db.Attest(nonce)
-			m := db.Measurement()
-			enc.Encode(wireQuote{
-				Measurement: base64.StdEncoding.EncodeToString(m[:]),
-				PublicKey:   base64.StdEncoding.EncodeToString(q.PublicKey),
-				Nonce:       base64.StdEncoding.EncodeToString(q.Nonce),
-				Signature:   base64.StdEncoding.EncodeToString(q.Signature),
-			})
-		case "query":
-			mac, err := base64.StdEncoding.DecodeString(req.MAC)
-			if err != nil {
-				enc.Encode(map[string]string{"err": "bad mac encoding"})
-				continue
-			}
-			resp, err := db.Serve(veridb.Request{
-				ClientID: req.Client, QID: req.QID, Query: req.Query, MAC: mac,
-			})
-			if err != nil {
-				// Authorisation failures have no authenticated response.
-				enc.Encode(map[string]string{"err": err.Error()})
-				continue
-			}
-			out := wireResponse{
-				QID: resp.QID, Seq: resp.Seq, Columns: resp.Columns,
-				Affected: resp.Affected, Err: resp.ErrMsg,
-				MAC: base64.StdEncoding.EncodeToString(resp.MAC),
-			}
-			for _, row := range resp.Rows {
-				out.Rows = append(out.Rows, renderRow(row))
-			}
-			enc.Encode(out)
-		default:
-			enc.Encode(map[string]string{"err": fmt.Sprintf("unknown op %q", req.Op)})
+		if err := s.dispatch(conn, req); err != nil {
+			return // write failed: the peer is gone
 		}
+	}
+}
+
+func (s *server) dispatch(conn net.Conn, req wireRequest) error {
+	switch req.Op {
+	case "attest":
+		nonce, err := base64.StdEncoding.DecodeString(req.Nonce)
+		if err != nil {
+			return s.writeLine(conn, map[string]string{"err": "bad nonce"})
+		}
+		q := s.db.Attest(nonce)
+		m := s.db.Measurement()
+		return s.writeLine(conn, wireQuote{
+			Measurement: base64.StdEncoding.EncodeToString(m[:]),
+			PublicKey:   base64.StdEncoding.EncodeToString(q.PublicKey),
+			Nonce:       base64.StdEncoding.EncodeToString(q.Nonce),
+			Signature:   base64.StdEncoding.EncodeToString(q.Signature),
+		})
+	case "query":
+		mac, err := base64.StdEncoding.DecodeString(req.MAC)
+		if err != nil {
+			return s.writeLine(conn, map[string]string{"err": "bad mac encoding"})
+		}
+		resp, err := s.db.Serve(veridb.Request{
+			ClientID: req.Client, QID: req.QID, Query: req.Query, MAC: mac,
+		})
+		if err != nil {
+			// Authorisation failures have no authenticated response.
+			return s.writeLine(conn, map[string]string{"err": err.Error()})
+		}
+		out := wireResponse{
+			QID: resp.QID, Seq: resp.Seq, Columns: resp.Columns,
+			Affected: resp.Affected, Err: resp.ErrMsg,
+			Quarantined: resp.Quarantined,
+			MAC:         base64.StdEncoding.EncodeToString(resp.MAC),
+		}
+		for _, row := range resp.Rows {
+			out.Rows = append(out.Rows, renderRow(row))
+		}
+		return s.writeLine(conn, out)
+	case "health":
+		h := s.db.Health()
+		return s.writeLine(conn, wireHealth{
+			Quarantined:     h.Quarantined,
+			Alarm:           h.Alarm,
+			VerifierRunning: h.VerifierRunning,
+			Epochs:          h.Epochs,
+		})
+	default:
+		return s.writeLine(conn, map[string]string{"err": fmt.Sprintf("unknown op %q", req.Op)})
 	}
 }
 

@@ -8,11 +8,32 @@ import (
 	"net"
 	"strings"
 	"testing"
+	"time"
 
 	"veridb"
 	"veridb/internal/enclave"
 	"veridb/internal/portal"
 )
+
+// serveTCP runs srv on an ephemeral port and returns the listener.
+func serveTCP(t *testing.T, srv *server) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go srv.handle(conn)
+		}
+	}()
+	return ln
+}
 
 // TestServerProtocolRoundTrip spins the TCP server on an ephemeral port
 // and drives the full client protocol over the wire: attestation, an
@@ -32,20 +53,7 @@ func TestServerProtocolRoundTrip(t *testing.T) {
 	key := []byte("wire-secret")
 	db.ProvisionClient("alice", key)
 
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer ln.Close()
-	go func() {
-		for {
-			conn, err := ln.Accept()
-			if err != nil {
-				return
-			}
-			go serve(db, conn)
-		}
-	}()
+	ln := serveTCP(t, &server{db: db, maxLine: 1 << 20})
 
 	conn, err := net.Dial("tcp", ln.Addr().String())
 	if err != nil {
@@ -122,5 +130,140 @@ func TestServerProtocolRoundTrip(t *testing.T) {
 	enc.Encode(wireRequest{Op: "shutdown"})
 	if !sc.Scan() || !strings.Contains(sc.Text(), "unknown op") {
 		t.Fatalf("unknown op not rejected: %s", sc.Text())
+	}
+}
+
+// TestServerRejectsOversizedLineWithStructuredError: a request beyond the
+// line limit gets a JSON error before the connection closes — never a
+// silent drop.
+func TestServerRejectsOversizedLineWithStructuredError(t *testing.T) {
+	db, err := veridb.Open(veridb.Config{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ln := serveTCP(t, &server{db: db, maxLine: 256})
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	big := strings.Repeat("x", 1024)
+	if _, err := conn.Write([]byte(`{"op":"query","query":"` + big + "\"}\n")); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		t.Fatal("oversized request dropped silently")
+	}
+	var resp map[string]string
+	if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+		t.Fatalf("unparseable error response %q: %v", sc.Text(), err)
+	}
+	if !strings.Contains(resp["err"], "line limit") {
+		t.Fatalf("error response %v", resp)
+	}
+	// The connection is closed after the refusal.
+	if sc.Scan() {
+		t.Fatalf("connection still open after oversized request: %q", sc.Text())
+	}
+}
+
+// TestServerConnectionDeadline: an idle session is reaped once the
+// per-connection read deadline elapses.
+func TestServerConnectionDeadline(t *testing.T) {
+	db, err := veridb.Open(veridb.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	ln := serveTCP(t, &server{db: db, maxLine: 1 << 20, ioTimeout: 50 * time.Millisecond})
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	// Send nothing; the server should hang up on its own.
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("idle connection not closed by deadline")
+	}
+}
+
+// TestServerHealthOp: the health operation reports the verifier state and
+// flips to quarantined after injected tampering is detected.
+func TestServerHealthOp(t *testing.T) {
+	db, err := veridb.Open(veridb.Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE t (a INT PRIMARY KEY, b TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO t VALUES (1, 'hello')`); err != nil {
+		t.Fatal(err)
+	}
+	ln := serveTCP(t, &server{db: db, maxLine: 1 << 20})
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	sc := bufio.NewScanner(conn)
+
+	health := func() wireHealth {
+		t.Helper()
+		if err := enc.Encode(wireRequest{Op: "health"}); err != nil {
+			t.Fatal(err)
+		}
+		if !sc.Scan() {
+			t.Fatal("no health response")
+		}
+		var h wireHealth
+		if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	if h := health(); h.Quarantined || h.Alarm != "" {
+		t.Fatalf("clean instance reports %+v", h)
+	}
+	if err := db.InjectTamper("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Verify(); err == nil {
+		t.Fatal("tamper not detected")
+	}
+	if h := health(); !h.Quarantined || h.Alarm == "" {
+		t.Fatalf("tampered instance reports %+v", h)
+	}
+
+	// Queries are now fenced with an authenticated quarantine response.
+	key := []byte("k")
+	db.ProvisionClient("alice", key)
+	query := `SELECT b FROM t WHERE a = 1`
+	mac := portal.SignRequest(key, "alice", 1, query)
+	if err := enc.Encode(wireRequest{
+		Op: "query", Client: "alice", QID: 1, Query: query,
+		MAC: base64.StdEncoding.EncodeToString(mac),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Scan() {
+		t.Fatal("no query response")
+	}
+	var resp wireResponse
+	if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Quarantined || resp.MAC == "" || len(resp.Rows) != 0 {
+		t.Fatalf("quarantined query answered %+v", resp)
 	}
 }

@@ -1,0 +1,47 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestRunFaultRecoverySmall drives one trial of every fault kind through
+// the full inject → detect → quarantine → failover → recover pipeline and
+// checks the measurements are coherent.
+func TestRunFaultRecoverySmall(t *testing.T) {
+	run, err := RunFaultRecovery(FaultRecoveryConfig{
+		Rows:        24,
+		VerifyEvery: 4,
+		Trials:      len(faultCycle),
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Trials) != len(faultCycle) {
+		t.Fatalf("trials %d, want %d", len(run.Trials), len(faultCycle))
+	}
+	seen := map[string]bool{}
+	for i, tr := range run.Trials {
+		seen[tr.Fault] = true
+		if tr.TimeToRecovered <= 0 || tr.Failover <= 0 {
+			t.Fatalf("trial %d (%s) has empty measurements: %+v", i, tr.Fault, tr)
+		}
+		if tr.QuarantinedResponses == 0 {
+			t.Fatalf("trial %d (%s) recovered without any quarantine response", i, tr.Fault)
+		}
+		if tr.SeqFloor == 0 {
+			t.Fatalf("trial %d (%s) resumed at floor 0", i, tr.Fault)
+		}
+	}
+	if len(seen) != len(faultCycle) {
+		t.Fatalf("fault kinds covered: %v", seen)
+	}
+	if run.MeanTimeToRecovered <= 0 {
+		t.Fatalf("run aggregates empty: %+v", run)
+	}
+	// The run must serialise cleanly (BENCH_fault.json emission).
+	if _, err := json.Marshal(run); err != nil {
+		t.Fatalf("run not JSON-serialisable: %v", err)
+	}
+}

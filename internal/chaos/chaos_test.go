@@ -1,0 +1,222 @@
+package chaos
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"veridb/internal/enclave"
+	"veridb/internal/vmem"
+)
+
+// harness is a small vmem instance plus a deterministic update workload.
+type harness struct {
+	mem   *vmem.Memory
+	pages []uint64
+	recs  int
+	n     int // update counter
+}
+
+func newHarness(t *testing.T, pages, recsPerPage int) *harness {
+	t.Helper()
+	m, err := vmem.New(enclave.NewForTest(7), vmem.Config{Partitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &harness{mem: m, recs: recsPerPage}
+	for p := 0; p < pages; p++ {
+		pid, err := m.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.pages = append(h.pages, pid)
+		for r := 0; r < recsPerPage; r++ {
+			if _, err := m.Insert(pid, h.record(p, r, 0)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return h
+}
+
+// record builds a fixed-size deterministic record image.
+func (h *harness) record(page, slot, gen int) []byte {
+	rec := make([]byte, 32)
+	for i := range rec {
+		rec[i] = byte(page + 3*slot + 7*gen + i)
+	}
+	return rec
+}
+
+// step performs one same-size update, cycling over every cell.
+func (h *harness) step(t *testing.T) {
+	t.Helper()
+	h.n++
+	p := h.n % len(h.pages)
+	s := h.n % h.recs
+	if err := h.mem.Update(h.pages[p], s, h.record(p, s, h.n)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// run drives ops updates and returns nothing; faults fire along the way.
+func (h *harness) run(t *testing.T, ops int) {
+	t.Helper()
+	for i := 0; i < ops; i++ {
+		h.step(t)
+	}
+}
+
+// expectAlarm asserts a clean memory before and a tamper alarm after.
+func expectAlarm(t *testing.T, h *harness, in *Injector, kind FaultKind) {
+	t.Helper()
+	if err := h.mem.VerifyAll(); err == nil {
+		t.Fatalf("%v fault fired but VerifyAll stayed clean (fired: %v)", kind, in.Fired())
+	} else if !errors.Is(err, vmem.ErrTamperDetected) {
+		t.Fatalf("unexpected verification error: %v", err)
+	}
+	if h.mem.Alarm() == nil {
+		t.Fatal("alarm not sticky after detection")
+	}
+	fired := in.Fired()
+	if len(fired) != 1 || fired[0].Kind != kind {
+		t.Fatalf("fired log %v, want one %v", fired, kind)
+	}
+}
+
+func TestBitFlipDetected(t *testing.T) {
+	h := newHarness(t, 4, 8)
+	base := h.mem.Stats().Ops
+	in := New(1, MemFault{Kind: BitFlip, AtOp: base + 10})
+	in.Attach(h.mem)
+	defer in.Detach()
+	h.run(t, 50)
+	expectAlarm(t, h, in, BitFlip)
+}
+
+func TestDroppedWriteDetected(t *testing.T) {
+	h := newHarness(t, 4, 8)
+	base := h.mem.Stats().Ops
+	in := New(2, MemFault{Kind: DroppedWrite, AtOp: base + 5})
+	in.Attach(h.mem)
+	defer in.Detach()
+	h.run(t, 50)
+	expectAlarm(t, h, in, DroppedWrite)
+}
+
+func TestTornWriteDetected(t *testing.T) {
+	h := newHarness(t, 4, 8)
+	base := h.mem.Stats().Ops
+	in := New(3, MemFault{Kind: TornWrite, AtOp: base + 5})
+	in.Attach(h.mem)
+	defer in.Detach()
+	h.run(t, 50)
+	expectAlarm(t, h, in, TornWrite)
+}
+
+func TestRollbackDetected(t *testing.T) {
+	h := newHarness(t, 4, 8)
+	base := h.mem.Stats().Ops
+	in := New(4, MemFault{Kind: Rollback, AtOp: base + 5, ReplayAfter: 20})
+	in.Attach(h.mem)
+	defer in.Detach()
+	// Enough updates that every snapshotted page changes before the replay
+	// and the replay itself fires.
+	h.run(t, 100)
+	expectAlarm(t, h, in, Rollback)
+}
+
+func TestNoFaultsNoAlarm(t *testing.T) {
+	h := newHarness(t, 4, 8)
+	in := New(5)
+	in.Attach(h.mem)
+	defer in.Detach()
+	h.run(t, 50)
+	if err := h.mem.VerifyAll(); err != nil {
+		t.Fatalf("fault-free run raised alarm: %v", err)
+	}
+	if got := in.Fired(); len(got) != 0 {
+		t.Fatalf("fired %v with an empty schedule", got)
+	}
+}
+
+// TestDeterministicSchedule pins the injector's reproducibility: identical
+// seeds, schedules and workloads fire identical faults.
+func TestDeterministicSchedule(t *testing.T) {
+	runOnce := func() []Injected {
+		h := newHarness(t, 4, 8)
+		base := h.mem.Stats().Ops
+		in := New(42,
+			MemFault{Kind: BitFlip, AtOp: base + 7},
+			MemFault{Kind: TornWrite, AtOp: base + 19},
+		)
+		in.Attach(h.mem)
+		defer in.Detach()
+		h.run(t, 60)
+		return in.Fired()
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) != 2 {
+		t.Fatalf("fired %v, want 2 faults", a)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("schedules diverged:\n  %v\n  %v", a, b)
+	}
+}
+
+// TestWireDuplicateAndDelay checks the conn wrapper duplicates and delays
+// writes deterministically.
+func TestWireDuplicateAndDelay(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	fc := WrapConn(a, WireConfig{DuplicateEveryWrites: 2})
+	go func() {
+		fc.Write([]byte("one\n"))
+		fc.Write([]byte("two\n")) // duplicated
+		fc.Write([]byte("three\n"))
+	}()
+	sc := bufio.NewScanner(b)
+	var got []string
+	for len(got) < 4 && sc.Scan() {
+		got = append(got, sc.Text())
+	}
+	want := []string{"one", "two", "two", "three"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("wire saw %v, want %v", got, want)
+	}
+}
+
+// TestWireDropAfterWrites checks the connection dies after the budget.
+func TestWireDropAfterWrites(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := WrapConn(a, WireConfig{DropAfterWrites: 1})
+	done := make(chan error, 1)
+	go func() {
+		if _, err := fc.Write([]byte("ok\n")); err != nil {
+			done <- err
+			return
+		}
+		_, err := fc.Write([]byte("dropped\n"))
+		done <- err
+	}()
+	sc := bufio.NewScanner(b)
+	if !sc.Scan() || sc.Text() != "ok" {
+		t.Fatalf("first write lost: %q", sc.Text())
+	}
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("write after drop budget succeeded")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("drop never happened")
+	}
+	if sc.Scan() {
+		t.Fatalf("data after drop: %q", sc.Text())
+	}
+}

@@ -1,0 +1,84 @@
+// Wire faults: net.Listener/net.Conn wrappers that model a flaky or
+// adversarial network between clients and veridb-server — dropped
+// connections, delayed responses and duplicated responses. The protocol's
+// MACs, sequence numbers and the portal's retry cache must make every one
+// of these survivable (or at least detectable); the client retry tests
+// drive the wrappers against a live server.
+package chaos
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// WireConfig schedules connection faults. All counters are per
+// connection and deterministic: the Nth write (or accepted connection)
+// always receives the same treatment, so wire-fault tests reproduce.
+type WireConfig struct {
+	// DropAfterWrites closes the connection immediately after this many
+	// successful writes (0 = never). The peer observes a mid-session EOF —
+	// a crashed or maliciously dropped session.
+	DropAfterWrites int
+	// DelayEveryWrites stalls every Nth write by Delay (0 = never).
+	DelayEveryWrites int
+	// Delay is the stall applied by DelayEveryWrites.
+	Delay time.Duration
+	// DuplicateEveryWrites rewrites every Nth payload twice (0 = never) —
+	// a duplicated response on the wire, which the client must either
+	// filter by qid or flag via its sequence tracker.
+	DuplicateEveryWrites int
+}
+
+// WrapListener wraps every accepted connection in the wire-fault layer.
+func WrapListener(ln net.Listener, cfg WireConfig) net.Listener {
+	return &faultyListener{Listener: ln, cfg: cfg}
+}
+
+type faultyListener struct {
+	net.Listener
+	cfg WireConfig
+}
+
+func (l *faultyListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return WrapConn(c, l.cfg), nil
+}
+
+// WrapConn applies the wire-fault layer to one connection.
+func WrapConn(c net.Conn, cfg WireConfig) net.Conn {
+	return &faultyConn{Conn: c, cfg: cfg}
+}
+
+type faultyConn struct {
+	net.Conn
+	cfg WireConfig
+
+	mu     sync.Mutex
+	writes int
+}
+
+func (c *faultyConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	c.writes++
+	n := c.writes
+	c.mu.Unlock()
+	if c.cfg.DropAfterWrites > 0 && n > c.cfg.DropAfterWrites {
+		c.Conn.Close()
+		return 0, net.ErrClosed
+	}
+	if c.cfg.DelayEveryWrites > 0 && n%c.cfg.DelayEveryWrites == 0 && c.cfg.Delay > 0 {
+		time.Sleep(c.cfg.Delay)
+	}
+	wrote, err := c.Conn.Write(b)
+	if err != nil {
+		return wrote, err
+	}
+	if c.cfg.DuplicateEveryWrites > 0 && n%c.cfg.DuplicateEveryWrites == 0 {
+		_, _ = c.Conn.Write(b) // duplicated payload; best effort
+	}
+	return wrote, err
+}

@@ -23,11 +23,42 @@ var (
 	// the pre-exchanged key (or was modified in flight).
 	ErrBadMAC = errors.New("client: response MAC invalid")
 	// ErrRollback means a sequence number repeated: the server rolled the
-	// database back to an earlier state (§5.1).
+	// database back to an earlier state (§5.1). Errors carrying the
+	// evidence are *RollbackError values; errors.Is(err, ErrRollback)
+	// matches both.
 	ErrRollback = errors.New("client: repeated sequence number (rollback attack detected)")
 	// ErrWrongQID means the response answers a different request.
 	ErrWrongQID = errors.New("client: response does not match request qid")
+	// ErrQuarantined means the server returned an authenticated
+	// "integrity compromised" response: its verifier raised a tamper
+	// alarm and it refuses to endorse results. Unlike ErrBadMAC this is
+	// an honest signal — the response MAC verified, with the Quarantined
+	// flag covered by the digest.
+	ErrQuarantined = errors.New("client: server quarantined after integrity compromise")
 )
+
+// ServerError is an authenticated execution error: the response verified
+// (MAC, sequence number) and carried the portal's error message. It is
+// distinct from transport and integrity failures — the server answered
+// honestly that the query failed.
+type ServerError struct{ Msg string }
+
+func (e *ServerError) Error() string { return "client: server reported: " + e.Msg }
+
+// RollbackError is the non-repudiable evidence of a rollback: the repeated
+// sequence number and the interval of previously received numbers that
+// already covers it. It unwraps to ErrRollback.
+type RollbackError struct {
+	Seq    uint64
+	Lo, Hi uint64 // received interval already containing Seq
+}
+
+func (e *RollbackError) Error() string {
+	return fmt.Sprintf("%v: seq %d already in [%d,%d]", ErrRollback, e.Seq, e.Lo, e.Hi)
+}
+
+// Unwrap lets errors.Is(err, ErrRollback) match the typed evidence.
+func (e *RollbackError) Unwrap() error { return ErrRollback }
 
 // SeqTracker records received sequence numbers as merged intervals, the
 // paper's storage optimisation ("maintaining intervals of successive
@@ -45,7 +76,7 @@ func (s *SeqTracker) Add(seq uint64) error {
 	defer s.mu.Unlock()
 	i := sort.Search(len(s.intervals), func(i int) bool { return s.intervals[i][1] >= seq })
 	if i < len(s.intervals) && s.intervals[i][0] <= seq {
-		return fmt.Errorf("%w: seq %d already in [%d,%d]", ErrRollback, seq, s.intervals[i][0], s.intervals[i][1])
+		return &RollbackError{Seq: seq, Lo: s.intervals[i][0], Hi: s.intervals[i][1]}
 	}
 	// Merge with neighbours where adjacent.
 	mergeLeft := i > 0 && s.intervals[i-1][1]+1 == seq
@@ -138,9 +169,10 @@ func (c *Client) NewRequest(query string) portal.Request {
 }
 
 // VerifyResponse checks a response's MAC against the request and records
-// its sequence number, detecting rollbacks. A verified response whose
-// ErrMsg is non-empty is an authenticated execution error; the method
-// returns it as a plain error after verification succeeds.
+// its sequence number, detecting rollbacks (*RollbackError). A verified
+// quarantine response returns ErrQuarantined; any other verified response
+// with a non-empty ErrMsg is an authenticated execution error, returned
+// as a plain error after verification succeeds.
 func (c *Client) VerifyResponse(req portal.Request, resp *portal.Response) error {
 	if resp.QID != req.QID {
 		return fmt.Errorf("%w: got %d want %d", ErrWrongQID, resp.QID, req.QID)
@@ -149,11 +181,19 @@ func (c *Client) VerifyResponse(req portal.Request, resp *portal.Response) error
 	if !hmac.Equal(want, resp.MAC) {
 		return ErrBadMAC
 	}
+	if resp.Quarantined {
+		// A quarantine response is a fencing signal, not a result: the
+		// instance that issued it is being replaced, and its remaining
+		// sequence numbers die with it. Recording them would falsely flag
+		// the replacement (which resumes at the last *data* response's
+		// floor) as a rollback.
+		return fmt.Errorf("%w: %s", ErrQuarantined, resp.ErrMsg)
+	}
 	if err := c.tracker.Add(resp.Seq); err != nil {
 		return err
 	}
 	if resp.ErrMsg != "" {
-		return fmt.Errorf("client: server reported: %s", resp.ErrMsg)
+		return &ServerError{Msg: resp.ErrMsg}
 	}
 	return nil
 }

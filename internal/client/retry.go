@@ -1,0 +1,125 @@
+// Retrying transport: timeouts and exponential backoff over an unreliable
+// channel to the portal. Safe retries lean on two protocol properties:
+// requests are idempotent at the portal (a retried qid returns the cached
+// original endorsement, never a re-execution), and every response is
+// MAC-verified after the transport returns it, so a retry can trust
+// nothing about the channel.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"veridb/internal/portal"
+)
+
+// ErrTimeout means an attempt (or the whole retry budget) ran out of time
+// without a response.
+var ErrTimeout = errors.New("client: request timed out")
+
+// Transport delivers one signed request to the portal and returns its
+// response. Implementations may be a TCP session, an in-process call, or
+// a chaos-wrapped channel; RoundTrip errors are treated as retryable.
+type Transport interface {
+	RoundTrip(req portal.Request) (*portal.Response, error)
+}
+
+// TransportFunc adapts a function to the Transport interface.
+type TransportFunc func(req portal.Request) (*portal.Response, error)
+
+// RoundTrip implements Transport.
+func (f TransportFunc) RoundTrip(req portal.Request) (*portal.Response, error) { return f(req) }
+
+// RetryConfig bounds the retry loop.
+type RetryConfig struct {
+	// Timeout caps each attempt. Zero means 2s.
+	Timeout time.Duration
+	// Retries is how many re-sends follow the first attempt. Zero means 3.
+	// Use -1 for no retries.
+	Retries int
+	// Backoff is the sleep before the first retry, doubling per attempt.
+	// Zero means 10ms.
+	Backoff time.Duration
+	// sleep stubs the backoff delay in tests.
+	sleep func(time.Duration)
+}
+
+func (cfg *RetryConfig) fill() {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 3
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 10 * time.Millisecond
+	}
+	if cfg.sleep == nil {
+		cfg.sleep = time.Sleep
+	}
+}
+
+// Do signs query once and delivers it through t, retrying timed-out or
+// failed attempts with exponential backoff. Every retry reuses the same
+// qid and MAC, so the portal either serves the request once or replays
+// the cached endorsement — at-most-once execution survives lost
+// responses. The returned response is already verified (MAC, sequence
+// number, quarantine flag); verification failures are never retried,
+// because a forged or rolled-back response is evidence, not noise.
+func (c *Client) Do(t Transport, query string, cfg RetryConfig) (*portal.Response, error) {
+	cfg.fill()
+	req := c.NewRequest(query)
+	var lastErr error
+	for attempt := 0; attempt <= cfg.Retries; attempt++ {
+		if attempt > 0 {
+			cfg.sleep(cfg.Backoff << (attempt - 1))
+		}
+		resp, err := roundTripTimeout(t, req, cfg.Timeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		// Transport delivered something: verify it. Auth/integrity
+		// failures terminate the loop — retrying cannot make a forged
+		// response honest, and a rollback or quarantine signal must
+		// reach the caller.
+		if err := c.VerifyResponse(req, resp); err != nil {
+			return resp, err
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("client: qid %d failed after %d attempts: %w", req.QID, cfg.Retries+1, lastErr)
+}
+
+// roundTripTimeout runs one attempt with a deadline. A late response from
+// an abandoned attempt is discarded: the retry already re-requested it
+// under the same qid, so the portal's cache keeps the two consistent.
+func roundTripTimeout(t Transport, req portal.Request, d time.Duration) (*portal.Response, error) {
+	type result struct {
+		resp *portal.Response
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		resp, err := t.RoundTrip(req)
+		ch <- result{resp, err}
+	}()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		if r.err != nil {
+			return nil, r.err
+		}
+		if r.resp == nil {
+			return nil, errors.New("client: transport returned no response")
+		}
+		return r.resp, nil
+	case <-timer.C:
+		return nil, fmt.Errorf("%w: attempt exceeded %v", ErrTimeout, d)
+	}
+}

@@ -1,0 +1,185 @@
+package client
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"veridb/internal/enclave"
+	"veridb/internal/portal"
+)
+
+// countExec counts executions so tests can pin at-most-once semantics.
+type countExec struct{ n int }
+
+func (e *countExec) Execute(query string) (*portal.Result, error) {
+	e.n++
+	return &portal.Result{Columns: []string{"q"}}, nil
+}
+
+func newClientPortal(t *testing.T, exec portal.Executor) (*Client, *portal.Portal, []byte) {
+	t.Helper()
+	enc := enclave.NewForTest(11)
+	key := []byte("shared-key")
+	enc.ProvisionMACKey("alice", key)
+	return New("alice", key), portal.New(enc, exec), key
+}
+
+func noSleep(cfg RetryConfig) RetryConfig {
+	cfg.sleep = func(time.Duration) {}
+	return cfg
+}
+
+// TestDoRetriesLostResponse: the transport delivers the request but loses
+// the response; the retry (same qid) gets the portal's cached endorsement
+// and the query executes exactly once.
+func TestDoRetriesLostResponse(t *testing.T) {
+	exec := &countExec{}
+	c, p, _ := newClientPortal(t, exec)
+	calls := 0
+	tr := TransportFunc(func(req portal.Request) (*portal.Response, error) {
+		calls++
+		resp, err := p.Serve(req)
+		if calls == 1 {
+			return nil, errors.New("connection reset (response lost)")
+		}
+		return resp, err
+	})
+	resp, err := c.Do(tr, "SELECT 1", noSleep(RetryConfig{Timeout: time.Second}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("transport called %d times, want 2", calls)
+	}
+	if exec.n != 1 {
+		t.Fatalf("query executed %d times — retry was not idempotent", exec.n)
+	}
+	if resp.Seq == 0 {
+		t.Fatalf("resp %+v", resp)
+	}
+}
+
+// TestDoTimesOutHungTransport: a transport that never answers exhausts
+// the per-attempt timeout and the retry budget.
+func TestDoTimesOutHungTransport(t *testing.T) {
+	c, _, _ := newClientPortal(t, &countExec{})
+	// Each abandoned attempt's goroutine keeps running (it hangs forever),
+	// so the counter is shared across goroutines — atomic, not plain int.
+	var attempts atomic.Int32
+	tr := TransportFunc(func(req portal.Request) (*portal.Response, error) {
+		attempts.Add(1)
+		select {} // hang forever
+	})
+	_, err := c.Do(tr, "SELECT 1", noSleep(RetryConfig{Timeout: 10 * time.Millisecond, Retries: 2}))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("hung transport returned %v", err)
+	}
+	if n := attempts.Load(); n != 3 {
+		t.Fatalf("attempted %d times, want 3", n)
+	}
+}
+
+// TestDoBackoffDoubles pins the exponential backoff schedule.
+func TestDoBackoffDoubles(t *testing.T) {
+	c, _, _ := newClientPortal(t, &countExec{})
+	var slept []time.Duration
+	cfg := RetryConfig{
+		Timeout: time.Second,
+		Retries: 3,
+		Backoff: 10 * time.Millisecond,
+		sleep:   func(d time.Duration) { slept = append(slept, d) },
+	}
+	tr := TransportFunc(func(req portal.Request) (*portal.Response, error) {
+		return nil, errors.New("down")
+	})
+	if _, err := c.Do(tr, "SELECT 1", cfg); err == nil {
+		t.Fatal("dead transport succeeded")
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("slept %v, want %v", slept, want)
+		}
+	}
+}
+
+// TestDoNeverRetriesForgedResponse: a MAC failure is evidence, not noise —
+// the loop must stop immediately instead of re-requesting.
+func TestDoNeverRetriesForgedResponse(t *testing.T) {
+	c, _, _ := newClientPortal(t, &countExec{})
+	calls := 0
+	tr := TransportFunc(func(req portal.Request) (*portal.Response, error) {
+		calls++
+		return &portal.Response{QID: req.QID, Seq: 1, MAC: []byte("forged")}, nil
+	})
+	_, err := c.Do(tr, "SELECT 1", noSleep(RetryConfig{Timeout: time.Second, Retries: 5}))
+	if !errors.Is(err, ErrBadMAC) {
+		t.Fatalf("forged response returned %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("forged response retried %d times", calls)
+	}
+}
+
+// TestDoSurfacesQuarantine: an authenticated quarantine response comes
+// back as ErrQuarantined, immediately and without retries.
+func TestDoSurfacesQuarantine(t *testing.T) {
+	qexec := &quarantinedExec{err: errors.New("tamper alarm: page 3")}
+	c, p, _ := newClientPortal(t, qexec)
+	calls := 0
+	tr := TransportFunc(func(req portal.Request) (*portal.Response, error) {
+		calls++
+		return p.Serve(req)
+	})
+	resp, err := c.Do(tr, "SELECT 1", noSleep(RetryConfig{Timeout: time.Second, Retries: 5}))
+	if !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("quarantine surfaced as %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("quarantine retried %d times", calls)
+	}
+	if resp == nil || !resp.Quarantined {
+		t.Fatalf("resp %+v", resp)
+	}
+}
+
+type quarantinedExec struct{ err error }
+
+func (e *quarantinedExec) Execute(string) (*portal.Result, error) { return &portal.Result{}, nil }
+func (e *quarantinedExec) QuarantineError() error                 { return e.err }
+
+// TestVerifyResponseTypedRollback: a server replaying an old sequence
+// number (state rollback) yields a *RollbackError carrying the evidence.
+func TestVerifyResponseTypedRollback(t *testing.T) {
+	c, p, key := newClientPortal(t, &countExec{})
+	req1 := c.NewRequest("SELECT 1")
+	resp1, err := p.Serve(req1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyResponse(req1, resp1); err != nil {
+		t.Fatal(err)
+	}
+	// The "server" answers the next request with the previous sequence
+	// number, properly MACed — exactly what a rolled-back-and-replayed
+	// instance would produce.
+	req2 := c.NewRequest("SELECT 2")
+	rolled := &portal.Response{QID: req2.QID, Seq: resp1.Seq}
+	rolled.MAC = portal.SignResponse(key, rolled)
+	err = c.VerifyResponse(req2, rolled)
+	var rb *RollbackError
+	if !errors.As(err, &rb) {
+		t.Fatalf("replayed seq returned %v, want *RollbackError", err)
+	}
+	if !errors.Is(err, ErrRollback) {
+		t.Fatal("typed rollback does not match ErrRollback")
+	}
+	if rb.Seq != resp1.Seq || rb.Lo > rb.Seq || rb.Hi < rb.Seq {
+		t.Fatalf("evidence %+v for replayed seq %d", rb, resp1.Seq)
+	}
+}

@@ -5,8 +5,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
+	"sync"
 
 	"veridb/internal/enclave"
 	"veridb/internal/engine"
@@ -38,6 +40,11 @@ type Config struct {
 	Seed uint64
 }
 
+// ErrQuarantined wraps every request rejected because the database's
+// verifier raised a sticky tamper alarm: the state machine is fenced and
+// only failover (Supervisor) or a fresh Recover can restore service.
+var ErrQuarantined = errors.New("core: database quarantined after tamper alarm")
+
 // DB is one VeriDB instance.
 type DB struct {
 	enc    *enclave.Enclave
@@ -45,6 +52,9 @@ type DB struct {
 	store  *storage.Store
 	portal *portal.Portal
 	opts   plan.Options
+
+	qmu  sync.Mutex
+	qerr error // sticky quarantine error, set on first alarm observation
 }
 
 // Open builds a database.
@@ -91,9 +101,72 @@ func (db *DB) Store() *storage.Store { return db.store }
 // Portal exposes the query portal for authenticated client sessions.
 func (db *DB) Portal() *portal.Portal { return db.portal }
 
-// Close stops background verification.
+// Close stops background verification. It is idempotent and safe to call
+// concurrently with quarantine entry.
 func (db *DB) Close() {
 	db.mem.StopVerifier()
+}
+
+// QuarantineError returns the sticky quarantine error, entering the
+// quarantined state on the first call that observes a tamper alarm. A
+// quarantined DB fences every statement (the compromised state must never
+// be endorsed) and stops its background scanner pool — further scanning of
+// memory already known to be compromised is wasted work, and the alarm can
+// never clear. Implements portal.Quarantiner.
+func (db *DB) QuarantineError() error {
+	db.qmu.Lock()
+	if db.qerr != nil {
+		err := db.qerr
+		db.qmu.Unlock()
+		return err
+	}
+	alarm := db.mem.Alarm()
+	if alarm == nil {
+		db.qmu.Unlock()
+		return nil
+	}
+	db.qerr = fmt.Errorf("%w: %v", ErrQuarantined, alarm)
+	err := db.qerr
+	db.qmu.Unlock()
+	// Outside qmu: StopVerifier waits for the pass in flight, and is
+	// idempotent against a concurrent Close.
+	db.mem.StopVerifier()
+	return err
+}
+
+// Health is a point-in-time snapshot of the instance's integrity state:
+// what a supervisor polls to decide on failover, and what an operator
+// reads to understand an outage.
+type Health struct {
+	// Quarantined reports whether the DB has fenced itself after an alarm.
+	Quarantined bool
+	// Alarm is the sticky tamper alarm's text ("" while clean).
+	Alarm string
+	// Epochs is every RSWS partition's current verification epoch;
+	// advancing epochs are evidence the verifier is making progress.
+	Epochs []uint64
+	// VerifierRunning reports whether the background scanner pool is
+	// attached (quarantine and Close both stop it).
+	VerifierRunning bool
+	// Stats snapshots the memory's operation and verification counters.
+	Stats vmem.Stats
+}
+
+// Health snapshots the instance's integrity state. Like Execute, it
+// observes new alarms, so polling Health is enough to drive quarantine
+// entry even on an otherwise idle instance.
+func (db *DB) Health() Health {
+	qerr := db.QuarantineError()
+	h := Health{
+		Quarantined:     qerr != nil,
+		Epochs:          db.mem.Epochs(),
+		VerifierRunning: db.mem.VerifierRunning(),
+		Stats:           db.mem.Stats(),
+	}
+	if alarm := db.mem.Alarm(); alarm != nil {
+		h.Alarm = alarm.Error()
+	}
+	return h
 }
 
 // Execute parses and runs one SQL statement. It implements
@@ -106,8 +179,13 @@ func (db *DB) Execute(query string) (*portal.Result, error) {
 	return db.ExecuteStmt(stmt)
 }
 
-// ExecuteStmt runs a parsed statement.
+// ExecuteStmt runs a parsed statement. Once the verifier's alarm is sticky
+// every statement — reads included — is fenced with ErrQuarantined:
+// results computed from tampered state must never be endorsed.
 func (db *DB) ExecuteStmt(stmt sql.Statement) (*portal.Result, error) {
+	if err := db.QuarantineError(); err != nil {
+		return nil, err
+	}
 	switch s := stmt.(type) {
 	case *sql.CreateTable:
 		return db.createTable(s)
@@ -340,12 +418,38 @@ func (db *DB) query(sel *sql.Select) (*portal.Result, error) {
 	return &portal.Result{Columns: cols, Rows: rows}, nil
 }
 
+// recoveryAlarmEvery is how many replayed rows separate alarm checks
+// during Recover. Coarse enough to stay off the hot path, fine enough
+// that a mid-replay tamper aborts within one batch.
+const recoveryAlarmEvery = 1024
+
+// recoveryAlarm reports the first sticky alarm on either side of a
+// recovery: corrupt source rows must not be re-endorsed, and a corrupted
+// destination must not be admitted.
+func recoveryAlarm(db, replica *DB) error {
+	if err := replica.mem.Alarm(); err != nil {
+		return fmt.Errorf("core: recovery source compromised: %w", err)
+	}
+	if err := db.mem.Alarm(); err != nil {
+		return fmt.Errorf("core: recovery destination compromised: %w", err)
+	}
+	return nil
+}
+
 // Recover rebuilds this (fresh) database from a replica by replaying its
 // schema and contents through the ordinary protected write interfaces
 // (§5.1 "Recovery from failure": "these repeated writes use the same
 // interfaces introduced in Section 4.2, and naturally update the states
-// stored in SGX"). The always-running verifier covers the replay itself.
+// stored in SGX"). The always-running verifier covers the replay itself;
+// Recover additionally polls both instances' alarms every batch of rows
+// and aborts on the first tamper, and verifies the replica in full before
+// resuming the portal's sequence counter — a compromised replica must
+// never be replayed into service.
 func (db *DB) Recover(replica *DB, seqFloor uint64) error {
+	if err := recoveryAlarm(db, replica); err != nil {
+		return err
+	}
+	replayed := 0
 	for _, name := range replica.store.TableNames() {
 		src, err := replica.store.Table(name)
 		if err != nil {
@@ -378,7 +482,21 @@ func (db *DB) Recover(replica *DB, seqFloor uint64) error {
 			if err := dst.Insert(tup); err != nil {
 				return err
 			}
+			if replayed++; replayed%recoveryAlarmEvery == 0 {
+				if err := recoveryAlarm(db, replica); err != nil {
+					return err
+				}
+			}
 		}
+	}
+	// Full source verification closes the window between the last batch
+	// check and the end of the replay: every source page's read-set image
+	// must still reconcile with its write set.
+	if err := replica.mem.VerifyAll(); err != nil {
+		return fmt.Errorf("core: recovery source failed final verification: %w", err)
+	}
+	if err := recoveryAlarm(db, replica); err != nil {
+		return err
 	}
 	db.portal.ResumeAt(seqFloor)
 	return nil

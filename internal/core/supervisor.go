@@ -1,0 +1,178 @@
+// Supervisor: automated replica failover. A quarantined instance (sticky
+// tamper alarm, §4.3) can answer every request with an authenticated
+// "integrity compromised" response, but it can never serve data again —
+// recovery means rebuilding a fresh instance from a replica (§5.1) and
+// proving the rebuild clean before admitting traffic. The Supervisor
+// automates that pipeline: watch the alarm, rebuild, verify, swap.
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"veridb/internal/portal"
+)
+
+// SupervisorConfig wires a Supervisor over an active instance.
+type SupervisorConfig struct {
+	// Active is the instance currently serving traffic.
+	Active *DB
+	// Replica supplies the honest state a replacement is rebuilt from
+	// (§5.1's "replicas of the protected database on other machines").
+	Replica *DB
+	// Fresh builds an empty replacement instance. It must provision the
+	// same client MAC keys as the failed instance (in production this is
+	// re-attestation plus key re-exchange); the Supervisor only rebuilds
+	// data. Called once per failover attempt.
+	Fresh func() (*DB, error)
+	// Poll is the alarm polling cadence. Zero means 5ms — comfortably
+	// inside an epoch rotation, so detection latency is dominated by the
+	// verifier, not the watcher.
+	Poll time.Duration
+}
+
+// FailoverRecord describes one completed failover.
+type FailoverRecord struct {
+	// Alarm is the quarantine error that triggered the failover.
+	Alarm string
+	// SeqFloor is the sequence number the replacement resumed above.
+	SeqFloor uint64
+	// Detected is when the watcher observed the quarantine.
+	Detected time.Time
+	// Recovered is when the replacement was admitted (rebuilt + verified).
+	Recovered time.Time
+}
+
+// Supervisor watches an instance's tamper alarm and fails over to a
+// rebuilt replacement when it trips. Clients route requests through
+// Serve, so a failover is transparent apart from a window of
+// authenticated quarantine responses while the replacement is rebuilt.
+type Supervisor struct {
+	cfg    SupervisorConfig
+	active atomic.Pointer[DB]
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+
+	mu       sync.Mutex
+	records  []FailoverRecord
+	lastErr  error // last failed failover attempt, retried next poll
+	failures int
+}
+
+// NewSupervisor starts watching. Close releases the watcher.
+func NewSupervisor(cfg SupervisorConfig) (*Supervisor, error) {
+	if cfg.Active == nil || cfg.Replica == nil || cfg.Fresh == nil {
+		return nil, fmt.Errorf("core: supervisor needs Active, Replica and Fresh")
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = 5 * time.Millisecond
+	}
+	s := &Supervisor{
+		cfg:  cfg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	s.active.Store(cfg.Active)
+	go s.watch()
+	return s, nil
+}
+
+// Active returns the instance currently serving traffic.
+func (s *Supervisor) Active() *DB { return s.active.Load() }
+
+// Serve routes one authenticated request to the active instance's portal.
+// During a failover window the quarantined instance keeps answering (with
+// authenticated quarantine responses); afterwards requests land on the
+// replacement, whose sequence numbers continue above the floor.
+func (s *Supervisor) Serve(req portal.Request) (*portal.Response, error) {
+	return s.active.Load().Portal().Serve(req)
+}
+
+// Failovers returns the completed failovers, oldest first.
+func (s *Supervisor) Failovers() []FailoverRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]FailoverRecord(nil), s.records...)
+}
+
+// Err returns the most recent failed failover attempt (nil when the last
+// attempt succeeded or none was needed). Attempts are retried every poll.
+func (s *Supervisor) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}
+
+// Close stops the watcher. The active instance keeps serving.
+func (s *Supervisor) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+func (s *Supervisor) watch() {
+	defer close(s.done)
+	tick := time.NewTicker(s.cfg.Poll)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+		}
+		db := s.active.Load()
+		qerr := db.QuarantineError()
+		if qerr == nil {
+			continue
+		}
+		detected := time.Now()
+		fresh, floor, err := s.failover(db)
+		s.mu.Lock()
+		if err != nil {
+			s.lastErr = err
+			s.failures++
+			s.mu.Unlock()
+			continue // the replica may still be warming; retry next poll
+		}
+		s.lastErr = nil
+		s.records = append(s.records, FailoverRecord{
+			Alarm:     qerr.Error(),
+			SeqFloor:  floor,
+			Detected:  detected,
+			Recovered: time.Now(),
+		})
+		s.mu.Unlock()
+		s.active.Store(fresh)
+	}
+}
+
+// failover rebuilds a replacement from the replica and gates it on a full
+// verification pass. The replacement is only admitted once every page of
+// the rebuilt state reconciles — a failover must never trade one
+// compromised instance for another. The sequence floor is read after
+// quarantine entry: the quarantined portal assigns each seq before its
+// quarantine check, so every data response's seq is ≤ the floor, and the
+// replacement's numbering continues above everything a client recorded.
+func (s *Supervisor) failover(failed *DB) (*DB, uint64, error) {
+	floor := failed.Portal().Seq()
+	fresh, err := s.cfg.Fresh()
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: failover: building replacement: %w", err)
+	}
+	if err := fresh.Recover(s.cfg.Replica, floor); err != nil {
+		fresh.Close()
+		return nil, 0, fmt.Errorf("core: failover: rebuilding from replica: %w", err)
+	}
+	if err := fresh.mem.VerifyAll(); err != nil {
+		fresh.Close()
+		return nil, 0, fmt.Errorf("core: failover: replacement failed verification: %w", err)
+	}
+	// The quarantined portal kept consuming seqs for its fencing
+	// responses while we rebuilt; raise the floor once more so even
+	// those are never reissued.
+	fresh.portal.ResumeAt(failed.Portal().Seq())
+	return fresh, floor, nil
+}

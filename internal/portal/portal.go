@@ -58,7 +58,37 @@ type Response struct {
 	Rows     []record.Tuple
 	Affected int
 	ErrMsg   string // execution error, authenticated like any result
-	MAC      []byte // HMAC(k, "resp" ‖ qid ‖ seq ‖ digest)
+	// Quarantined marks an authenticated "integrity compromised" response:
+	// the database's verifier raised a sticky tamper alarm and the portal
+	// refuses to endorse results from the compromised state. The flag is
+	// part of the MACed digest, so a client can distinguish an honest
+	// quarantine from a lying server stripping or forging errors.
+	Quarantined bool
+	MAC         []byte // HMAC(k, "resp" ‖ qid ‖ seq ‖ digest)
+}
+
+// Quarantiner is implemented by executors that can report a sticky
+// integrity compromise (core.DB does). A non-nil QuarantineError fences
+// execution: the portal answers every request with an authenticated
+// quarantine response instead of endorsing results from tampered state.
+type Quarantiner interface {
+	QuarantineError() error
+}
+
+// responseCacheSize bounds the per-client last-response cache. A retried
+// request whose original response was already evicted gets ErrReplayedQID
+// again — the cache trades a little enclave memory for retry idempotence,
+// not unbounded history.
+const responseCacheSize = 128
+
+// clientState is the portal's per-client replay defence: the full set of
+// served qids (replays are never re-executed) plus a bounded cache of the
+// most recent endorsed responses so a client retrying a lost response gets
+// the original endorsement back instead of an error.
+type clientState struct {
+	seen  map[uint64]bool
+	cache map[uint64]*Response
+	order []uint64 // cached qids, oldest first (eviction order)
 }
 
 // Portal is the enclave-resident query gateway.
@@ -67,19 +97,24 @@ type Portal struct {
 	exec Executor
 	seq  *atomic.Uint64
 
-	mu   sync.Mutex
-	seen map[string]map[uint64]bool // clientID -> qids already served
+	mu      sync.Mutex
+	clients map[string]*clientState
 }
 
 // New builds a portal over an enclave and executor.
 func New(enc *enclave.Enclave, exec Executor) *Portal {
 	return &Portal{
-		enc:  enc,
-		exec: exec,
-		seq:  enc.MonotonicCounter("portal-seq"),
-		seen: make(map[string]map[uint64]bool),
+		enc:     enc,
+		exec:    exec,
+		seq:     enc.MonotonicCounter("portal-seq"),
+		clients: make(map[string]*clientState),
 	}
 }
+
+// Seq returns the highest sequence number assigned so far — the floor a
+// failover replacement must resume above for clients to observe seq
+// continuity.
+func (p *Portal) Seq() uint64 { return p.seq.Load() }
 
 // SignRequest computes the request MAC with the pre-exchanged key. The
 // client package calls this on its own copy of the key.
@@ -111,6 +146,11 @@ func ResponseDigest(resp *Response) []byte {
 		writeField(h, record.Encode(&record.Record{Data: row}))
 	}
 	writeField(h, []byte(resp.ErrMsg))
+	q := byte(0)
+	if resp.Quarantined {
+		q = 1
+	}
+	writeField(h, []byte{q})
 	return h.Sum(nil)
 }
 
@@ -130,8 +170,11 @@ func writeField(h interface{ Write([]byte) (int, error) }, b []byte) {
 }
 
 // Serve authorises and executes one request (Fig. 2 steps 1–7). Every
-// response — including execution failures — is sequenced and MACed so the
-// client can detect tampering with the error channel too.
+// response — including execution failures and integrity quarantines — is
+// sequenced and MACed so the client can detect tampering with the error
+// channel too. A replayed qid whose original response is still cached
+// returns that cached endorsement (idempotent client retries after a lost
+// response); a replayed qid with no cached response is rejected.
 func (p *Portal) Serve(req Request) (*Response, error) {
 	p.enc.ECall() // the query enters the enclave
 	key, ok := p.enc.MACKey(req.ClientID)
@@ -143,19 +186,36 @@ func (p *Portal) Serve(req Request) (*Response, error) {
 		return nil, fmt.Errorf("%w: MAC mismatch for client %q", ErrUnauthorized, req.ClientID)
 	}
 	p.mu.Lock()
-	qids := p.seen[req.ClientID]
-	if qids == nil {
-		qids = make(map[uint64]bool)
-		p.seen[req.ClientID] = qids
+	st := p.clients[req.ClientID]
+	if st == nil {
+		st = &clientState{seen: make(map[uint64]bool), cache: make(map[uint64]*Response)}
+		p.clients[req.ClientID] = st
 	}
-	if qids[req.QID] {
+	if st.seen[req.QID] {
+		cached := st.cache[req.QID]
 		p.mu.Unlock()
+		if cached != nil {
+			return cached, nil
+		}
+		// Evicted, or the first execution is still in flight: the retry
+		// must not re-execute (at-most-once), so reject it.
 		return nil, fmt.Errorf("%w: client %q qid %d", ErrReplayedQID, req.ClientID, req.QID)
 	}
-	qids[req.QID] = true
+	st.seen[req.QID] = true
 	p.mu.Unlock()
 
 	resp := &Response{QID: req.QID, Seq: p.seq.Add(1)}
+	if q, ok := p.exec.(Quarantiner); ok {
+		if qerr := q.QuarantineError(); qerr != nil {
+			// The database is fenced: endorse the quarantine itself, never
+			// a result computed from tampered state.
+			resp.Quarantined = true
+			resp.ErrMsg = qerr.Error()
+			resp.MAC = SignResponse(key, resp)
+			p.cacheResponse(st, resp)
+			return resp, nil
+		}
+	}
 	res, err := p.exec.Execute(req.Query)
 	if err != nil {
 		resp.ErrMsg = err.Error()
@@ -165,7 +225,21 @@ func (p *Portal) Serve(req Request) (*Response, error) {
 		resp.Affected = res.Affected
 	}
 	resp.MAC = SignResponse(key, resp)
+	p.cacheResponse(st, resp)
 	return resp, nil
+}
+
+// cacheResponse stores an endorsed response for retry idempotence,
+// evicting the oldest cached entry beyond the per-client budget.
+func (p *Portal) cacheResponse(st *clientState, resp *Response) {
+	p.mu.Lock()
+	st.cache[resp.QID] = resp
+	st.order = append(st.order, resp.QID)
+	for len(st.order) > responseCacheSize {
+		delete(st.cache, st.order[0])
+		st.order = st.order[1:]
+	}
+	p.mu.Unlock()
 }
 
 // ResumeAt fast-forwards the sequence counter after recovery. A machine

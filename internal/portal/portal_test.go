@@ -60,15 +60,95 @@ func TestServeRejectsBadMACAndUnknownClient(t *testing.T) {
 	}
 }
 
-func TestServeRejectsReplay(t *testing.T) {
+// TestReplayReturnsCachedResponse: a replayed qid whose response is still
+// cached returns the identical original endorsement (retry idempotence) —
+// it is never re-executed, and the seq counter does not advance.
+func TestReplayReturnsCachedResponse(t *testing.T) {
 	p, key := newPortal(t, &echoExec{})
 	req := Request{ClientID: "alice", QID: 9, Query: "SELECT 1"}
+	req.MAC = SignRequest(key, req.ClientID, req.QID, req.Query)
+	first, err := p.Serve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := p.Serve(req)
+	if err != nil {
+		t.Fatalf("cached retry rejected: %v", err)
+	}
+	if again != first {
+		t.Fatalf("retry re-executed: %+v vs %+v", again, first)
+	}
+	if got := p.Seq(); got != first.Seq {
+		t.Fatalf("retry advanced seq to %d", got)
+	}
+}
+
+// TestEvictedReplayRejected: once the original response falls out of the
+// bounded cache, a replayed qid is rejected (at-most-once execution).
+func TestEvictedReplayRejected(t *testing.T) {
+	p, key := newPortal(t, &echoExec{})
+	req := Request{ClientID: "alice", QID: 1, Query: "SELECT 1"}
 	req.MAC = SignRequest(key, req.ClientID, req.QID, req.Query)
 	if _, err := p.Serve(req); err != nil {
 		t.Fatal(err)
 	}
+	// Push qid 1 out of the FIFO cache.
+	for i := 0; i < responseCacheSize; i++ {
+		qid := uint64(i + 2)
+		r := Request{ClientID: "alice", QID: qid, Query: "SELECT 1"}
+		r.MAC = SignRequest(key, r.ClientID, r.QID, r.Query)
+		if _, err := p.Serve(r); err != nil {
+			t.Fatal(err)
+		}
+	}
 	if _, err := p.Serve(req); !errors.Is(err, ErrReplayedQID) {
-		t.Fatalf("replay served: %v", err)
+		t.Fatalf("evicted replay served: %v", err)
+	}
+}
+
+// quarantineExec reports a sticky compromise through the Quarantiner
+// interface; Execute must never be reached once it trips.
+type quarantineExec struct {
+	echoExec
+	qerr error
+}
+
+func (q *quarantineExec) QuarantineError() error { return q.qerr }
+
+// TestQuarantinedResponsesAreAuthenticated: a fenced executor yields a
+// MACed response with the Quarantined flag folded into the digest, so a
+// client can tell an honest quarantine from a forged one.
+func TestQuarantinedResponsesAreAuthenticated(t *testing.T) {
+	exec := &quarantineExec{qerr: errors.New("tamper alarm")}
+	p, key := newPortal(t, exec)
+	req := Request{ClientID: "alice", QID: 1, Query: "SELECT 1"}
+	req.MAC = SignRequest(key, req.ClientID, req.QID, req.Query)
+	resp, err := p.Serve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Quarantined || resp.ErrMsg != "tamper alarm" || len(resp.Rows) != 0 {
+		t.Fatalf("resp %+v", resp)
+	}
+	if !bytes.Equal(resp.MAC, SignResponse(key, resp)) {
+		t.Fatal("quarantine response MAC does not verify")
+	}
+	// Stripping the flag must break the MAC: the flag is part of the digest.
+	stripped := *resp
+	stripped.Quarantined = false
+	if bytes.Equal(SignResponse(key, &stripped), resp.MAC) {
+		t.Fatal("Quarantined flag not covered by the response MAC")
+	}
+	// A clean executor keeps serving normally through the same path.
+	exec.qerr = nil
+	req2 := Request{ClientID: "alice", QID: 2, Query: "SELECT 2"}
+	req2.MAC = SignRequest(key, req2.ClientID, req2.QID, req2.Query)
+	resp2, err := p.Serve(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Quarantined || len(resp2.Rows) != 1 {
+		t.Fatalf("clean executor resp %+v", resp2)
 	}
 }
 

@@ -294,9 +294,9 @@ func TestConcurrentDMLAcrossShards(t *testing.T) {
 		t.Fatal(err)
 	}
 	const (
-		workers     = 8
+		workers      = 8
 		opsPerWorker = 300
-		keySpace    = 1000
+		keySpace     = 1000
 	)
 	// Each worker owns a disjoint key slice, so the final state is
 	// deterministic and a serial oracle can replay it per worker.

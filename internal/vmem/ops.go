@@ -95,6 +95,34 @@ func (m *Memory) foldMetaSolo(vp *vPage, snap metaSnapshot) {
 	vp.touched = true
 }
 
+// afterOp runs per-operation post-processing with all locks released:
+// verifier pacing first, then the chaos hook's operation notification.
+func (m *Memory) afterOp() {
+	m.maybePace()
+	if hp := m.hook.Load(); hp != nil {
+		(*hp).OpDone(m.ops.Load())
+	}
+}
+
+// applyWriteFault lets the installed hook corrupt the bytes that actually
+// landed in untrusted memory while the accumulators keep the intended
+// image (a dropped or torn DMA write). Must be called with vp.mu held,
+// after intended has been stored in slot. Faults that cannot be stored in
+// place (length mismatch) are ignored.
+func (m *Memory) applyWriteFault(vp *vPage, slot int, old, intended []byte) {
+	hp := m.hook.Load()
+	if hp == nil {
+		return
+	}
+	mutated := (*hp).MutateWrite(vp.id, slot, old, intended)
+	if mutated == nil || len(mutated) != len(intended) || bytes.Equal(mutated, intended) {
+		return
+	}
+	if cur, err := vp.p.Get(slot); err == nil && len(cur) == len(mutated) {
+		copy(cur, mutated) // cur aliases the page buffer
+	}
+}
+
 // Get reads the record in (pageID, slot) through the protected interface
 // (Alg. 1 Read): the read is folded into h(RS) and a virtual write-back of
 // the same data, at the next version, into h(WS). The returned slice is a
@@ -136,7 +164,7 @@ func (m *Memory) Get(pageID uint64, slot int) ([]byte, error) {
 		vp.touched = true
 	}
 	vp.mu.Unlock()
-	m.maybePace()
+	m.afterOp()
 	return out, nil
 }
 
@@ -180,8 +208,9 @@ func (m *Memory) Insert(pageID uint64, rec []byte) (int, error) {
 		part.mu.Unlock()
 		vp.touched = true
 	}
+	m.applyWriteFault(vp, slot, nil, rec)
 	vp.mu.Unlock()
-	m.maybePace()
+	m.afterOp()
 	return slot, nil
 }
 
@@ -194,9 +223,9 @@ func (m *Memory) Update(pageID uint64, slot int, rec []byte) error {
 		return err
 	}
 	vp.mu.Lock()
-	defer vp.mu.Unlock()
 	old, err := vp.p.Get(slot)
 	if err != nil {
+		vp.mu.Unlock()
 		return err
 	}
 	track := m.cfg.Mode == ModeRSWS
@@ -212,6 +241,7 @@ func (m *Memory) Update(pageID uint64, slot int, rec []byte) error {
 		if track && m.cfg.VerifyMetadata {
 			m.foldMetaSolo(vp, snap)
 		}
+		vp.mu.Unlock()
 		return err
 	}
 	if track {
@@ -231,7 +261,9 @@ func (m *Memory) Update(pageID uint64, slot int, rec []byte) error {
 		part.mu.Unlock()
 		vp.touched = true
 	}
-	m.maybePace()
+	m.applyWriteFault(vp, slot, oldCopy, rec)
+	vp.mu.Unlock()
+	m.afterOp()
 	return nil
 }
 
@@ -245,9 +277,9 @@ func (m *Memory) Delete(pageID uint64, slot int) error {
 		return err
 	}
 	vp.mu.Lock()
-	defer vp.mu.Unlock()
 	old, err := vp.p.Get(slot)
 	if err != nil {
+		vp.mu.Unlock()
 		return err
 	}
 	track := m.cfg.Mode == ModeRSWS
@@ -260,6 +292,7 @@ func (m *Memory) Delete(pageID uint64, slot int) error {
 		}
 	}
 	if err := vp.p.Delete(slot); err != nil {
+		vp.mu.Unlock()
 		return err
 	}
 	if m.cfg.EagerCompaction {
@@ -281,7 +314,8 @@ func (m *Memory) Delete(pageID uint64, slot int) error {
 		part.mu.Unlock()
 		vp.touched = true
 	}
-	m.maybePace()
+	vp.mu.Unlock()
+	m.afterOp()
 	return nil
 }
 
@@ -293,6 +327,17 @@ func (m *Memory) Move(srcPage uint64, srcSlot int, dstPage uint64) (int, error) 
 	if srcPage == dstPage {
 		return srcSlot, nil
 	}
+	dstSlot, err := m.moveLocked(srcPage, srcSlot, dstPage)
+	if err != nil {
+		return 0, err
+	}
+	m.afterOp()
+	return dstSlot, nil
+}
+
+// moveLocked performs Move's page-locked portion; afterOp must run with
+// the locks released, so the caller handles it.
+func (m *Memory) moveLocked(srcPage uint64, srcSlot int, dstPage uint64) (int, error) {
 	src, err := m.lookup(srcPage)
 	if err != nil {
 		return 0, err
@@ -365,7 +410,7 @@ func (m *Memory) Move(srcPage uint64, srcSlot int, dstPage uint64) (int, error) 
 		dp.mu.Unlock()
 		dst.touched = true
 	}
-	m.maybePace()
+	m.applyWriteFault(dst, dstSlot, nil, rec)
 	return dstSlot, nil
 }
 
@@ -444,6 +489,58 @@ func (m *Memory) TamperRecord(pageID uint64, slot int, data []byte) error {
 		return fmt.Errorf("vmem: tamper payload %d bytes exceeds record %d", len(data), len(old))
 	}
 	copy(old, data) // old aliases the page buffer
+	return nil
+}
+
+// PageImage is a raw copy of one page's untrusted state: the byte buffer
+// plus the (equally untrusted) version ledgers. SnapshotPageRaw and
+// RestorePageRaw move it in and out wholesale, bypassing every protected
+// interface — the §3.1 adversary recording a page and replaying it later
+// (stale-page rollback). The enclave-held accumulators and touched-page
+// bookkeeping are deliberately untouched, so verification must flag the
+// replay once the stale content meets a protected read or a page scan.
+type PageImage struct {
+	ID    uint64
+	Buf   []byte
+	Vers  []uint64
+	MVers []uint64
+	HVer  uint64
+}
+
+// SnapshotPageRaw copies a page's untrusted state (chaos testing only).
+func (m *Memory) SnapshotPageRaw(pageID uint64) (*PageImage, error) {
+	vp, err := m.lookup(pageID)
+	if err != nil {
+		return nil, err
+	}
+	vp.mu.Lock()
+	defer vp.mu.Unlock()
+	return &PageImage{
+		ID:    pageID,
+		Buf:   append([]byte(nil), vp.p.RawBuffer()...),
+		Vers:  append([]uint64(nil), vp.vers...),
+		MVers: append([]uint64(nil), vp.mver...),
+		HVer:  vp.hver,
+	}, nil
+}
+
+// RestorePageRaw overwrites a page's untrusted state with an earlier
+// snapshot, simulating a stale-page replay attack (chaos testing only).
+func (m *Memory) RestorePageRaw(img *PageImage) error {
+	vp, err := m.lookup(img.ID)
+	if err != nil {
+		return err
+	}
+	vp.mu.Lock()
+	defer vp.mu.Unlock()
+	buf := vp.p.RawBuffer()
+	if len(buf) != len(img.Buf) {
+		return fmt.Errorf("vmem: page image is %d bytes, page is %d", len(img.Buf), len(buf))
+	}
+	copy(buf, img.Buf)
+	vp.vers = append(vp.vers[:0], img.Vers...)
+	vp.mver = append(vp.mver[:0], img.MVers...)
+	vp.hver = img.HVer
 	return nil
 }
 

@@ -337,9 +337,11 @@ func (m *Memory) StartVerifier(opsPerPageScan int) error {
 
 // StopVerifier signals the background verifier, waits for it to finish its
 // current partition pass (so no epoch is left half-scanned), shuts the
-// scanner workers down, and returns.
+// scanner workers down, and returns. It is idempotent and safe to call
+// concurrently (quarantine entry and DB close may race): exactly one
+// caller detaches and drains the verifier, the rest return immediately.
 func (m *Memory) StopVerifier() {
-	v := m.verifier.Load()
+	v := m.verifier.Swap(nil)
 	if v == nil {
 		return
 	}
@@ -347,7 +349,6 @@ func (m *Memory) StopVerifier() {
 	<-v.done
 	close(v.tasks)
 	v.workerWG.Wait()
-	m.verifier.Store(nil)
 }
 
 // maybePace is called after every protected operation; it wakes the
@@ -393,7 +394,7 @@ func (m *Memory) verifierLoop(v *verifier) {
 		}
 	}
 	endPass := func() {
-		v.inflight.Wait() // every page of the pass scanned before rotation
+		v.inflight.Wait()  // every page of the pass scanned before rotation
 		_ = m.rotate(part) // alarm recorded; background pass keeps going
 		part.scanMu.Unlock()
 		inPass = false

@@ -197,6 +197,28 @@ type Stats struct {
 	Alarms     uint64
 }
 
+// Hook interposes on the untrusted-memory side of protected operations.
+// It is the chaos-testing seam: the injector in internal/chaos implements
+// it to model an adversary (or failing hardware) sitting between the
+// enclave's bookkeeping and the bytes that actually land in host memory.
+//
+// MutateWrite is called under the page lock on every successful protected
+// write (Insert, Update, Move write-in) with the image the accumulators
+// folded; the returned slice is what actually lands in untrusted memory.
+// Returning intended unchanged (or a slice of a different length, which
+// cannot be stored in place) applies no fault. old is the previous cell
+// image (nil for fresh inserts).
+//
+// OpDone is called after every protected operation completes, with all
+// locks released, carrying the running protected-op count. The hook may
+// invoke the memory's Tamper*/SnapshotPageRaw/RestorePageRaw primitives
+// from OpDone, but must not issue protected operations (Get/Insert/...)
+// without guarding against re-entry, since those call OpDone again.
+type Hook interface {
+	MutateWrite(pageID uint64, slot int, old, intended []byte) []byte
+	OpDone(ops uint64)
+}
+
 // Memory is the write-read consistent memory.
 type Memory struct {
 	cfg   Config
@@ -215,6 +237,7 @@ type Memory struct {
 	alarms    atomic.Uint64
 	alarm     atomic.Pointer[alarmBox]
 
+	hook     atomic.Pointer[Hook]
 	verifier atomic.Pointer[verifier]
 }
 
@@ -388,6 +411,32 @@ func (m *Memory) Stats() Stats {
 		Alarms:     m.alarms.Load(),
 	}
 }
+
+// SetHook installs (or, with nil, removes) the fault-injection hook. The
+// hook applies to operations that start after the call; in-flight
+// operations may complete with the previous hook.
+func (m *Memory) SetHook(h Hook) {
+	if h == nil {
+		m.hook.Store(nil)
+		return
+	}
+	m.hook.Store(&h)
+}
+
+// Epochs snapshots every partition's current epoch number (health
+// reporting: progress here is evidence the verifier is rotating).
+func (m *Memory) Epochs() []uint64 {
+	out := make([]uint64, len(m.parts))
+	for i, part := range m.parts {
+		part.mu.Lock()
+		out[i] = part.epoch
+		part.mu.Unlock()
+	}
+	return out
+}
+
+// VerifierRunning reports whether a background verifier is attached.
+func (m *Memory) VerifierRunning() bool { return m.verifier.Load() != nil }
 
 // Alarm returns the first tamper-detection error raised by verification, or
 // nil. Once an alarm is raised it is never cleared: the paper's guarantee

@@ -99,7 +99,19 @@ var (
 	ErrBadMAC = client.ErrBadMAC
 	// ErrUnauthorized means the portal rejected a request's authorisation.
 	ErrUnauthorized = portal.ErrUnauthorized
+	// ErrQuarantined (client side) means the server returned an
+	// authenticated "integrity compromised" response: its verifier raised
+	// a tamper alarm and it refuses to endorse further results.
+	ErrQuarantined = client.ErrQuarantined
+	// ErrServerQuarantined (server side) fences every statement once the
+	// instance's own verifier has raised its sticky alarm.
+	ErrServerQuarantined = core.ErrQuarantined
 )
+
+// Health is a point-in-time snapshot of an instance's integrity state
+// (quarantine flag, sticky alarm text, per-partition verification epochs,
+// verifier liveness, counters).
+type Health = core.Health
 
 // JoinStrategy names for Config.Join.
 const (
@@ -295,6 +307,16 @@ func (db *DB) Verify() error { return db.inner.Memory().VerifyAll() }
 // Alarm returns the sticky tamper alarm raised by any earlier
 // verification, or nil.
 func (db *DB) Alarm() error { return db.inner.Memory().Alarm() }
+
+// Health snapshots the instance's integrity state. Polling it also drives
+// quarantine entry on an otherwise idle instance: the first call that
+// observes a tamper alarm fences the database and stops its verifier.
+func (db *DB) Health() Health { return db.inner.Health() }
+
+// QuarantineError returns the sticky quarantine error (wrapping
+// ErrServerQuarantined) once the verifier's alarm has tripped, or nil
+// while the instance is healthy.
+func (db *DB) QuarantineError() error { return db.inner.QuarantineError() }
 
 // StartVerifier launches non-quiescent background verification, scanning
 // one page per opsPerPageScan protected operations on the configured
