@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench chaos ci
+.PHONY: build vet lint test race bench bench-query chaos ci
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,12 @@ race:
 bench:
 	$(GO) test -bench=BenchmarkVerifyScaling -benchtime=1x -run=^$$ .
 
+# Vectorized-execution smoke: a tiny batch-size sweep proving the query
+# subcommand runs end-to-end and rows stay batch-size-invariant. Real
+# measurements use the defaults: veridb-bench query.
+bench-query:
+	$(GO) run ./cmd/veridb-bench query -query-rows 2000 -batch-sizes 1,64,256 -query-json ""
+
 # Fault-injection suite: the chaos injector, quarantine/failover paths in
 # core, the retrying client, the portal response cache, and the end-to-end
 # fault-recovery bench — all under the race detector, uncached, with a
@@ -37,4 +43,4 @@ chaos:
 		./internal/chaos ./internal/core ./internal/client \
 		./internal/portal ./internal/bench
 
-ci: build lint test race chaos
+ci: build lint test race chaos bench-query

@@ -13,6 +13,7 @@
 //	veridb-bench fig13 [-warehouses N] [-seconds S] [-shards 1,4,16] [-shard-json BENCH_shard.json]
 //	veridb-bench verify [-pages N] [-workers 1,2,4,8] [-json BENCH_verify.json]
 //	veridb-bench fault  [-rows N] [-trials N] [-json BENCH_fault.json]
+//	veridb-bench query  [-query-rows N] [-batch-sizes 1,64,256] [-query-json BENCH_query.json]
 //	veridb-bench ablations [-rows N]
 //	veridb-bench all
 //
@@ -25,6 +26,11 @@
 // fault kind, the latency from corruption to an authenticated quarantine
 // response (detection) and to a verified replacement serving again
 // (time-to-recovered).
+//
+// The query subcommand sweeps the vectorized-execution batch size over a
+// fixed query set (scan, filter, aggregate, sort, join) and, with
+// -query-json, records the per-operator latencies so the batching win is
+// tracked across PRs.
 package main
 
 import (
@@ -60,6 +66,9 @@ func main() {
 	jsonPath := fs.String("json", "", "write results as JSON to this path (verify, fault)")
 	trials := fs.Int("trials", 8, "fault/recovery cycles, kinds rotating (fault)")
 	faultRows := fs.Int("fault-rows", 128, "seeded rows per instance (fault)")
+	queryRows := fs.Int("query-rows", 30_000, "fact-table rows (query)")
+	batchSizes := fs.String("batch-sizes", "1,64,256", "comma-separated ExecBatchSize sweep (query)")
+	queryJSON := fs.String("query-json", "BENCH_query.json", "write the batch sweep as JSON to this path (query); empty disables")
 	fs.Parse(os.Args[2:])
 
 	run := func(name string, f func() error) {
@@ -72,7 +81,7 @@ func main() {
 	}
 	known := map[string]bool{"fig9": true, "fig10": true, "fig11": true,
 		"fig12": true, "fig13": true, "verify": true, "fault": true,
-		"ablations": true, "all": true}
+		"query": true, "ablations": true, "all": true}
 	if !known[cmd] {
 		usage()
 		os.Exit(2)
@@ -84,11 +93,12 @@ func main() {
 	run("fig13", func() error { return fig13(*warehouses, *seconds, *shardList, *shardJSON) })
 	run("verify", func() error { return verifyScaling(*pages, *workerList, *jsonPath) })
 	run("fault", func() error { return faultRecovery(*faultRows, *trials, *jsonPath) })
+	run("query", func() error { return queryBatch(*queryRows, *batchSizes, *queryJSON) })
 	run("ablations", func() error { return ablations(*rows) })
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `veridb-bench <fig9|fig10|fig11|fig12|fig13|verify|fault|ablations|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `veridb-bench <fig9|fig10|fig11|fig12|fig13|verify|fault|query|ablations|all> [flags]`)
 }
 
 func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
@@ -316,6 +326,58 @@ func faultRecovery(rows, trials int, jsonPath string) error {
 	fmt.Printf("-- mean: detection %.2fms, time-to-recovered %.2fms (inject -> verified replacement serving)\n",
 		float64(run.MeanDetection.Microseconds())/1e3,
 		float64(run.MeanTimeToRecovered.Microseconds())/1e3)
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(run, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("-- wrote %s\n", jsonPath)
+	}
+	fmt.Println()
+	return nil
+}
+
+func queryBatch(rows int, sizeList, jsonPath string) error {
+	var sizes []int
+	for _, s := range strings.Split(sizeList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -batch-sizes entry %q", s)
+		}
+		sizes = append(sizes, n)
+	}
+	fmt.Printf("== Query execution: per-operator latency vs batch size (rows=%d) ==\n", rows)
+	run, err := bench.RunExecBatch(bench.ExecBatchConfig{Rows: rows, Sizes: sizes})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-11s", "op\\batch")
+	for _, s := range run.Sizes {
+		fmt.Printf(" %11d", s)
+	}
+	fmt.Printf(" %9s\n", "speedup")
+	byOp := make(map[string]map[int]float64)
+	for _, pt := range run.Points {
+		if byOp[pt.Op] == nil {
+			byOp[pt.Op] = make(map[int]float64)
+		}
+		byOp[pt.Op][pt.BatchSize] = float64(pt.Latency.Microseconds()) / 1e3
+	}
+	for _, op := range []string{"scan", "filter", "aggregate", "sort", "join"} {
+		lat, ok := byOp[op]
+		if !ok {
+			continue
+		}
+		fmt.Printf("%-11s", op)
+		for _, s := range run.Sizes {
+			fmt.Printf(" %9.2fms", lat[s])
+		}
+		fmt.Printf(" %8.2fx\n", run.Speedup[op])
+	}
+	fmt.Println("-- row counts are asserted identical across batch sizes; batching must only move time, not rows")
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(run, "", "  ")
 		if err != nil {

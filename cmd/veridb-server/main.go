@@ -102,6 +102,7 @@ func main() {
 	verifyWorkers := flag.Int("verify-workers", 0, "verification worker pool size (0 = GOMAXPROCS)")
 	partitions := flag.Int("rsws", 16, "RSWS partitions")
 	tableShards := flag.Int("table-shards", 1, "hash shards per table (1 = unsharded)")
+	execBatch := flag.Int("exec-batch", 0, "query execution batch size (0 = default 256, 1 = tuple-at-a-time)")
 	initSQL := flag.String("init", "", "semicolon-separated SQL to run at startup")
 	maxLine := flag.Int("max-line", 1<<20, "maximum request line size, bytes")
 	maxConns := flag.Int("max-conns", 256, "maximum concurrent connections (0 = unlimited)")
@@ -116,6 +117,7 @@ func main() {
 		VerifyEveryOps: *verifyEvery,
 		VerifyWorkers:  *verifyWorkers,
 		TableShards:    *tableShards,
+		ExecBatchSize:  *execBatch,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"veridb/internal/core"
+	"veridb/internal/engine"
+	"veridb/internal/record"
+	"veridb/internal/sql"
+)
+
+// ExecBatchConfig sizes the vectorized-execution sweep: the same query set
+// runs at each batch size over the same verified table, so the only moving
+// part is how many rows each operator-to-operator call hands over.
+type ExecBatchConfig struct {
+	// Rows in the fact table (default 30 000).
+	Rows int
+	// Sizes is the ExecBatchSize sweep (default 1, 64, 256; 1 is the
+	// legacy tuple-at-a-time path).
+	Sizes []int
+	// Reps per measurement; the minimum is kept (default 3).
+	Reps int
+	Seed int64
+}
+
+func (c ExecBatchConfig) withDefaults() ExecBatchConfig {
+	if c.Rows <= 0 {
+		c.Rows = 30_000
+	}
+	if len(c.Sizes) == 0 {
+		c.Sizes = []int{1, 64, 256}
+	}
+	if c.Reps <= 0 {
+		c.Reps = 3
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ExecBatchPoint is one (operator, batch size) measurement.
+type ExecBatchPoint struct {
+	// Op names the operator dominating the measured plan.
+	Op        string
+	BatchSize int
+	// Latency is the best-of-reps execution time (plan excluded).
+	Latency time.Duration
+	// Rows the query returned (sanity: identical across batch sizes).
+	Rows int
+}
+
+// ExecBatchRun is the BENCH_query.json payload.
+type ExecBatchRun struct {
+	TableRows int
+	Sizes     []int
+	Points    []ExecBatchPoint
+	// Speedup maps operator name to latency(batch=1) / latency(largest
+	// batch) — above 1.0 means vectorization won.
+	Speedup map[string]float64
+}
+
+// execBatchQueries maps each measurement to the plan it exercises. Each
+// query is chosen so one operator dominates: the bare scan+project, a
+// selective filter, a grouped aggregate, a sort with limit, and a join.
+var execBatchJobs = []struct {
+	op  string
+	sql string
+}{
+	{"scan", `SELECT id, cat, qty, price FROM items`},
+	{"filter", `SELECT id FROM items WHERE qty > 6 AND cat <> 3`},
+	{"aggregate", `SELECT cat, COUNT(*), SUM(price), AVG(qty) FROM items GROUP BY cat`},
+	{"sort", `SELECT id FROM items ORDER BY price DESC LIMIT 100`},
+	{"join", `SELECT i.id, c.label FROM items i JOIN cats c ON i.cat = c.cat WHERE i.qty = 12`},
+}
+
+// execBatchDB opens a database at one batch size and loads the dataset
+// through the verified write path.
+func execBatchDB(cfg ExecBatchConfig, size int) (*core.DB, error) {
+	db, err := core.Open(core.Config{Seed: uint64(cfg.Seed), ExecBatchSize: size})
+	if err != nil {
+		return nil, err
+	}
+	stmts := []string{
+		`CREATE TABLE items (id INT PRIMARY KEY, cat INT, qty INT, price FLOAT)`,
+		`CREATE TABLE cats (cat INT PRIMARY KEY, label TEXT)`,
+	}
+	for _, ddl := range stmts {
+		if _, err := db.Execute(ddl); err != nil {
+			return nil, err
+		}
+	}
+	items, err := db.Store().Table("items")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Rows; i++ {
+		row := record.Tuple{
+			record.Int(int64(i)), record.Int(int64(i % 16)),
+			record.Int(int64(i % 13)), record.Float(float64(i) * 0.25),
+		}
+		if err := items.Insert(row); err != nil {
+			return nil, err
+		}
+	}
+	cats, err := db.Store().Table("cats")
+	if err != nil {
+		return nil, err
+	}
+	for c := 0; c < 16; c++ {
+		if err := cats.Insert(record.Tuple{record.Int(int64(c)), record.Text(fmt.Sprintf("cat-%d", c))}); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// runExecBatchQuery plans and drains one query the way core.DB does for
+// the given batch size, returning the drain time and row count.
+func runExecBatchQuery(db *core.DB, query string, size int) (time.Duration, int, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return 0, 0, err
+	}
+	op, err := db.Plan(stmt.(*sql.Select))
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	var rows []record.Tuple
+	if size > 1 {
+		rows, err = engine.DrainBatches(engine.AsBatch(op), size)
+	} else {
+		rows, err = engine.Drain(op)
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start), len(rows), nil
+}
+
+// RunExecBatch measures per-operator query latency across execution batch
+// sizes (Fig. 14 shape: the same plans, scalar vs. vectorized). Row counts
+// are asserted identical across sizes — a batch-size-dependent result is a
+// correctness bug, not a data point.
+func RunExecBatch(cfg ExecBatchConfig) (*ExecBatchRun, error) {
+	cfg = cfg.withDefaults()
+	run := &ExecBatchRun{TableRows: cfg.Rows, Sizes: cfg.Sizes, Speedup: make(map[string]float64)}
+	rowsAt := make(map[string]int) // op -> result rows at the first size
+	best := make(map[int]map[string]time.Duration)
+	for _, size := range cfg.Sizes {
+		if size < 1 {
+			return nil, fmt.Errorf("bench: batch size %d out of range", size)
+		}
+		db, err := execBatchDB(cfg, size)
+		if err != nil {
+			return nil, err
+		}
+		best[size] = make(map[string]time.Duration)
+		for _, j := range execBatchJobs {
+			var lat time.Duration
+			var nrows int
+			for rep := 0; rep < cfg.Reps; rep++ {
+				d, n, err := runExecBatchQuery(db, j.sql, size)
+				if err != nil {
+					db.Close()
+					return nil, fmt.Errorf("bench: %s at batch %d: %w", j.op, size, err)
+				}
+				if rep == 0 || d < lat {
+					lat = d
+				}
+				nrows = n
+			}
+			if want, ok := rowsAt[j.op]; ok && want != nrows {
+				db.Close()
+				return nil, fmt.Errorf("bench: %s returned %d rows at batch %d, %d at batch %d",
+					j.op, nrows, size, want, cfg.Sizes[0])
+			}
+			rowsAt[j.op] = nrows
+			best[size][j.op] = lat
+			run.Points = append(run.Points, ExecBatchPoint{
+				Op: j.op, BatchSize: size, Latency: lat, Rows: nrows,
+			})
+		}
+		db.Close()
+	}
+	// Speedup of the largest batch over tuple-at-a-time, when both ran.
+	smallest, largest := cfg.Sizes[0], cfg.Sizes[0]
+	for _, s := range cfg.Sizes {
+		if s < smallest {
+			smallest = s
+		}
+		if s > largest {
+			largest = s
+		}
+	}
+	if smallest != largest {
+		for _, j := range execBatchJobs {
+			if b := best[largest][j.op]; b > 0 {
+				run.Speedup[j.op] = float64(best[smallest][j.op]) / float64(b)
+			}
+		}
+	}
+	return run, nil
+}

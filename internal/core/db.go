@@ -35,6 +35,13 @@ type Config struct {
 	// (each shard has its own latch, chains and pages). Zero or one keeps
 	// the unsharded layout bit-for-bit.
 	TableShards int
+	// ExecBatchSize is the vectorized execution batch size: queries pull
+	// batches of this many rows through the operator tree instead of one
+	// tuple at a time. 1 forces the exact legacy tuple-at-a-time path;
+	// values > 1 enable batching (the planner still drops trivially small
+	// queries to the scalar path). Zero is mapped to the default by the
+	// public veridb package.
+	ExecBatchSize int
 	// Seed, when nonzero, makes the enclave's PRF key deterministic
 	// (benchmarks and tests only).
 	Seed uint64
@@ -78,7 +85,7 @@ func Open(cfg Config) (*DB, error) {
 		enc:   enc,
 		mem:   mem,
 		store: st,
-		opts:  plan.Options{Join: cfg.Join},
+		opts:  plan.Options{Join: cfg.Join, ExecBatchSize: cfg.ExecBatchSize},
 	}
 	db.portal = portal.New(enc, db)
 	if cfg.VerifyEveryOps > 0 {
@@ -330,6 +337,18 @@ func (db *DB) matchingRows(t storage.Engine, where sql.Expr) ([]record.Tuple, er
 	if err != nil {
 		return nil, err
 	}
+	return db.drain(op)
+}
+
+// drain runs a compiled plan to completion in the mode the planner fixed
+// for it: batch-wise when vectorized, the legacy scalar Drain otherwise.
+// Either way the rows come back in identical order, so the portal's
+// response digest (which folds rows in emission order) is bit-identical
+// across modes.
+func (db *DB) drain(op engine.Operator) ([]record.Tuple, error) {
+	if eff := plan.EffectiveBatchSize(op, db.opts.ExecBatchSize); eff > 1 {
+		return engine.DrainBatches(engine.AsBatch(op), eff)
+	}
 	return engine.Drain(op)
 }
 
@@ -407,7 +426,7 @@ func (db *DB) query(sel *sql.Select) (*portal.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, err := engine.Drain(op)
+	rows, err := db.drain(op)
 	if err != nil {
 		return nil, err
 	}
@@ -471,20 +490,23 @@ func (db *DB) Recover(replica *DB, seqFloor uint64) error {
 		if err != nil {
 			return err
 		}
+		batch := storage.NewRowBatch(storage.DefaultBatchCapacity)
 		for {
-			tup, ok, err := sc.Next()
+			n, err := sc.NextBatch(batch)
 			if err != nil {
 				return fmt.Errorf("core: recovery scan of %q: %w", name, err)
 			}
-			if !ok {
+			if n == 0 {
 				break
 			}
-			if err := dst.Insert(tup); err != nil {
-				return err
-			}
-			if replayed++; replayed%recoveryAlarmEvery == 0 {
-				if err := recoveryAlarm(db, replica); err != nil {
+			for i := 0; i < n; i++ {
+				if err := dst.Insert(batch.Row(i)); err != nil {
 					return err
+				}
+				if replayed++; replayed%recoveryAlarmEvery == 0 {
+					if err := recoveryAlarm(db, replica); err != nil {
+						return err
+					}
 				}
 			}
 		}

@@ -152,8 +152,9 @@ type HashAggregate struct {
 	Names   []string // names for the group columns
 	Aggs    []AggSpec
 
-	out []record.Tuple
-	pos int
+	batch int // execution mode; see SetBatchSize
+	out   []record.Tuple
+	pos   int
 }
 
 // Schema exposes group columns then aggregate columns.
@@ -182,8 +183,11 @@ func (h *HashAggregate) Open() error {
 		return err
 	}
 	defer h.Child.Close()
+	// Accumulation is inherently per-row; the cursor keeps the child's
+	// subtree vectorized underneath when the aggregate runs batched.
+	cur := newBatchCursor(h.Child, h.batch)
 	for {
-		t, ok, err := h.Child.Next()
+		t, ok, err := cur.next()
 		if err != nil {
 			return err
 		}
@@ -241,6 +245,11 @@ func (h *HashAggregate) Next() (record.Tuple, bool, error) {
 	t := h.out[h.pos]
 	h.pos++
 	return t, true, nil
+}
+
+// NextBatch emits the next run of group rows.
+func (h *HashAggregate) NextBatch(dst *RowBatch) (int, error) {
+	return emitRows(h.out, &h.pos, dst)
 }
 
 // Close releases the grouped rows.

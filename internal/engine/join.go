@@ -27,8 +27,10 @@ type NestedLoopJoin struct {
 	Outer, Inner Operator
 	On           *Compiled // compiled against the concatenated schema
 
-	cur       record.Tuple
-	innerOpen bool
+	batch      int // execution mode; see SetBatchSize
+	ocur, icur *batchCursor
+	cur        record.Tuple
+	innerOpen  bool
 }
 
 // Schema concatenates outer and inner schemas.
@@ -40,14 +42,18 @@ func (j *NestedLoopJoin) Schema() Schema {
 func (j *NestedLoopJoin) Open() error {
 	j.cur = nil
 	j.innerOpen = false
+	j.ocur = newBatchCursor(j.Outer, j.batch)
+	j.icur = newBatchCursor(j.Inner, j.batch)
 	return j.Outer.Open()
 }
 
-// Next emits the next joined row.
+// Next emits the next joined row. Both sides are pulled through batch
+// cursors, so their subtrees run vectorized while the join logic itself
+// stays per-row.
 func (j *NestedLoopJoin) Next() (record.Tuple, bool, error) {
 	for {
 		if j.cur == nil {
-			t, ok, err := j.Outer.Next()
+			t, ok, err := j.ocur.next()
 			if err != nil || !ok {
 				return nil, false, err
 			}
@@ -58,9 +64,10 @@ func (j *NestedLoopJoin) Next() (record.Tuple, bool, error) {
 			if err := j.Inner.Open(); err != nil {
 				return nil, false, err
 			}
+			j.icur.reset()
 			j.innerOpen = true
 		}
-		it, ok, err := j.Inner.Next()
+		it, ok, err := j.icur.next()
 		if err != nil {
 			return nil, false, err
 		}
@@ -91,6 +98,12 @@ func (j *NestedLoopJoin) Close() error {
 	return j.Outer.Close()
 }
 
+// NextBatch fills dst with joined rows; inputs stream batch-wise through
+// the cursors.
+func (j *NestedLoopJoin) NextBatch(dst *RowBatch) (int, error) {
+	return storage.FillBatch(j.Next, dst)
+}
+
 // IndexJoin pulls, for each outer row, the matching inner rows through the
 // verified index search / range scan on the inner table's chain — the
 // paper's running example plan (Fig. 7: Join with IndexSearch on
@@ -106,6 +119,9 @@ type IndexJoin struct {
 	// Residual filters concatenated rows (nil: none).
 	Residual *Compiled
 
+	batch   int // execution mode; see SetBatchSize
+	ocur    *batchCursor
+	pb      *RowBatch // probe-scan scratch batch
 	cur     record.Tuple
 	matches []record.Tuple
 	mi      int
@@ -124,6 +140,7 @@ func (j *IndexJoin) Schema() Schema {
 // Open opens the outer side.
 func (j *IndexJoin) Open() error {
 	j.cur, j.matches, j.mi = nil, nil, 0
+	j.ocur = newBatchCursor(j.Outer, j.batch)
 	return j.Outer.Open()
 }
 
@@ -144,7 +161,7 @@ func (j *IndexJoin) Next() (record.Tuple, bool, error) {
 			}
 			return row, true, nil
 		}
-		t, ok, err := j.Outer.Next()
+		t, ok, err := j.ocur.next()
 		if err != nil || !ok {
 			return nil, false, err
 		}
@@ -184,6 +201,25 @@ func (j *IndexJoin) probe(key record.Value) ([]record.Tuple, error) {
 		return nil, err
 	}
 	defer sc.Close()
+	if j.batch > 1 {
+		// Batched probe drain: the verified scan fills the scratch batch.
+		if j.pb == nil || j.pb.Cap() != j.batch {
+			j.pb = NewRowBatch(j.batch)
+		}
+		var out []record.Tuple
+		for {
+			n, err := sc.NextBatch(j.pb)
+			if err != nil {
+				return nil, err
+			}
+			if n == 0 {
+				return out, nil
+			}
+			for i := 0; i < n; i++ {
+				out = append(out, j.pb.Row(i))
+			}
+		}
+	}
 	var out []record.Tuple
 	for {
 		t, ok, err := sc.Next()
@@ -203,6 +239,12 @@ func (j *IndexJoin) Close() error {
 	return j.Outer.Close()
 }
 
+// NextBatch fills dst with joined rows; the outer input and the probe
+// drains stream batch-wise.
+func (j *IndexJoin) NextBatch(dst *RowBatch) (int, error) {
+	return storage.FillBatch(j.Next, dst)
+}
+
 // MergeJoin equi-joins two inputs already sorted on their join keys —
 // Q19's low-compute plan in §6.3. Duplicate key groups on the right are
 // buffered.
@@ -210,6 +252,8 @@ type MergeJoin struct {
 	Left, Right        Operator
 	LeftKey, RightKey  *Compiled // compiled against the respective schemas
 	Residual           *Compiled // against the concatenated schema; may be nil
+	batch              int       // execution mode; see SetBatchSize
+	lc, rc             *batchCursor
 	lrow               record.Tuple
 	lkey               record.Value
 	group              []record.Tuple // right rows sharing the current key
@@ -228,6 +272,8 @@ func (j *MergeJoin) Schema() Schema {
 func (j *MergeJoin) Open() error {
 	j.lrow, j.group, j.gi, j.rrow = nil, nil, 0, nil
 	j.leftDone, j.skipSame = false, false
+	j.lc = newBatchCursor(j.Left, j.batch)
+	j.rc = newBatchCursor(j.Right, j.batch)
 	if err := j.Left.Open(); err != nil {
 		return err
 	}
@@ -239,7 +285,7 @@ func (j *MergeJoin) Open() error {
 }
 
 func (j *MergeJoin) advanceLeft() error {
-	t, ok, err := j.Left.Next()
+	t, ok, err := j.lc.next()
 	if err != nil {
 		return err
 	}
@@ -254,7 +300,7 @@ func (j *MergeJoin) advanceLeft() error {
 }
 
 func (j *MergeJoin) advanceRight() error {
-	t, ok, err := j.Right.Next()
+	t, ok, err := j.rc.next()
 	if err != nil {
 		return err
 	}
@@ -356,6 +402,12 @@ func (j *MergeJoin) Close() error {
 	return err2
 }
 
+// NextBatch fills dst with joined rows; both sorted inputs stream
+// batch-wise through the cursors.
+func (j *MergeJoin) NextBatch(dst *RowBatch) (int, error) {
+	return storage.FillBatch(j.Next, dst)
+}
+
 // HashJoin builds a hash table on the right input and probes with the
 // left — the fallback equi-join when no chain serves the join column.
 type HashJoin struct {
@@ -363,6 +415,8 @@ type HashJoin struct {
 	LeftKey, RightKey *Compiled
 	Residual          *Compiled
 
+	batch   int // execution mode; see SetBatchSize
+	lcur    *batchCursor
 	table   map[string][]record.Tuple
 	cur     record.Tuple
 	matches []record.Tuple
@@ -374,11 +428,13 @@ func (j *HashJoin) Schema() Schema {
 	return concatSchema(j.Left.Schema(), j.Right.Schema())
 }
 
-// Open drains the right input into the hash table.
+// Open drains the right (build) input into the hash table — batch-wise
+// when the join runs vectorized.
 func (j *HashJoin) Open() error {
 	j.table = make(map[string][]record.Tuple)
 	j.cur, j.matches, j.mi = nil, nil, 0
-	rows, err := Drain(j.Right)
+	j.lcur = newBatchCursor(j.Left, j.batch)
+	rows, err := drainChild(j.Right, j.batch)
 	if err != nil {
 		return err
 	}
@@ -413,7 +469,7 @@ func (j *HashJoin) Next() (record.Tuple, bool, error) {
 			}
 			return row, true, nil
 		}
-		t, ok, err := j.Left.Next()
+		t, ok, err := j.lcur.next()
 		if err != nil || !ok {
 			return nil, false, err
 		}
@@ -435,4 +491,10 @@ func (j *HashJoin) Next() (record.Tuple, bool, error) {
 func (j *HashJoin) Close() error {
 	j.table = nil
 	return j.Left.Close()
+}
+
+// NextBatch fills dst with joined rows; the probe input streams batch-wise
+// through the cursor and the build side was drained batch-wise in Open.
+func (j *HashJoin) NextBatch(dst *RowBatch) (int, error) {
+	return storage.FillBatch(j.Next, dst)
 }

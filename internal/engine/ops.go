@@ -115,10 +115,26 @@ func (s *TableScan) Close() error {
 // Visited reports chain records read, including verification boundaries.
 func (s *TableScan) Visited() int { return s.visited }
 
+// NextBatch pulls a verified batch straight from the storage iterator; each
+// row passed the same per-row chain checks as on the Next path.
+func (s *TableScan) NextBatch(dst *RowBatch) (int, error) {
+	if s.sc == nil {
+		return 0, fmt.Errorf("engine: scan of %q not open", s.Table.Name())
+	}
+	n, err := s.sc.NextBatch(dst)
+	if err != nil || n == 0 {
+		s.visited = s.sc.Visited()
+	}
+	return n, err
+}
+
 // Filter drops rows failing the predicate.
 type Filter struct {
 	Child Operator
 	Pred  *Compiled
+
+	bchild BatchOperator // lazy: batched view of Child
+	sel    []int         // selection scratch, reused across batches
 }
 
 // Schema returns the child schema.
@@ -147,11 +163,67 @@ func (f *Filter) Next() (record.Tuple, bool, error) {
 // Close closes the child.
 func (f *Filter) Close() error { return f.Child.Close() }
 
+// NextBatch fills dst from the child and marks failing rows dead through
+// the selection vector instead of compacting, so stacked filters touch each
+// row's memory once. A return of 0 means the input is exhausted — batches
+// whose rows all fail are retried internally, never surfaced.
+func (f *Filter) NextBatch(dst *RowBatch) (int, error) {
+	if f.bchild == nil {
+		f.bchild = AsBatch(f.Child)
+	}
+	for {
+		n, err := f.bchild.NextBatch(dst)
+		if err != nil {
+			return 0, err
+		}
+		if n == 0 {
+			return 0, nil
+		}
+		if dst.Sel != nil {
+			// Compose with the upstream selection in place; writes trail
+			// reads, so compacting into the same slice is safe.
+			keep := dst.Sel[:0]
+			for _, idx := range dst.Sel {
+				pass, err := f.Pred.EvalBool(dst.Rows[idx])
+				if err != nil {
+					return 0, err
+				}
+				if pass {
+					keep = append(keep, idx)
+				}
+			}
+			dst.Sel = keep
+		} else {
+			if cap(f.sel) < dst.N {
+				f.sel = make([]int, 0, len(dst.Rows))
+			}
+			sel := f.sel[:0]
+			for i := 0; i < dst.N; i++ {
+				pass, err := f.Pred.EvalBool(dst.Rows[i])
+				if err != nil {
+					return 0, err
+				}
+				if pass {
+					sel = append(sel, i)
+				}
+			}
+			f.sel = sel
+			dst.Sel = sel
+		}
+		if live := dst.Live(); live > 0 {
+			return live, nil
+		}
+	}
+}
+
 // Project computes output expressions per row.
 type Project struct {
 	Child Operator
 	Exprs []*Compiled
 	Names []string
+
+	bchild BatchOperator // lazy: batched view of Child
+	in     *RowBatch     // input scratch, reused across batches
 }
 
 // Schema derives from the compiled expressions.
@@ -185,11 +257,44 @@ func (p *Project) Next() (record.Tuple, bool, error) {
 // Close closes the child.
 func (p *Project) Close() error { return p.Child.Close() }
 
+// NextBatch projects a child batch into fresh output tuples. Dead input
+// rows are skipped, so the output batch is dense (no selection).
+func (p *Project) NextBatch(dst *RowBatch) (int, error) {
+	if p.bchild == nil {
+		p.bchild = AsBatch(p.Child)
+	}
+	if p.in == nil || p.in.Cap() != dst.Cap() {
+		p.in = NewRowBatch(dst.Cap())
+	}
+	n, err := p.bchild.NextBatch(p.in)
+	if err != nil {
+		return 0, err
+	}
+	dst.Reset()
+	if n == 0 {
+		return 0, nil
+	}
+	for i, live := 0, p.in.Live(); i < live; i++ {
+		t := p.in.Row(i)
+		out := make(record.Tuple, len(p.Exprs))
+		for k, e := range p.Exprs {
+			if out[k], err = e.Eval(t); err != nil {
+				return 0, err
+			}
+		}
+		dst.Rows[dst.N] = out
+		dst.N++
+	}
+	return dst.N, nil
+}
+
 // Limit stops after N rows.
 type Limit struct {
 	Child Operator
 	N     int
 	seen  int
+
+	bchild BatchOperator // lazy: batched view of Child
 }
 
 // Schema returns the child schema.
@@ -217,6 +322,36 @@ func (l *Limit) Next() (record.Tuple, bool, error) {
 // Close closes the child.
 func (l *Limit) Close() error { return l.Child.Close() }
 
+// NextBatch truncates the child's batch to the rows still allowed: a
+// shrunk selection (or N) drops the overflow without copying. Hitting the
+// limit leaves the child mid-stream — Close abandons it early, which is why
+// scan producers hang their lifetime on a context (storage/merge.go).
+func (l *Limit) NextBatch(dst *RowBatch) (int, error) {
+	if l.bchild == nil {
+		l.bchild = AsBatch(l.Child)
+	}
+	if l.seen >= l.N {
+		return 0, nil
+	}
+	n, err := l.bchild.NextBatch(dst)
+	if err != nil {
+		return 0, err
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	if remain := l.N - l.seen; n > remain {
+		if dst.Sel != nil {
+			dst.Sel = dst.Sel[:remain]
+		} else {
+			dst.N = remain
+		}
+		n = remain
+	}
+	l.seen += n
+	return n, nil
+}
+
 // SortKey is one ORDER BY key.
 type SortKey struct {
 	Expr *Compiled
@@ -231,8 +366,9 @@ type Sort struct {
 	Child Operator
 	Keys  []SortKey
 
-	rows []record.Tuple
-	pos  int
+	batch int // execution mode; see SetBatchSize
+	rows  []record.Tuple
+	pos   int
 }
 
 // Schema returns the child schema.
@@ -241,7 +377,7 @@ func (s *Sort) Schema() Schema { return s.Child.Schema() }
 // Open drains and sorts the child.
 func (s *Sort) Open() error {
 	s.rows, s.pos = nil, 0
-	rows, err := Drain(s.Child)
+	rows, err := drainChild(s.Child, s.batch)
 	if err != nil {
 		return err
 	}
@@ -296,6 +432,11 @@ func (s *Sort) Next() (record.Tuple, bool, error) {
 	return t, true, nil
 }
 
+// NextBatch emits the next run of sorted rows.
+func (s *Sort) NextBatch(dst *RowBatch) (int, error) {
+	return emitRows(s.rows, &s.pos, dst)
+}
+
 // Close releases the materialised rows.
 func (s *Sort) Close() error {
 	s.rows = nil
@@ -310,6 +451,7 @@ func (s *Sort) Close() error {
 type Materialize struct {
 	Child Operator
 
+	batch  int // execution mode; see SetBatchSize
 	rows   []record.Tuple
 	filled bool
 	pos    int
@@ -321,7 +463,7 @@ func (m *Materialize) Schema() Schema { return m.Child.Schema() }
 // Open fills the buffer on first use and rewinds on every use.
 func (m *Materialize) Open() error {
 	if !m.filled {
-		rows, err := Drain(m.Child)
+		rows, err := drainChild(m.Child, m.batch)
 		if err != nil {
 			return err
 		}
@@ -340,6 +482,11 @@ func (m *Materialize) Next() (record.Tuple, bool, error) {
 	t := m.rows[m.pos]
 	m.pos++
 	return t, true, nil
+}
+
+// NextBatch replays the next run of buffered rows.
+func (m *Materialize) NextBatch(dst *RowBatch) (int, error) {
+	return emitRows(m.rows, &m.pos, dst)
 }
 
 // Close keeps the buffer for re-opens; the operator is per-query.
@@ -366,6 +513,11 @@ func (v *Values) Next() (record.Tuple, bool, error) {
 	t := v.Rows[v.pos]
 	v.pos++
 	return t, true, nil
+}
+
+// NextBatch emits the next run of constant rows.
+func (v *Values) NextBatch(dst *RowBatch) (int, error) {
+	return emitRows(v.Rows, &v.pos, dst)
 }
 
 // Close is a no-op.

@@ -29,6 +29,7 @@ type Spool struct {
 	// Store hosts the temporary table.
 	Store storage.Catalog
 
+	batch  int // execution mode; see SetBatchSize
 	table  storage.Engine
 	name   string
 	sc     storage.Iterator
@@ -55,8 +56,12 @@ func (s *Spool) Open() error {
 	return err
 }
 
-// fill creates the temporary table and drains the child into it.
-func (s *Spool) fill() error {
+// fill creates the temporary table and drains the child into it. On any
+// error after the table exists — a child error mid-drain, a failed insert —
+// the half-filled table is dropped before the error propagates, so failed
+// queries leave no orphaned __spool_* tables in the catalog (their pages
+// would otherwise stay in the verified set and bloat every VerifyAll).
+func (s *Spool) fill() (err error) {
 	childSchema := s.Child.Schema()
 	cols := make([]record.Column, 0, len(childSchema)+1)
 	cols = append(cols, record.Column{Name: "__row", Type: record.TypeInt})
@@ -79,13 +84,20 @@ func (s *Spool) fill() error {
 		return err
 	}
 	s.table = t
+	defer func() {
+		if err != nil {
+			s.Store.DropTable(s.name)
+			s.table = nil
+		}
+	}()
 	if err := s.Child.Open(); err != nil {
 		return err
 	}
 	defer s.Child.Close()
+	cur := newBatchCursor(s.Child, s.batch)
 	row := int64(0)
 	for {
-		tup, ok, err := s.Child.Next()
+		tup, ok, err := cur.next()
 		if err != nil {
 			return err
 		}
@@ -113,6 +125,23 @@ func (s *Spool) Next() (record.Tuple, bool, error) {
 		return nil, false, err
 	}
 	return tup[1:], true, nil
+}
+
+// NextBatch replays the next batch of spooled rows through the verified
+// scan, stripping the row-number column in place (the scan decodes fresh
+// tuples, so re-slicing is safe).
+func (s *Spool) NextBatch(dst *RowBatch) (int, error) {
+	if s.sc == nil {
+		return 0, fmt.Errorf("engine: spool not open")
+	}
+	n, err := s.sc.NextBatch(dst)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < n; i++ {
+		dst.Rows[i] = dst.Rows[i][1:]
+	}
+	return n, nil
 }
 
 // Close releases the current scan; the spool table persists for re-opens

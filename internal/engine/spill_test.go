@@ -132,3 +132,82 @@ func TestSpoolOnEmptyChild(t *testing.T) {
 		t.Fatalf("empty spool: %v, %v", rows, err)
 	}
 }
+
+// failAfter emits n rows, then fails. It simulates a child erroring
+// mid-drain (verification failure, bad expression) while the spool's temp
+// table is already half filled.
+type failAfter struct {
+	n    int
+	seen int
+}
+
+func (f *failAfter) Schema() Schema { return Schema{{Name: "a", Type: record.TypeInt}} }
+func (f *failAfter) Open() error    { f.seen = 0; return nil }
+func (f *failAfter) Close() error   { return nil }
+func (f *failAfter) Next() (record.Tuple, bool, error) {
+	if f.seen >= f.n {
+		return nil, false, errors.New("child failed mid-drain")
+	}
+	f.seen++
+	return record.Tuple{record.Int(int64(f.seen))}, true, nil
+}
+
+// countSpoolTables counts leftover __spool_* temp tables in the catalog.
+func countSpoolTables(st *storage.Store) int {
+	n := 0
+	for _, name := range st.TableNames() {
+		if len(name) >= 8 && name[:8] == "__spool_" {
+			n++
+		}
+	}
+	return n
+}
+
+// TestSpoolCleanupOnFillError pins the error-path cleanup: a child that
+// fails mid-spill must not leave an orphaned half-filled temp table behind
+// (its pages would stay in the verified set and bloat every later scan).
+func TestSpoolCleanupOnFillError(t *testing.T) {
+	st, _ := spillFixture(t)
+	for _, batch := range []int{0, 8} { // scalar and vectorized fills
+		sp := &Spool{Child: &failAfter{n: 20}, Store: st, batch: batch}
+		if err := sp.Open(); err == nil {
+			t.Fatalf("batch=%d: spool of failing child opened cleanly", batch)
+		}
+		if n := countSpoolTables(st); n != 0 {
+			t.Fatalf("batch=%d: %d orphaned __spool_ tables after failed fill", batch, n)
+		}
+		// The spool must stay reusable: a later Open retries the fill.
+		if sp.table != nil || sp.filled {
+			t.Fatalf("batch=%d: spool kept stale fill state", batch)
+		}
+	}
+	// The memory must still verify: registered-then-dropped pages left
+	// balanced read/write sets.
+	if err := st.Memory().VerifyAll(); err != nil {
+		t.Fatalf("failed fill unbalanced the sets: %v", err)
+	}
+}
+
+// TestSpoolBatchedReplayMatchesScalar replays the same spool batch-wise
+// and row-at-a-time; the row-number column must be stripped identically.
+func TestSpoolBatchedReplayMatchesScalar(t *testing.T) {
+	st, tb := spillFixture(t)
+	sp := &Spool{Child: NewTableScan(tb, "src"), Store: st}
+	defer sp.Drop()
+	want, err := Drain(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DrainBatches(sp, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) || len(got) != 50 {
+		t.Fatalf("batched replay %d rows, scalar %d", len(got), len(want))
+	}
+	for i := range got {
+		if len(got[i]) != 2 || got[i][0].I != want[i][0].I || got[i][1].S != want[i][1].S {
+			t.Fatalf("row %d: batched %v, scalar %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package plan
+
+import (
+	"veridb/internal/engine"
+)
+
+// smallInputRows is the cutoff below which batching is pointless: a query
+// whose leaf tables together hold at most this many rows fits in a single
+// partial batch, so the planner keeps the tuple-at-a-time path and skips
+// the batch machinery (cursor buffers, scratch batches) entirely.
+const smallInputRows = 16
+
+// EffectiveBatchSize decides the execution mode for a compiled plan:
+// the configured batch size, or 1 (the exact legacy tuple-at-a-time path)
+// when batching is disabled or the plan's inputs are trivially small.
+// Operator trees containing node types the planner does not know are
+// treated as large — unknown cardinality must not silently lose the
+// configured vectorization.
+func EffectiveBatchSize(op engine.Operator, configured int) int {
+	if configured <= 1 {
+		return 1
+	}
+	if rows, known := leafRows(op); known && rows <= smallInputRows {
+		return 1
+	}
+	return configured
+}
+
+// leafRows sums the row counts of the plan's leaf inputs; known is false
+// when the tree contains an operator whose input size cannot be derived.
+func leafRows(op engine.Operator) (rows int, known bool) {
+	switch x := op.(type) {
+	case *engine.TableScan:
+		return x.Table.RowCount(), true
+	case *engine.Values:
+		return len(x.Rows), true
+	case *engine.Filter:
+		return leafRows(x.Child)
+	case *engine.Project:
+		return leafRows(x.Child)
+	case *engine.Limit:
+		return leafRows(x.Child)
+	case *engine.Sort:
+		return leafRows(x.Child)
+	case *engine.Materialize:
+		return leafRows(x.Child)
+	case *engine.HashAggregate:
+		return leafRows(x.Child)
+	case *engine.Spool:
+		return leafRows(x.Child)
+	case *engine.NestedLoopJoin:
+		o, ok1 := leafRows(x.Outer)
+		i, ok2 := leafRows(x.Inner)
+		return o + i, ok1 && ok2
+	case *engine.IndexJoin:
+		o, ok := leafRows(x.Outer)
+		return o + x.InnerTable.RowCount(), ok
+	case *engine.MergeJoin:
+		l, ok1 := leafRows(x.Left)
+		r, ok2 := leafRows(x.Right)
+		return l + r, ok1 && ok2
+	case *engine.HashJoin:
+		l, ok1 := leafRows(x.Left)
+		r, ok2 := leafRows(x.Right)
+		return l + r, ok1 && ok2
+	default:
+		return 0, false
+	}
+}

@@ -135,6 +135,27 @@ func (s *Scanner) Next() (record.Tuple, bool, error) {
 	return tup, ok, err
 }
 
+// NextBatch fills dst with up to cap(dst.Rows) verified in-range tuples.
+// The chain walk and the three Example 5.1 conditions are checked per row,
+// exactly as in Next; batching amortises only the call overhead above the
+// scan. Returns (0, nil) once the scan is exhausted.
+func (s *Scanner) NextBatch(dst *RowBatch) (int, error) {
+	dst.Reset()
+	for dst.N < len(dst.Rows) {
+		tup, _, ok, err := s.nextKeyed()
+		if err != nil {
+			dst.Reset()
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		dst.Rows[dst.N] = tup
+		dst.N++
+	}
+	return dst.N, nil
+}
+
 // nextKeyed is Next plus the emitted record's chain key — the merge order
 // key the cross-shard stitch needs (merge.go).
 func (s *Scanner) nextKeyed() (record.Tuple, record.Key, bool, error) {

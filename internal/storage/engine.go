@@ -6,12 +6,19 @@ import (
 
 // Iterator is a verified scan in progress. Next returns the next in-range
 // tuple; ok is false when the scan is complete or failed, in which case Err
-// reports the verification error, if any. Close is idempotent and releases
+// reports the verification error, if any. NextBatch fills a reusable,
+// capacity-bounded batch of decoded rows per call — the batch-native entry
+// point the vectorized executor consumes; every row still passes the same
+// per-row chain verification as Next, and on a sharded table the k-way
+// merge's stitch checks run row-by-row inside the fill, so a batch is only
+// handed upward once every row in it is verified. NextBatch returning
+// (0, nil) means the scan is exhausted. Close is idempotent and releases
 // the shard latches the scan holds; exhausting the scan closes it
 // implicitly. Visited counts chain records read (including sentinels and
 // boundary records) — the verification-overhead metric of §6.
 type Iterator interface {
 	Next() (record.Tuple, bool, error)
+	NextBatch(dst *RowBatch) (int, error)
 	Close()
 	Err() error
 	Visited() int

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -106,6 +107,14 @@ func (m *mergeIterator) Next() (record.Tuple, bool, error) {
 	return out, true, nil
 }
 
+// NextBatch fills dst with up to cap(dst.Rows) merged rows. The per-row
+// stitch check runs on every row inside the fill, so a batch crossing one
+// or more shard boundaries is only handed upward once every stitch point
+// in it has verified.
+func (m *mergeIterator) NextBatch(dst *RowBatch) (int, error) {
+	return FillBatch(m.Next, dst)
+}
+
 func (m *mergeIterator) fail(err error) {
 	m.err = err
 	m.Close()
@@ -156,10 +165,15 @@ type parallelMergeIterator struct {
 	err     error
 	closed  bool
 
-	done      chan struct{}
-	closeOnce sync.Once
-	wg        sync.WaitGroup
-	visited   atomic.Int64
+	// ctx bounds every producer goroutine's lifetime: cancel fires on
+	// Close (early closes included — LIMIT plans and short-circuiting
+	// joins abandon scans long before exhaustion), and producers select
+	// on ctx.Done() around every channel send, so an abandoned scan can
+	// never leak its per-shard goroutines.
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	visited atomic.Int64
 }
 
 // producerBuf is the per-shard channel depth: enough to keep producers busy
@@ -171,8 +185,8 @@ func newParallelMergeIterator(t *Table, chain int, bounds ScanBounds) (*parallel
 		chain: chain,
 		chans: make([]chan shardRow, len(t.shards)),
 		heads: make([]mergeHead, len(t.shards)),
-		done:  make(chan struct{}),
 	}
+	m.ctx, m.cancel = context.WithCancel(context.Background())
 	for i := range t.shards {
 		ch := make(chan shardRow, producerBuf)
 		m.chans[i] = ch
@@ -193,11 +207,12 @@ func newParallelMergeIterator(t *Table, chain int, bounds ScanBounds) (*parallel
 func (m *parallelMergeIterator) produce(sh *shard, ch chan<- shardRow, bounds ScanBounds) {
 	defer m.wg.Done()
 	defer close(ch)
+	done := m.ctx.Done()
 	sc, err := sh.newScan(m.chain, bounds)
 	if err != nil {
 		select {
 		case ch <- shardRow{err: err}:
-		case <-m.done:
+		case <-done:
 		}
 		return
 	}
@@ -210,7 +225,7 @@ func (m *parallelMergeIterator) produce(sh *shard, ch chan<- shardRow, bounds Sc
 		if err != nil {
 			select {
 			case ch <- shardRow{err: err}:
-			case <-m.done:
+			case <-done:
 			}
 			return
 		}
@@ -219,7 +234,7 @@ func (m *parallelMergeIterator) produce(sh *shard, ch chan<- shardRow, bounds Sc
 		}
 		select {
 		case ch <- shardRow{tup: tup, key: key}:
-		case <-m.done:
+		case <-done:
 			return
 		}
 	}
@@ -269,23 +284,29 @@ func (m *parallelMergeIterator) Next() (record.Tuple, bool, error) {
 	return out, true, nil
 }
 
+// NextBatch fills dst with up to cap(dst.Rows) merged rows; the per-row
+// stitch check runs inside the fill (see mergeIterator.NextBatch).
+func (m *parallelMergeIterator) NextBatch(dst *RowBatch) (int, error) {
+	return FillBatch(m.Next, dst)
+}
+
 func (m *parallelMergeIterator) fail(err error) {
 	m.err = err
 	m.Close()
 }
 
-// Close stops the producers and waits for them to release their shard
-// latches, so a writer issued right after Close cannot block on a scan
-// that is still winding down.
+// Close cancels the producers' context and waits for them to release
+// their shard latches, so a writer issued right after Close cannot block
+// on a scan that is still winding down.
 func (m *parallelMergeIterator) Close() {
 	if m.closed {
 		return
 	}
 	m.closed = true
-	m.closeOnce.Do(func() { close(m.done) })
+	m.cancel()
 	for _, ch := range m.chans {
 		// Drain so producers blocked on a full channel exit promptly even
-		// though they also select on done.
+		// though they also select on ctx.Done().
 		for range ch {
 		}
 	}

@@ -35,6 +35,7 @@ import (
 	"veridb/internal/portal"
 	"veridb/internal/record"
 	"veridb/internal/sql"
+	"veridb/internal/storage"
 	"veridb/internal/vmem"
 )
 
@@ -160,6 +161,12 @@ type Config struct {
 	TableShards int
 	// Join selects the default join strategy ("auto" if empty).
 	Join string
+	// ExecBatchSize is the vectorized execution batch size: queries pull
+	// batches of this many rows through the operator pipeline instead of
+	// one tuple at a time. Zero means the default (256). 1 forces the
+	// exact legacy tuple-at-a-time execution path; results and response
+	// MACs are bit-identical either way.
+	ExecBatchSize int
 	// ECallCycles simulates SGX boundary-crossing cost in CPU cycles
 	// (§2.1 reports ~8000); zero disables the cost model.
 	ECallCycles int64
@@ -190,6 +197,9 @@ func (c Config) validate() error {
 	if c.EPCBytes < 0 {
 		return fmt.Errorf("veridb: EPCBytes is %d; want 0 (default 96 MB) or a positive cap", c.EPCBytes)
 	}
+	if c.ExecBatchSize < 0 {
+		return fmt.Errorf("veridb: ExecBatchSize is %d; want 0 (default %d), 1 (tuple-at-a-time) or a larger batch size", c.ExecBatchSize, storage.DefaultBatchCapacity)
+	}
 	return nil
 }
 
@@ -216,6 +226,10 @@ func (c Config) coreConfig() (core.Config, error) {
 	if c.Baseline {
 		mode = vmem.ModeBaseline
 	}
+	batch := c.ExecBatchSize
+	if batch == 0 {
+		batch = storage.DefaultBatchCapacity
+	}
 	return core.Config{
 		Enclave: enclave.Config{EPCBytes: c.EPCBytes, ECallCycles: c.ECallCycles},
 		Memory: vmem.Config{
@@ -230,6 +244,7 @@ func (c Config) coreConfig() (core.Config, error) {
 		Join:           js,
 		VerifyEveryOps: c.VerifyEveryOps,
 		TableShards:    c.TableShards,
+		ExecBatchSize:  batch,
 		Seed:           c.Seed,
 	}, nil
 }
