@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench bench-query chaos ci
+.PHONY: build vet lint test race bench bench-query chaos crash fuzz ci
 
 build:
 	$(GO) build ./...
@@ -43,4 +43,24 @@ chaos:
 		./internal/chaos ./internal/core ./internal/client \
 		./internal/portal ./internal/bench
 
-ci: build lint test race chaos bench-query
+# Crash matrix: the durable-storage proof. Kills the WAL at every record
+# boundary and mid-record (clean truncation + torn half-synced writes),
+# recovers, and diffs against the committed-prefix oracle; plus tamper
+# classification, golden-dir recovery, and the recovery/verifier
+# lifecycle — all under the race detector, uncached.
+crash:
+	$(GO) test -race -count=1 -timeout 5m \
+		-run 'TestCrash|TestMidLogBitFlip|TestGolden|TestRecoveryVerifier|TestQuarantinedRecovery' \
+		./internal/core
+	$(GO) test -race -count=1 -timeout 5m ./internal/wal ./internal/chaos
+
+# Fuzz smoke: each decode-path fuzzer runs briefly over its committed
+# seed corpus plus fresh mutations. The invariant under test: arbitrary
+# disk bytes produce a typed error or a valid result, never a panic.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzWALRecordDecode$$' -fuzztime 10s ./internal/wal
+	$(GO) test -run '^$$' -fuzz '^FuzzWALHeaderDecode$$' -fuzztime 10s ./internal/wal
+	$(GO) test -run '^$$' -fuzz '^FuzzManifestDecode$$' -fuzztime 10s ./internal/wal
+	$(GO) test -run '^$$' -fuzz '^FuzzSegmentDecode$$' -fuzztime 10s ./internal/wal
+
+ci: build lint test race chaos crash bench-query

@@ -14,6 +14,7 @@
 //	veridb-bench verify [-pages N] [-workers 1,2,4,8] [-json BENCH_verify.json]
 //	veridb-bench fault  [-rows N] [-trials N] [-json BENCH_fault.json]
 //	veridb-bench query  [-query-rows N] [-batch-sizes 1,64,256] [-query-json BENCH_query.json]
+//	veridb-bench wal    [-statements N] [-checkpoint-every N] [-wal-json BENCH_wal.json]
 //	veridb-bench ablations [-rows N]
 //	veridb-bench all
 //
@@ -31,6 +32,11 @@
 // fixed query set (scan, filter, aggregate, sort, join) and, with
 // -query-json, records the per-operator latencies so the batching win is
 // tracked across PRs.
+//
+// The wal subcommand measures authenticated durability: per-statement
+// append throughput with a MACed, fsync'd WAL (vs. the in-memory
+// baseline), checkpoint cost, and the recovery latency of reopening the
+// data directory through the VerifyAll admission gate.
 package main
 
 import (
@@ -69,6 +75,9 @@ func main() {
 	queryRows := fs.Int("query-rows", 30_000, "fact-table rows (query)")
 	batchSizes := fs.String("batch-sizes", "1,64,256", "comma-separated ExecBatchSize sweep (query)")
 	queryJSON := fs.String("query-json", "BENCH_query.json", "write the batch sweep as JSON to this path (query); empty disables")
+	statements := fs.Int("statements", 2000, "workload length per durability mode (wal)")
+	checkpointEvery := fs.Int("checkpoint-every", 500, "checkpoint interval for the checkpointed mode (wal)")
+	walJSON := fs.String("wal-json", "BENCH_wal.json", "write the durability run as JSON to this path (wal); empty disables")
 	fs.Parse(os.Args[2:])
 
 	run := func(name string, f func() error) {
@@ -81,7 +90,7 @@ func main() {
 	}
 	known := map[string]bool{"fig9": true, "fig10": true, "fig11": true,
 		"fig12": true, "fig13": true, "verify": true, "fault": true,
-		"query": true, "ablations": true, "all": true}
+		"query": true, "wal": true, "ablations": true, "all": true}
 	if !known[cmd] {
 		usage()
 		os.Exit(2)
@@ -94,11 +103,12 @@ func main() {
 	run("verify", func() error { return verifyScaling(*pages, *workerList, *jsonPath) })
 	run("fault", func() error { return faultRecovery(*faultRows, *trials, *jsonPath) })
 	run("query", func() error { return queryBatch(*queryRows, *batchSizes, *queryJSON) })
+	run("wal", func() error { return walBench(*statements, *checkpointEvery, *walJSON) })
 	run("ablations", func() error { return ablations(*rows) })
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `veridb-bench <fig9|fig10|fig11|fig12|fig13|verify|fault|query|ablations|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `veridb-bench <fig9|fig10|fig11|fig12|fig13|verify|fault|query|wal|ablations|all> [flags]`)
 }
 
 func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
@@ -412,6 +422,39 @@ func ablations(rows int) error {
 	}
 	fmt.Printf("enclave colocation: Get colocated=%.2fus with-ECall-per-call=%.2fus (§3.3 rationale)\n",
 		us(ecall.Colocated), us(ecall.Crossing))
+	fmt.Println()
+	return nil
+}
+
+func walBench(statements, checkpointEvery int, jsonPath string) error {
+	fmt.Printf("== Durability: authenticated WAL append and recovery (statements=%d, checkpoint-every=%d) ==\n",
+		statements, checkpointEvery)
+	run, err := bench.RunWALBench(bench.WALBenchConfig{
+		Statements: statements, CheckpointEvery: checkpointEvery,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %16s %14s %14s %12s %10s\n",
+		"mode", "append(stmt/s)", "mean-ack(us)", "recovery(ms)", "recovered", "wal(KiB)")
+	for _, m := range run.Modes {
+		fmt.Printf("%-16s %16.0f %14.2f %14.2f %12d %10.1f\n",
+			m.Mode, m.AppendThroughput, us(m.MeanAppend),
+			float64(m.Recovery.Microseconds())/1e3,
+			m.RecoveredStatements, float64(m.WALBytes)/1024)
+	}
+	fmt.Printf("-- fsync'd MACed append keeps %.1f%% of in-memory write throughput\n",
+		run.DurabilityOverhead*100)
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(run, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("-- wrote %s\n", jsonPath)
+	}
 	fmt.Println()
 	return nil
 }

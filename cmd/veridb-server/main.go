@@ -103,6 +103,8 @@ func main() {
 	partitions := flag.Int("rsws", 16, "RSWS partitions")
 	tableShards := flag.Int("table-shards", 1, "hash shards per table (1 = unsharded)")
 	execBatch := flag.Int("exec-batch", 0, "query execution batch size (0 = default 256, 1 = tuple-at-a-time)")
+	dataDir := flag.String("data-dir", "", "authenticated durable storage directory (empty = in-memory only)")
+	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint after this many logged statements (0 = WAL-only; requires -data-dir)")
 	initSQL := flag.String("init", "", "semicolon-separated SQL to run at startup")
 	maxLine := flag.Int("max-line", 1<<20, "maximum request line size, bytes")
 	maxConns := flag.Int("max-conns", 256, "maximum concurrent connections (0 = unlimited)")
@@ -113,16 +115,28 @@ func main() {
 	flag.Parse()
 
 	db, err := veridb.Open(veridb.Config{
-		RSWSPartitions: *partitions,
-		VerifyEveryOps: *verifyEvery,
-		VerifyWorkers:  *verifyWorkers,
-		TableShards:    *tableShards,
-		ExecBatchSize:  *execBatch,
+		RSWSPartitions:  *partitions,
+		VerifyEveryOps:  *verifyEvery,
+		VerifyWorkers:   *verifyWorkers,
+		TableShards:     *tableShards,
+		ExecBatchSize:   *execBatch,
+		DataDir:         *dataDir,
+		CheckpointEvery: *checkpointEvery,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer db.Close()
+	if *dataDir != "" {
+		if qerr := db.QuarantineError(); qerr != nil {
+			// Recovery found tamper: stay up to serve authenticated
+			// quarantine responses (the §5.1 containment posture), but make
+			// the operator-visible state unmissable.
+			log.Printf("WARNING: recovery quarantined the instance: %v", qerr)
+		} else {
+			log.Printf("recovered durable state from %s (wal seq %d)", *dataDir, db.WALNextSeq())
+		}
+	}
 	for _, c := range clients {
 		id, keyHex, ok := strings.Cut(c, ":")
 		if !ok {

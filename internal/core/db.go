@@ -45,6 +45,18 @@ type Config struct {
 	// Seed, when nonzero, makes the enclave's PRF key deterministic
 	// (benchmarks and tests only).
 	Seed uint64
+	// DataDir enables authenticated durable storage: every mutating
+	// statement is appended to a MACed, sequence-chained WAL in this
+	// directory before its result is acked, and Open recovers the image
+	// (checkpoint segments + WAL tail) through the protected write
+	// interfaces behind the VerifyAll gate. Empty keeps the database
+	// purely in memory.
+	DataDir string
+	// CheckpointEvery flushes the verified tables into immutable segment
+	// files and rotates the WAL after this many logged statements. Zero
+	// disables automatic checkpoints (WAL-only durability); requires
+	// DataDir.
+	CheckpointEvery int
 }
 
 // ErrQuarantined wraps every request rejected because the database's
@@ -59,6 +71,7 @@ type DB struct {
 	store  *storage.Store
 	portal *portal.Portal
 	opts   plan.Options
+	dur    *durable // nil in memory-only mode
 
 	qmu  sync.Mutex
 	qerr error // sticky quarantine error, set on first alarm observation
@@ -88,7 +101,19 @@ func Open(cfg Config) (*DB, error) {
 		opts:  plan.Options{Join: cfg.Join, ExecBatchSize: cfg.ExecBatchSize},
 	}
 	db.portal = portal.New(enc, db)
-	if cfg.VerifyEveryOps > 0 {
+	// Recovery runs before the background verifier starts: WAL replay
+	// drives the protected interfaces at full speed and must not race a
+	// scanner pool, and the recovered image is admitted through an
+	// explicit VerifyAll gate inside openDurable instead.
+	if cfg.DataDir != "" {
+		if err := db.openDurable(cfg); err != nil {
+			return nil, err
+		}
+	}
+	// A recovery that found tamper leaves the instance quarantined; the
+	// scanner pool stays down (QuarantineError would stop it on its first
+	// observation anyway — starting it would only leak work and windows).
+	if cfg.VerifyEveryOps > 0 && db.mem.Alarm() == nil {
 		if err := mem.StartVerifier(cfg.VerifyEveryOps); err != nil {
 			return nil, fmt.Errorf("core: starting background verifier: %w", err)
 		}
@@ -108,10 +133,15 @@ func (db *DB) Store() *storage.Store { return db.store }
 // Portal exposes the query portal for authenticated client sessions.
 func (db *DB) Portal() *portal.Portal { return db.portal }
 
-// Close stops background verification. It is idempotent and safe to call
-// concurrently with quarantine entry.
+// Close stops background verification and releases the WAL append
+// handle. It is idempotent and safe to call concurrently with quarantine
+// entry. Every acked statement is already fsynced, so Close never has
+// dirty durable state to lose.
 func (db *DB) Close() {
 	db.mem.StopVerifier()
+	if db.dur != nil {
+		db.dur.log.Close()
+	}
 }
 
 // QuarantineError returns the sticky quarantine error, entering the
@@ -178,10 +208,16 @@ func (db *DB) Health() Health {
 
 // Execute parses and runs one SQL statement. It implements
 // portal.Executor, so authenticated requests route through the same path.
+// With durable storage enabled, mutating statements go through the
+// append-before-ack path: applied, then logged and fsynced, and only
+// then acked.
 func (db *DB) Execute(query string) (*portal.Result, error) {
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
+	}
+	if db.dur != nil && isMutating(stmt) {
+		return db.executeDurable(query, stmt)
 	}
 	return db.ExecuteStmt(stmt)
 }
@@ -189,6 +225,10 @@ func (db *DB) Execute(query string) (*portal.Result, error) {
 // ExecuteStmt runs a parsed statement. Once the verifier's alarm is sticky
 // every statement — reads included — is fenced with ErrQuarantined:
 // results computed from tampered state must never be endorsed.
+// ExecuteStmt applies directly, bypassing the WAL: durable instances
+// reach it through Execute (which logs mutations) and through recovery
+// replay (which must not re-log); library callers driving ExecuteStmt on
+// a durable instance forgo durability for those statements.
 func (db *DB) ExecuteStmt(stmt sql.Statement) (*portal.Result, error) {
 	if err := db.QuarantineError(); err != nil {
 		return nil, err

@@ -1,0 +1,268 @@
+package core
+
+// This file is the durable-storage wiring: the append-before-ack
+// discipline, checkpoint scheduling, and the recovery entry point.
+// Everything here is gated on Config.DataDir — an in-memory database
+// carries a nil durable state and executes bit-identically to
+// pre-durability builds.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"veridb/internal/portal"
+	"veridb/internal/record"
+	"veridb/internal/sql"
+	"veridb/internal/storage"
+	"veridb/internal/wal"
+)
+
+// durable is the per-DB durability state.
+type durable struct {
+	log *wal.Log
+	// checkpointEvery triggers an automatic checkpoint after this many
+	// logged statements; zero keeps durability WAL-only.
+	checkpointEvery int
+
+	// gate serialises logged statements against checkpoints: DML holds it
+	// shared across apply+append, a checkpoint holds it exclusively while
+	// it freezes the table images and rotates the WAL.
+	gate sync.RWMutex
+	// mu orders concurrent logged statements: the WAL must record
+	// statements in the order their effects landed in memory, so apply and
+	// append happen under one lock. Reads never take it.
+	mu        sync.Mutex
+	sinceCkpt int
+	// broken is the sticky I/O failure: once an append cannot be made
+	// durable, further writes are refused rather than silently acked
+	// without durability.
+	broken error
+}
+
+// ErrWALBroken wraps every statement rejected because a WAL append or
+// sync failed: the write-ahead invariant (no ack before the record is on
+// disk) can no longer be kept, so writes are fenced. Reads still serve.
+var ErrWALBroken = errors.New("core: WAL append failed; refusing further writes")
+
+// openDurable runs recovery for cfg.DataDir and attaches the WAL. Tamper
+// anywhere in the durable state raises the memory's sticky alarm and
+// returns nil: the DB opens quarantined, so the PR-4 containment path
+// (fencing, supervisor failover) engages instead of silent acceptance.
+// Environmental errors (I/O, permissions) fail the open.
+func (db *DB) openDurable(cfg Config) error {
+	log, rec, err := wal.Open(cfg.DataDir)
+	if errors.Is(err, wal.ErrTamper) {
+		db.mem.RaiseAlarm(err)
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if err := db.replayRecovery(rec); err != nil {
+		// Replay failures mean the authenticated log disagrees with what
+		// the statements can actually do — corrupt state, not environment.
+		db.mem.RaiseAlarm(fmt.Errorf("%w: %v", wal.ErrTamper, err))
+		log.Close()
+		return nil
+	}
+	// The recovered image is admitted only after the full verification
+	// gate passes; a failure has already raised the sticky alarm.
+	if err := db.mem.VerifyAll(); err != nil {
+		log.Close()
+		return nil
+	}
+	db.dur = &durable{log: log, checkpointEvery: cfg.CheckpointEvery}
+	return nil
+}
+
+// replayRecovery rebuilds the database image: checkpoint segments load
+// through the ordinary protected write interfaces (every row re-enters
+// the RSWS accounting, exactly like the §5.1 replica replay), then the
+// WAL tail replays statement by statement through the parser and
+// executor. The background verifier is not running yet — Open starts it
+// only after recovery and its final verification complete.
+func (db *DB) replayRecovery(rec *wal.Recovery) error {
+	for _, img := range rec.Checkpoint {
+		t, err := db.store.CreateTable(storage.TableSpec{
+			Name:         img.Name,
+			Schema:       record.NewSchema(img.Columns...),
+			PrimaryKey:   img.PrimaryKey,
+			ChainColumns: img.ChainColumns,
+		})
+		if err != nil {
+			return fmt.Errorf("restoring table %q: %v", img.Name, err)
+		}
+		for i, row := range img.Rows {
+			if err := t.Insert(row); err != nil {
+				return fmt.Errorf("restoring table %q row %d: %v", img.Name, i, err)
+			}
+		}
+	}
+	for _, r := range rec.Tail {
+		if r.Type != wal.RecStmt {
+			return fmt.Errorf("WAL record %d has unknown type %d", r.Seq, r.Type)
+		}
+		stmt, err := sql.Parse(string(r.Payload))
+		if err != nil {
+			return fmt.Errorf("WAL record %d does not parse: %v", r.Seq, err)
+		}
+		if !isMutating(stmt) {
+			return fmt.Errorf("WAL record %d is not a mutating statement", r.Seq)
+		}
+		// Only statements that fully succeeded were logged, so a replay
+		// failure means the log and the rebuilt image diverged.
+		if _, err := db.ExecuteStmt(stmt); err != nil {
+			return fmt.Errorf("replaying WAL record %d: %v", r.Seq, err)
+		}
+	}
+	return nil
+}
+
+// isMutating reports whether a statement changes database state (and so
+// must be logged before its result is acked).
+func isMutating(stmt sql.Statement) bool {
+	switch stmt.(type) {
+	case *sql.CreateTable, *sql.DropTable, *sql.Insert, *sql.Update, *sql.Delete:
+		return true
+	}
+	return false
+}
+
+// executeDurable applies one mutating statement and appends it to the WAL
+// before acking. The lock order (gate shared, then mu) keeps the log's
+// statement order identical to the memory's apply order — the property
+// replay equivalence rests on — while checkpoints exclude the whole path.
+//
+// A crash between apply and append loses an unacked write (correct: the
+// client never saw a success), and an append failure refuses the ack and
+// fences further writes rather than acking a non-durable statement.
+func (db *DB) executeDurable(query string, stmt sql.Statement) (*portal.Result, error) {
+	d := db.dur
+	d.gate.RLock()
+	d.mu.Lock()
+	if d.broken != nil {
+		err := d.broken
+		d.mu.Unlock()
+		d.gate.RUnlock()
+		return nil, err
+	}
+	res, err := db.ExecuteStmt(stmt)
+	if err != nil {
+		d.mu.Unlock()
+		d.gate.RUnlock()
+		return nil, err
+	}
+	if _, werr := d.log.Append(wal.RecStmt, []byte(query)); werr != nil {
+		d.broken = fmt.Errorf("%w: %v", ErrWALBroken, werr)
+		err := d.broken
+		d.mu.Unlock()
+		d.gate.RUnlock()
+		return nil, err
+	}
+	d.sinceCkpt++
+	due := d.checkpointEvery > 0 && d.sinceCkpt >= d.checkpointEvery
+	if due {
+		// Reset before the checkpoint attempt so a failing checkpoint
+		// retries at the next interval instead of on every statement.
+		d.sinceCkpt = 0
+	}
+	d.mu.Unlock()
+	d.gate.RUnlock()
+	if due {
+		// The statement is already durable in the old WAL; a checkpoint
+		// failure costs compaction, not correctness.
+		if cerr := db.Checkpoint(); cerr != nil && db.mem.Alarm() == nil {
+			// Surfaced on the next Health poll via stats, not by failing a
+			// statement that is already applied, logged and synced.
+			_ = cerr
+		}
+	}
+	return res, nil
+}
+
+// Checkpoint freezes the current verified table contents into immutable
+// on-disk segments with a MACed manifest and rotates the WAL (bottom-up
+// bulk build: each segment is the table's rows in primary-key order from
+// a verified sequential scan). It requires a data dir. Automatic
+// checkpoints ride the statement path every CheckpointEvery statements;
+// this entry point lets operators and tests force one.
+func (db *DB) Checkpoint() error {
+	if err := db.QuarantineError(); err != nil {
+		return err
+	}
+	d := db.dur
+	if d == nil {
+		return errors.New("core: checkpointing requires a data dir")
+	}
+	d.gate.Lock()
+	defer d.gate.Unlock()
+	images, err := db.tableImages()
+	if err != nil {
+		return err
+	}
+	if err := d.log.Checkpoint(images); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.sinceCkpt = 0
+	d.mu.Unlock()
+	return nil
+}
+
+// tableImages snapshots every table through verified sequential scans.
+// Callers hold the statement gate exclusively, so the images are a
+// consistent cut of the database.
+func (db *DB) tableImages() ([]*wal.TableImage, error) {
+	var images []*wal.TableImage
+	for _, name := range db.store.TableNames() {
+		t, err := db.store.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		img := &wal.TableImage{
+			Name:         name,
+			Columns:      t.Schema().Columns,
+			PrimaryKey:   t.PrimaryKeyColumn(),
+			ChainColumns: append([]int(nil), t.ChainColumns()[1:]...),
+			Rows:         make([]record.Tuple, 0, t.RowCount()),
+		}
+		sc, err := t.SeqScan()
+		if err != nil {
+			return nil, err
+		}
+		batch := storage.NewRowBatch(storage.DefaultBatchCapacity)
+		for {
+			n, err := sc.NextBatch(batch)
+			if err != nil {
+				return nil, fmt.Errorf("core: checkpoint scan of %q: %w", name, err)
+			}
+			if n == 0 {
+				break
+			}
+			for i := 0; i < n; i++ {
+				img.Rows = append(img.Rows, batch.Row(i).Clone())
+			}
+		}
+		images = append(images, img)
+	}
+	return images, nil
+}
+
+// WALPath returns the active WAL file path ("" in memory-only mode);
+// crash harnesses cut the log here.
+func (db *DB) WALPath() string {
+	if db.dur == nil {
+		return ""
+	}
+	return db.dur.log.Path()
+}
+
+// WALNextSeq returns the next WAL sequence number (0 in memory-only
+// mode).
+func (db *DB) WALNextSeq() uint64 {
+	if db.dur == nil {
+		return 0
+	}
+	return db.dur.log.NextSeq()
+}

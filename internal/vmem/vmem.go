@@ -452,3 +452,11 @@ func (m *Memory) raiseAlarm(err error) {
 	m.alarms.Add(1)
 	m.alarm.CompareAndSwap(nil, &alarmBox{err: err})
 }
+
+// RaiseAlarm records an integrity failure detected outside the RSWS scan
+// — a tampered WAL record, checkpoint segment or manifest found during
+// recovery. Durable state is untrusted memory under the same threat model
+// as pages, so its tamper evidence enters the same sticky alarm, and the
+// same quarantine machinery fences the instance. Like scan alarms, it is
+// never cleared.
+func (m *Memory) RaiseAlarm(err error) { m.raiseAlarm(err) }

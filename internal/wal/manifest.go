@@ -1,0 +1,125 @@
+package wal
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+)
+
+// Manifest is the root of trust for one checkpoint: it lists every
+// segment with its size and MAC, binds them to a checkpoint ID and the
+// WAL sequence number the checkpoint captured, and carries its own MAC
+// over the whole body. Recovery admits a checkpoint only through a
+// structurally complete, MAC-valid manifest; a torn manifest is the
+// crash artifact the checkpoint protocol's write ordering allows (the
+// manifest is written after its segments), and recovery falls back to
+// the previous checkpoint, whose files are deleted only after the new
+// WAL file exists.
+type Manifest struct {
+	CheckpointID uint64
+	// BaseSeq is the next WAL sequence number at checkpoint time: the
+	// first record of the paired WAL file. Sequence numbers never reset.
+	BaseSeq  uint64
+	Segments []SegmentEntry
+}
+
+// SegmentEntry authenticates one segment file.
+type SegmentEntry struct {
+	Table string
+	Size  uint64
+	MAC   [macSize]byte
+}
+
+// manifestMagic opens every manifest file.
+var manifestMagic = []byte("VCKP1\x00")
+
+// maxManifestTables bounds the segment count; checkpointing that many
+// tables is impossible, so larger counts are structural corruption.
+const maxManifestTables = 1 << 20
+
+// encodeManifest serialises a manifest, MAC included.
+func encodeManifest(m *Manifest, key []byte) []byte {
+	buf := append([]byte(nil), manifestMagic...)
+	buf = binary.LittleEndian.AppendUint64(buf, m.CheckpointID)
+	buf = binary.LittleEndian.AppendUint64(buf, m.BaseSeq)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Segments)))
+	for _, s := range m.Segments {
+		buf = appendString(buf, s.Table)
+		buf = binary.LittleEndian.AppendUint64(buf, s.Size)
+		buf = append(buf, s.MAC[:]...)
+	}
+	mac := manifestMAC(key, buf)
+	return append(buf, mac[:]...)
+}
+
+// manifestMAC authenticates a manifest body (everything before the MAC).
+func manifestMAC(key, body []byte) [macSize]byte {
+	h := hmac.New(sha256.New, key)
+	h.Write([]byte(macManifest))
+	h.Write(body)
+	var out [macSize]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// decodeManifest parses and authenticates a manifest. Truncation wraps
+// ErrTorn (a crash can leave a partial manifest; recovery falls back to
+// the previous checkpoint), while a structurally complete manifest whose
+// MAC fails — or one with bytes beyond its declared extent — wraps
+// ErrTamper and must quarantine: falling back past a tampered manifest
+// would let an adversary silently roll the database to an older state.
+func decodeManifest(buf []byte, key []byte) (*Manifest, error) {
+	d := segDecoder{buf: buf}
+	torn := func(err error) (*Manifest, error) {
+		return nil, fmt.Errorf("%w: manifest truncated: %v", ErrTorn, err)
+	}
+	magic, err := d.take(len(manifestMagic))
+	if err != nil {
+		return torn(err)
+	}
+	if string(magic) != string(manifestMagic) {
+		return nil, fmt.Errorf("%w: bad manifest magic %q", ErrTamper, magic)
+	}
+	m := &Manifest{}
+	if m.CheckpointID, err = d.u64(); err != nil {
+		return torn(err)
+	}
+	if m.BaseSeq, err = d.u64(); err != nil {
+		return torn(err)
+	}
+	n, err := d.u32()
+	if err != nil {
+		return torn(err)
+	}
+	if n > maxManifestTables {
+		return nil, fmt.Errorf("%w: manifest claims %d segments", ErrTamper, n)
+	}
+	for i := uint32(0); i < n; i++ {
+		var e SegmentEntry
+		if e.Table, err = d.str(); err != nil {
+			return torn(err)
+		}
+		if e.Size, err = d.u64(); err != nil {
+			return torn(err)
+		}
+		mb, err := d.take(macSize)
+		if err != nil {
+			return torn(err)
+		}
+		copy(e.MAC[:], mb)
+		m.Segments = append(m.Segments, e)
+	}
+	mb, err := d.take(macSize)
+	if err != nil {
+		return torn(err)
+	}
+	if d.off != len(buf) {
+		return nil, fmt.Errorf("%w: %d trailing manifest bytes", ErrTamper, len(buf)-d.off)
+	}
+	want := manifestMAC(key, buf[:len(buf)-macSize])
+	if !hmac.Equal(mb, want[:]) {
+		return nil, fmt.Errorf("%w: manifest MAC mismatch (ckpt %d)", ErrTamper, m.CheckpointID)
+	}
+	return m, nil
+}

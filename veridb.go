@@ -174,6 +174,20 @@ type Config struct {
 	EPCBytes int64
 	// Seed makes the enclave PRF key deterministic (tests/benchmarks).
 	Seed uint64
+	// DataDir enables authenticated durable storage: every mutating
+	// statement is appended to a MACed, sequence-chained write-ahead log
+	// in this directory (fsynced before the statement is acked), periodic
+	// checkpoints freeze the verified tables into immutable segment files
+	// with a MACed manifest, and Open recovers the image through the
+	// protected write interfaces behind a full verification gate —
+	// tampered durable state opens quarantined. Empty (the default) keeps
+	// the database purely in memory, bit-identical to prior behavior.
+	DataDir string
+	// CheckpointEvery checkpoints automatically after this many logged
+	// statements. Zero disables automatic checkpoints (WAL-only
+	// durability; Checkpoint can still be called manually). Requires
+	// DataDir.
+	CheckpointEvery int
 }
 
 // validate rejects configurations that would otherwise surface as opaque
@@ -199,6 +213,12 @@ func (c Config) validate() error {
 	}
 	if c.ExecBatchSize < 0 {
 		return fmt.Errorf("veridb: ExecBatchSize is %d; want 0 (default %d), 1 (tuple-at-a-time) or a larger batch size", c.ExecBatchSize, storage.DefaultBatchCapacity)
+	}
+	if c.CheckpointEvery < 0 {
+		return fmt.Errorf("veridb: CheckpointEvery is %d; want 0 (manual checkpoints) or a positive statement interval", c.CheckpointEvery)
+	}
+	if c.CheckpointEvery > 0 && c.DataDir == "" {
+		return fmt.Errorf("veridb: CheckpointEvery %d requires DataDir (checkpoints need durable storage)", c.CheckpointEvery)
 	}
 	return nil
 }
@@ -241,11 +261,13 @@ func (c Config) coreConfig() (core.Config, error) {
 			EagerCompaction: c.EagerCompaction,
 			VerifyWorkers:   c.VerifyWorkers,
 		},
-		Join:           js,
-		VerifyEveryOps: c.VerifyEveryOps,
-		TableShards:    c.TableShards,
-		ExecBatchSize:  batch,
-		Seed:           c.Seed,
+		Join:            js,
+		VerifyEveryOps:  c.VerifyEveryOps,
+		TableShards:     c.TableShards,
+		ExecBatchSize:   batch,
+		Seed:            c.Seed,
+		DataDir:         c.DataDir,
+		CheckpointEvery: c.CheckpointEvery,
 	}, nil
 }
 
@@ -314,6 +336,17 @@ func (db *DB) Exec(query string) (*Result, error) {
 
 // Explain returns the physical plan chosen for a SELECT.
 func (db *DB) Explain(query string) (string, error) { return db.inner.Explain(query) }
+
+// Checkpoint (durable instances only) freezes the verified tables into
+// immutable on-disk segment files with a MACed manifest and rotates the
+// write-ahead log. Recovery from the new checkpoint replays only the WAL
+// records appended after it.
+func (db *DB) Checkpoint() error { return db.inner.Checkpoint() }
+
+// WALNextSeq returns the next write-ahead-log sequence number (0 for
+// in-memory instances). Diagnostic: sequence numbers never reset across
+// checkpoints, so this counts logged statements over the database's life.
+func (db *DB) WALNextSeq() uint64 { return db.inner.WALNextSeq() }
 
 // Verify runs a full verification pass over every RSWS partition and
 // returns the tamper alarm, if any (deferred verification, §4.1).
