@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench bench-query chaos crash fuzz ci
+.PHONY: build vet lint test race bench bench-query bench-wal chaos crash fuzz ci
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,13 @@ bench:
 bench-query:
 	$(GO) run ./cmd/veridb-bench query -query-rows 2000 -batch-sizes 1,64,256 -query-json ""
 
+# Durability smoke: a small WAL workload through all three durability
+# modes plus the concurrent-writer group-commit sweep, proving the wal
+# subcommand runs end-to-end. Real measurements use the defaults:
+# veridb-bench wal.
+bench-wal:
+	$(GO) run ./cmd/veridb-bench wal -statements 300 -checkpoint-every 100 -wal-json ""
+
 # Fault-injection suite: the chaos injector, quarantine/failover paths in
 # core, the retrying client, the portal response cache, and the end-to-end
 # fault-recovery bench — all under the race detector, uncached, with a
@@ -45,9 +52,11 @@ chaos:
 
 # Crash matrix: the durable-storage proof. Kills the WAL at every record
 # boundary and mid-record (clean truncation + torn half-synced writes),
-# recovers, and diffs against the committed-prefix oracle; plus tamper
-# classification, golden-dir recovery, and the recovery/verifier
-# lifecycle — all under the race detector, uncached.
+# recovers, and diffs against the committed-prefix oracle — serially and
+# under group commit (TestCrashPointMatrixGroupCommit, matched by the
+# TestCrash pattern); plus tamper classification, golden-dir recovery,
+# and the recovery/verifier lifecycle — all under the race detector,
+# uncached.
 crash:
 	$(GO) test -race -count=1 -timeout 5m \
 		-run 'TestCrash|TestMidLogBitFlip|TestGolden|TestRecoveryVerifier|TestQuarantinedRecovery' \
@@ -63,4 +72,4 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzManifestDecode$$' -fuzztime 10s ./internal/wal
 	$(GO) test -run '^$$' -fuzz '^FuzzSegmentDecode$$' -fuzztime 10s ./internal/wal
 
-ci: build lint test race chaos crash bench-query
+ci: build lint test race chaos crash bench-query bench-wal

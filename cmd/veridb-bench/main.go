@@ -435,16 +435,23 @@ func walBench(statements, checkpointEvery int, jsonPath string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-16s %16s %14s %14s %12s %10s\n",
-		"mode", "append(stmt/s)", "mean-ack(us)", "recovery(ms)", "recovered", "wal(KiB)")
+	fmt.Printf("%-16s %16s %14s %12s %12s %14s %12s %10s\n",
+		"mode", "append(stmt/s)", "mean-ack(us)", "p50(us)", "p99(us)", "recovery(ms)", "recovered", "wal(KiB)")
 	for _, m := range run.Modes {
-		fmt.Printf("%-16s %16.0f %14.2f %14.2f %12d %10.1f\n",
-			m.Mode, m.AppendThroughput, us(m.MeanAppend),
+		fmt.Printf("%-16s %16.0f %14.2f %12.2f %12.2f %14.2f %12d %10.1f\n",
+			m.Mode, m.AppendThroughput, us(m.MeanAppend), us(m.P50Append), us(m.P99Append),
 			float64(m.Recovery.Microseconds())/1e3,
 			m.RecoveredStatements, float64(m.WALBytes)/1024)
 	}
 	fmt.Printf("-- fsync'd MACed append keeps %.1f%% of in-memory write throughput\n",
 		run.DurabilityOverhead*100)
+	fmt.Println("\n-- concurrent-writer sweep (shared durable DB, disjoint key ranges) --")
+	fmt.Printf("%-8s %-13s %16s %12s %12s %12s\n",
+		"clients", "group-commit", "append(stmt/s)", "mean(us)", "p50(us)", "p99(us)")
+	for _, p := range run.ConcurrencySweep {
+		fmt.Printf("%-8d %-13v %16.0f %12.2f %12.2f %12.2f\n",
+			p.Clients, p.GroupCommit, p.Throughput, us(p.MeanAppend), us(p.P50Append), us(p.P99Append))
+	}
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(run, "", "  ")
 		if err != nil {

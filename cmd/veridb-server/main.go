@@ -105,6 +105,9 @@ func main() {
 	execBatch := flag.Int("exec-batch", 0, "query execution batch size (0 = default 256, 1 = tuple-at-a-time)")
 	dataDir := flag.String("data-dir", "", "authenticated durable storage directory (empty = in-memory only)")
 	checkpointEvery := flag.Int("checkpoint-every", 0, "checkpoint after this many logged statements (0 = WAL-only; requires -data-dir)")
+	groupCommit := flag.Duration("group-commit", 0, "group-commit window: batch concurrent WAL appends into one fsync (0 = one fsync per statement; requires -data-dir)")
+	groupCommitBatch := flag.Int("group-commit-batch", 0, "close a commit group early at this many statements (0 = default 64; requires -group-commit)")
+	planCache := flag.Int("plan-cache", 0, "prepared-plan LRU size (0 = default 128)")
 	initSQL := flag.String("init", "", "semicolon-separated SQL to run at startup")
 	maxLine := flag.Int("max-line", 1<<20, "maximum request line size, bytes")
 	maxConns := flag.Int("max-conns", 256, "maximum concurrent connections (0 = unlimited)")
@@ -122,6 +125,10 @@ func main() {
 		ExecBatchSize:   *execBatch,
 		DataDir:         *dataDir,
 		CheckpointEvery: *checkpointEvery,
+
+		GroupCommitMaxDelay: *groupCommit,
+		GroupCommitMaxBatch: *groupCommitBatch,
+		PlanCacheSize:       *planCache,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"sync"
 	"time"
 
 	"veridb/internal/core"
@@ -47,6 +49,9 @@ type WALBenchMode struct {
 	AppendThroughput float64 `json:"append_stmts_per_sec"`
 	// MeanAppend is the mean wall time per acked statement.
 	MeanAppend time.Duration `json:"mean_append_ns"`
+	// P50Append / P99Append are per-statement ack latency percentiles.
+	P50Append time.Duration `json:"p50_append_ns"`
+	P99Append time.Duration `json:"p99_append_ns"`
 	// Recovery is the full reopen latency: Open returning a verified
 	// (or quarantined) image. Zero for the in-memory mode.
 	Recovery time.Duration `json:"recovery_ns"`
@@ -58,6 +63,20 @@ type WALBenchMode struct {
 	WALBytes int64 `json:"wal_bytes"`
 }
 
+// WALConcurrencyPoint is one cell of the concurrent-writer sweep: a
+// client count crossed with group commit on or off. Latencies are
+// per-statement ack times across every client; with group commit on,
+// each ack still waited for its group's fsync — throughput gains come
+// from amortising the fsync, never from acking early.
+type WALConcurrencyPoint struct {
+	Clients     int           `json:"clients"`
+	GroupCommit bool          `json:"group_commit"`
+	Throughput  float64       `json:"append_stmts_per_sec"`
+	MeanAppend  time.Duration `json:"mean_append_ns"`
+	P50Append   time.Duration `json:"p50_append_ns"`
+	P99Append   time.Duration `json:"p99_append_ns"`
+}
+
 // WALBenchRun is the whole experiment, shaped for BENCH_wal.json.
 type WALBenchRun struct {
 	Statements      int            `json:"statements"`
@@ -67,6 +86,9 @@ type WALBenchRun struct {
 	// the fraction of baseline write speed that survives the fsync'd
 	// authenticated append.
 	DurabilityOverhead float64 `json:"wal_vs_memory_throughput_ratio"`
+	// ConcurrencySweep crosses 1/2/4/8/16 concurrent writers with group
+	// commit on and off over a shared durable database.
+	ConcurrencySweep []WALConcurrencyPoint `json:"concurrency_sweep"`
 }
 
 // RunWALBench executes the experiment.
@@ -104,7 +126,103 @@ func RunWALBench(cfg WALBenchConfig) (*WALBenchRun, error) {
 	if run.Modes[0].AppendThroughput > 0 {
 		run.DurabilityOverhead = run.Modes[1].AppendThroughput / run.Modes[0].AppendThroughput
 	}
+	for _, clients := range []int{1, 2, 4, 8, 16} {
+		for _, group := range []bool{false, true} {
+			dir := filepath.Join(scratch, fmt.Sprintf("sweep-%d-%v", clients, group))
+			pt, err := runWALConcurrent(clients, group, cfg.Statements, cfg.Seed, dir)
+			if err != nil {
+				return nil, fmt.Errorf("bench: wal sweep clients=%d group=%v: %w", clients, group, err)
+			}
+			run.ConcurrencySweep = append(run.ConcurrencySweep, *pt)
+		}
+	}
 	return run, nil
+}
+
+// runWALConcurrent drives `clients` goroutines of inserts over disjoint
+// key ranges against one durable database and reports aggregate
+// throughput and per-ack latency percentiles. With group on, the commit
+// pipeline runs with a 2ms window and an early close at the client
+// count (every in-flight writer enqueued means nothing more can join
+// the group); off is the serial one-fsync-per-statement path.
+func runWALConcurrent(clients int, group bool, statements int, seed uint64, dir string) (*WALConcurrencyPoint, error) {
+	c := core.Config{Seed: seed, DataDir: dir}
+	if group {
+		c.GroupCommitMaxDelay = 2 * time.Millisecond
+		c.GroupCommitMaxBatch = clients
+	}
+	db, err := core.Open(c)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	if _, err := db.Execute(`CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)`); err != nil {
+		return nil, err
+	}
+	per := statements / clients
+	if per < 1 {
+		per = 1
+	}
+	lats := make([][]time.Duration, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lats[w] = make([]time.Duration, 0, per)
+			for i := 0; i < per; i++ {
+				k := w*per + i
+				stmt := fmt.Sprintf(`INSERT INTO kv VALUES (%d, 'value-%08d')`, k, k)
+				t0 := time.Now()
+				if _, err := db.Execute(stmt); err != nil {
+					errs[w] = err
+					return
+				}
+				lats[w] = append(lats[w], time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var all []time.Duration
+	var sum time.Duration
+	for _, ls := range lats {
+		all = append(all, ls...)
+		for _, l := range ls {
+			sum += l
+		}
+	}
+	p50, p99 := latencyPercentiles(all)
+	return &WALConcurrencyPoint{
+		Clients:     clients,
+		GroupCommit: group,
+		Throughput:  float64(len(all)) / elapsed.Seconds(),
+		MeanAppend:  sum / time.Duration(len(all)),
+		P50Append:   p50,
+		P99Append:   p99,
+	}, nil
+}
+
+// latencyPercentiles returns the p50 and p99 of a sample set (zeroes for
+// an empty set).
+func latencyPercentiles(samples []time.Duration) (p50, p99 time.Duration) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(s)-1))
+		return s[i]
+	}
+	return at(0.50), at(0.99)
 }
 
 func runWALMode(name string, c core.Config, statements int) (*WALBenchMode, error) {
@@ -116,19 +234,25 @@ func runWALMode(name string, c core.Config, statements int) (*WALBenchMode, erro
 		db.Close()
 		return nil, err
 	}
+	lats := make([]time.Duration, 0, statements)
 	start := time.Now()
 	for i := 0; i < statements; i++ {
 		stmt := fmt.Sprintf(`INSERT INTO kv VALUES (%d, 'value-%08d')`, i, i)
+		t0 := time.Now()
 		if _, err := db.Execute(stmt); err != nil {
 			db.Close()
 			return nil, err
 		}
+		lats = append(lats, time.Since(t0))
 	}
 	elapsed := time.Since(start)
+	p50, p99 := latencyPercentiles(lats)
 	mode := &WALBenchMode{
 		Mode:             name,
 		AppendThroughput: float64(statements) / elapsed.Seconds(),
 		MeanAppend:       elapsed / time.Duration(statements),
+		P50Append:        p50,
+		P99Append:        p99,
 	}
 	if c.DataDir != "" {
 		if path := db.WALPath(); path != "" {

@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 )
 
 // TruncateAt cuts a file to size bytes: the canonical crash fault — a
@@ -112,6 +113,21 @@ func copyFile(src, dst string) error {
 		return err
 	}
 	return out.Close()
+}
+
+// FailingSync builds an fsync fault for the WAL's sync hook: the
+// returned hook performs the first `after` syncs for real, then fails
+// every later one with err — the drive "went away" mid-run. Once
+// failing it never recovers, matching a real device error: the log
+// layer must fence itself rather than retry into the void.
+func FailingSync(after int64, err error) func(*os.File) error {
+	var n atomic.Int64
+	return func(f *os.File) error {
+		if n.Add(1) <= after {
+			return f.Sync()
+		}
+		return err
+	}
 }
 
 // FileSize returns a file's size (crash matrices record WAL boundary

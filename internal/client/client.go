@@ -11,10 +11,13 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"veridb/internal/enclave"
 	"veridb/internal/portal"
+	"veridb/internal/record"
+	"veridb/internal/sql"
 )
 
 // Errors raised during response verification.
@@ -166,6 +169,32 @@ func (c *Client) NewRequest(query string) portal.Request {
 		Query:    query,
 		MAC:      portal.SignRequest(c.key, c.ID, qid, query),
 	}
+}
+
+// ExecuteText renders an EXECUTE statement for a prepared statement with
+// the given bound arguments — the client-side half of PREPARE/EXECUTE
+// parameter binding. Values are embedded as SQL literals (quotes doubled,
+// floats in decimal notation), so the resulting text round-trips through
+// the server's parser to exactly these values.
+func ExecuteText(name string, args ...record.Value) string {
+	var sb strings.Builder
+	sb.WriteString("EXECUTE ")
+	sb.WriteString(name)
+	sb.WriteString(" (")
+	for i, a := range args {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(sql.FormatValue(a))
+	}
+	sb.WriteString(")")
+	return sb.String()
+}
+
+// NewExecuteRequest signs an EXECUTE of the named prepared statement with
+// the given arguments (see ExecuteText).
+func (c *Client) NewExecuteRequest(name string, args ...record.Value) portal.Request {
+	return c.NewRequest(ExecuteText(name, args...))
 }
 
 // VerifyResponse checks a response's MAC against the request and records

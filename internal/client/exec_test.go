@@ -1,0 +1,20 @@
+package client
+
+import (
+	"testing"
+
+	"veridb/internal/record"
+)
+
+// TestExecuteText: argument values render as parseable SQL literals —
+// doubled quotes, decimal floats that stay floats, bool keywords.
+func TestExecuteText(t *testing.T) {
+	got := ExecuteText("ins", record.Int(7), record.Text("it's"), record.Float(2), record.Bool(true), record.Null(record.TypeText))
+	want := `EXECUTE ins (7, 'it''s', 2.0, TRUE, NULL)`
+	if got != want {
+		t.Fatalf("ExecuteText = %q, want %q", got, want)
+	}
+	if got := ExecuteText("noargs"); got != "EXECUTE noargs ()" {
+		t.Fatalf("ExecuteText with no args = %q", got)
+	}
+}

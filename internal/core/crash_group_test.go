@@ -1,0 +1,150 @@
+package core
+
+// The crash-point matrix under group commit. The serial matrix reads its
+// cut points off the WAL size after each ack; a group committer lands
+// several records in one write+fsync, so per-ack sizes no longer fall on
+// record boundaries and the acked order no longer equals the on-disk
+// order. Both are re-derived from the log itself: wal.Boundaries scans
+// the pristine file's length prefixes for record extents, and the
+// committed statement order is the record order recovered from a copy
+// (wal.Open may truncate torn tails in place, so the pristine file is
+// never opened directly). Kill points inside a half-synced group are the
+// interior record boundaries and midpoints of that group's extent; the
+// recovered image must still equal the committed-prefix oracle exactly.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+
+	"veridb/internal/chaos"
+	"veridb/internal/wal"
+)
+
+func TestCrashPointMatrixGroupCommit(t *testing.T) {
+	workers, per := 4, 15
+	if testing.Short() {
+		workers, per = 2, 8
+	}
+	base := t.TempDir()
+	pristine := filepath.Join(base, "pristine")
+
+	db, err := Open(groupCommitConfig(pristine))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Execute(`CREATE TABLE kv (k INT PRIMARY KEY, v TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k := w*per + i
+				if _, err := db.Execute(fmt.Sprintf(`INSERT INTO kv VALUES (%d, 'row-%d')`, k, k)); err != nil {
+					t.Errorf("worker %d insert %d: %v", w, k, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	walName := filepath.Base(db.WALPath())
+	db.Close()
+
+	// Committed statement order = WAL record order, read from a copy.
+	extract := filepath.Join(base, "extract")
+	if err := chaos.CopyDir(pristine, extract); err != nil {
+		t.Fatal(err)
+	}
+	l, rec, err := wal.Open(extract)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts := make([]string, 0, len(rec.Tail))
+	for _, r := range rec.Tail {
+		stmts = append(stmts, string(r.Payload))
+	}
+	l.Close()
+	if len(stmts) != 1+workers*per {
+		t.Fatalf("pristine log holds %d records, want %d", len(stmts), 1+workers*per)
+	}
+
+	// Plain-Go row oracle over the committed order: states[k] is kv's
+	// sorted row set after exactly k records.
+	states := [][]string{nil}
+	var rows []string
+	for i, s := range stmts {
+		if i == 0 {
+			states = append(states, []string{}) // CREATE TABLE
+			continue
+		}
+		var k int
+		if _, err := fmt.Sscanf(s, "INSERT INTO kv VALUES (%d", &k); err != nil {
+			t.Fatalf("unexpected WAL statement %q: %v", s, err)
+		}
+		rows = append(rows, fmt.Sprintf("%d|row-%d", k, k))
+		snap := append([]string(nil), rows...)
+		sort.Strings(snap)
+		states = append(states, snap)
+	}
+
+	// Record extents from the structural scanner, not from ack-time file
+	// sizes (those land mid-group).
+	buf, err := os.ReadFile(filepath.Join(pristine, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	boundaries := wal.Boundaries(buf)
+	if len(boundaries) != len(stmts)+1 {
+		t.Fatalf("scanner found %d boundaries, want %d", len(boundaries), len(stmts)+1)
+	}
+
+	type cutPoint struct {
+		off  int64
+		torn bool
+	}
+	var cuts []cutPoint
+	for i := range boundaries {
+		cuts = append(cuts, cutPoint{boundaries[i], false})
+		cuts = append(cuts, cutPoint{boundaries[i], true})
+		if i+1 < len(boundaries) {
+			cuts = append(cuts, cutPoint{(boundaries[i] + boundaries[i+1]) / 2, false})
+		}
+	}
+	cuts = append(cuts, cutPoint{0, false}, cutPoint{boundaries[0] / 2, false})
+	sort.Slice(cuts, func(i, j int) bool { return cuts[i].off < cuts[j].off })
+
+	o := newOracle(t, stmts)
+	work := filepath.Join(base, "work")
+	for _, c := range cuts {
+		kind := "truncate"
+		if c.torn {
+			kind = "tear"
+		}
+		label := fmt.Sprintf("%s@%d", kind, c.off)
+		os.RemoveAll(work)
+		if err := chaos.CopyDir(pristine, work); err != nil {
+			t.Fatal(err)
+		}
+		walFile := filepath.Join(work, walName)
+		if c.torn {
+			err = chaos.TornWriteAt(walFile, c.off)
+		} else {
+			err = chaos.TruncateAt(walFile, c.off)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := committedPrefix(boundaries, c.off)
+		recoverAndCheck(t, work, o, states[k], k, c.torn, label)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"veridb/internal/enclave"
 	"veridb/internal/engine"
@@ -57,6 +58,20 @@ type Config struct {
 	// disables automatic checkpoints (WAL-only durability); requires
 	// DataDir.
 	CheckpointEvery int
+	// GroupCommitMaxDelay enables the WAL commit pipeline: concurrent
+	// mutating statements that land within this window are written and
+	// fsynced as one group, sharing the fsync cost. Zero keeps the serial
+	// one-fsync-per-statement path (bit-identical default).
+	GroupCommitMaxDelay time.Duration
+	// GroupCommitMaxBatch closes a commit group early once it holds this
+	// many statements, without waiting out the delay window. Zero means no
+	// early close. Meaningful only with GroupCommitMaxDelay > 0.
+	GroupCommitMaxBatch int
+	// PlanCacheSize bounds the LRU cache of compiled statements keyed on
+	// normalized SQL (repeated statement shapes skip the parser and
+	// planner). Zero disables the cache; the public veridb package maps
+	// its zero to a default.
+	PlanCacheSize int
 }
 
 // ErrQuarantined wraps every request rejected because the database's
@@ -72,6 +87,14 @@ type DB struct {
 	portal *portal.Portal
 	opts   plan.Options
 	dur    *durable // nil in memory-only mode
+
+	// planCache holds compiled statements keyed on normalized SQL; nil
+	// when PlanCacheSize disables caching.
+	planCache *plan.Cache
+	// prepared is the PREPARE registry: statement templates by name.
+	// Never logged to the WAL — clients re-prepare after a restart.
+	prepMu   sync.Mutex
+	prepared map[string]*sql.Prepare
 
 	qmu  sync.Mutex
 	qerr error // sticky quarantine error, set on first alarm observation
@@ -95,10 +118,12 @@ func Open(cfg Config) (*DB, error) {
 		st.SetDefaultShards(cfg.TableShards)
 	}
 	db := &DB{
-		enc:   enc,
-		mem:   mem,
-		store: st,
-		opts:  plan.Options{Join: cfg.Join, ExecBatchSize: cfg.ExecBatchSize},
+		enc:       enc,
+		mem:       mem,
+		store:     st,
+		opts:      plan.Options{Join: cfg.Join, ExecBatchSize: cfg.ExecBatchSize},
+		planCache: plan.NewCache(cfg.PlanCacheSize),
+		prepared:  make(map[string]*sql.Prepare),
 	}
 	db.portal = portal.New(enc, db)
 	// Recovery runs before the background verifier starts: WAL replay
@@ -210,17 +235,142 @@ func (db *DB) Health() Health {
 // portal.Executor, so authenticated requests route through the same path.
 // With durable storage enabled, mutating statements go through the
 // append-before-ack path: applied, then logged and fsynced, and only
-// then acked.
+// then acked. With the plan cache enabled, repeated statement text skips
+// the parser (and, for SELECT, the planner) entirely.
 func (db *DB) Execute(query string) (*portal.Result, error) {
+	if db.planCache != nil {
+		if key, nerr := sql.Normalize(query); nerr == nil {
+			if ent := db.planCache.Get(key, db.store.CatalogVersion()); ent != nil {
+				res, err := db.executeCached(query, ent)
+				db.planCache.Return(ent)
+				return res, err
+			}
+			// Capture the version before planning: a concurrent DDL
+			// between here and Put leaves a stale version in the entry,
+			// which the next Get discards.
+			version := db.store.CatalogVersion()
+			stmt, err := sql.Parse(query)
+			if err != nil {
+				return nil, err
+			}
+			res, op, err := db.dispatchOp(query, stmt)
+			if err == nil && cacheable(stmt) {
+				db.planCache.Put(key, stmt, op, version)
+			}
+			return res, err
+		}
+		// Normalization failed to lex; fall through so Parse reports it.
+	}
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	if db.dur != nil && isMutating(stmt) {
-		return db.executeDurable(query, stmt)
-	}
-	return db.ExecuteStmt(stmt)
+	res, _, err := db.dispatchOp(query, stmt)
+	return res, err
 }
+
+// cacheable reports whether a statement's compilation is worth keeping:
+// the repeated-shape statements (queries and DML). DDL and
+// prepared-statement control flow always compile fresh.
+func cacheable(stmt sql.Statement) bool {
+	switch stmt.(type) {
+	case *sql.Select, *sql.Insert, *sql.Update, *sql.Delete:
+		return true
+	}
+	return false
+}
+
+// dispatchOp routes a parsed statement — prepared-statement expansion,
+// durable DML through the WAL, SELECT through an explicitly captured
+// plan (returned for caching), everything else to ExecuteStmt.
+func (db *DB) dispatchOp(query string, stmt sql.Statement) (*portal.Result, engine.Operator, error) {
+	switch s := stmt.(type) {
+	case *sql.ExecutePrepared:
+		bound, text, err := db.bindPrepared(s)
+		if err != nil {
+			return nil, nil, err
+		}
+		if db.dur != nil && isMutating(bound) {
+			res, err := db.executeDurable(text, bound)
+			return res, nil, err
+		}
+		res, err := db.ExecuteStmt(bound)
+		return res, nil, err
+	case *sql.Select:
+		if err := db.QuarantineError(); err != nil {
+			return nil, nil, err
+		}
+		op, err := plan.PlanSelect(db.store, s, db.opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := db.runSelectOp(op)
+		return res, op, err
+	}
+	if db.dur != nil && isMutating(stmt) {
+		res, err := db.executeDurable(query, stmt)
+		return res, nil, err
+	}
+	res, err := db.ExecuteStmt(stmt)
+	return res, nil, err
+}
+
+// executeCached runs a checked-out cache entry. A cached SELECT reuses
+// its compiled operator tree (reset, batch size re-derived); cached DML
+// reuses the parsed AST and goes through the ordinary durable routing.
+func (db *DB) executeCached(query string, ent *plan.CacheEntry) (*portal.Result, error) {
+	if ent.Op != nil {
+		if err := db.QuarantineError(); err != nil {
+			return nil, err
+		}
+		engine.ResetPlan(ent.Op)
+		engine.SetBatchSize(ent.Op, plan.EffectiveBatchSize(ent.Op, db.opts.ExecBatchSize))
+		return db.runSelectOp(ent.Op)
+	}
+	if db.dur != nil && isMutating(ent.Stmt) {
+		return db.executeDurable(query, ent.Stmt)
+	}
+	return db.ExecuteStmt(ent.Stmt)
+}
+
+// bindPrepared resolves an EXECUTE against the registry: evaluates the
+// constant arguments, substitutes them into a clone of the template, and
+// (for durable DML) renders the bound statement back to SQL text — the
+// form the WAL logs, so replay does not depend on the registry.
+func (db *DB) bindPrepared(ex *sql.ExecutePrepared) (sql.Statement, string, error) {
+	db.prepMu.Lock()
+	prep, ok := db.prepared[ex.Name]
+	db.prepMu.Unlock()
+	if !ok {
+		return nil, "", fmt.Errorf("core: no prepared statement %q", ex.Name)
+	}
+	if len(ex.Args) != prep.NumParams {
+		return nil, "", fmt.Errorf("core: prepared statement %q wants %d arguments, got %d", ex.Name, prep.NumParams, len(ex.Args))
+	}
+	vals := make([]record.Value, len(ex.Args))
+	for i, e := range ex.Args {
+		v, err := evalConst(e)
+		if err != nil {
+			return nil, "", fmt.Errorf("core: EXECUTE argument %d: %w", i+1, err)
+		}
+		vals[i] = v
+	}
+	bound, err := sql.BindParams(prep.Stmt, vals)
+	if err != nil {
+		return nil, "", err
+	}
+	var text string
+	if db.dur != nil && isMutating(bound) {
+		if text, err = sql.Render(bound); err != nil {
+			return nil, "", err
+		}
+	}
+	return bound, text, nil
+}
+
+// PlanCacheStats snapshots the plan cache counters (zero when caching is
+// disabled).
+func (db *DB) PlanCacheStats() plan.CacheStats { return db.planCache.Stats() }
 
 // ExecuteStmt runs a parsed statement. Once the verifier's alarm is sticky
 // every statement — reads included — is fenced with ErrQuarantined:
@@ -249,6 +399,26 @@ func (db *DB) ExecuteStmt(stmt sql.Statement) (*portal.Result, error) {
 		return db.delete(s)
 	case *sql.Select:
 		return db.query(s)
+	case *sql.Prepare:
+		db.prepMu.Lock()
+		db.prepared[s.Name] = s
+		db.prepMu.Unlock()
+		return &portal.Result{}, nil
+	case *sql.ExecutePrepared:
+		bound, _, err := db.bindPrepared(s)
+		if err != nil {
+			return nil, err
+		}
+		return db.ExecuteStmt(bound)
+	case *sql.Deallocate:
+		db.prepMu.Lock()
+		_, ok := db.prepared[s.Name]
+		delete(db.prepared, s.Name)
+		db.prepMu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("core: no prepared statement %q", s.Name)
+		}
+		return &portal.Result{}, nil
 	case *sql.Explain:
 		op, err := db.Plan(s.Query)
 		if err != nil {
@@ -466,6 +636,11 @@ func (db *DB) query(sel *sql.Select) (*portal.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return db.runSelectOp(op)
+}
+
+// runSelectOp drains a compiled plan into a result.
+func (db *DB) runSelectOp(op engine.Operator) (*portal.Result, error) {
 	rows, err := db.drain(op)
 	if err != nil {
 		return nil, err

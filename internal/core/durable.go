@@ -72,6 +72,7 @@ func (db *DB) openDurable(cfg Config) error {
 		log.Close()
 		return nil
 	}
+	log.SetGroupCommit(cfg.GroupCommitMaxDelay, cfg.GroupCommitMaxBatch)
 	db.dur = &durable{log: log, checkpointEvery: cfg.CheckpointEvery}
 	return nil
 }
@@ -133,10 +134,17 @@ func isMutating(stmt sql.Statement) bool {
 // before acking. The lock order (gate shared, then mu) keeps the log's
 // statement order identical to the memory's apply order — the property
 // replay equivalence rests on — while checkpoints exclude the whole path.
+// Apply and enqueue happen under mu; the durability wait happens outside
+// it, so concurrent statements can form a commit group and share one
+// fsync (the statement gate stays held shared across the wait, which is
+// how checkpoints quiesce in-flight groups). With group commit off the
+// enqueue IS the fsync and the wait returns immediately — the serial
+// PR-6 path, bit for bit.
 //
-// A crash between apply and append loses an unacked write (correct: the
-// client never saw a success), and an append failure refuses the ack and
-// fences further writes rather than acking a non-durable statement.
+// A crash between apply and fsync loses an unacked write (correct: the
+// client never saw a success), and an append or group-fsync failure
+// refuses the ack and fences further writes rather than acking a
+// non-durable statement.
 func (db *DB) executeDurable(query string, stmt sql.Statement) (*portal.Result, error) {
 	d := db.dur
 	d.gate.RLock()
@@ -153,13 +161,26 @@ func (db *DB) executeDurable(query string, stmt sql.Statement) (*portal.Result, 
 		d.gate.RUnlock()
 		return nil, err
 	}
-	if _, werr := d.log.Append(wal.RecStmt, []byte(query)); werr != nil {
+	tk, werr := d.log.Enqueue(wal.RecStmt, []byte(query))
+	if werr != nil {
 		d.broken = fmt.Errorf("%w: %v", ErrWALBroken, werr)
 		err := d.broken
 		d.mu.Unlock()
 		d.gate.RUnlock()
 		return nil, err
 	}
+	d.mu.Unlock()
+	if _, werr := tk.Wait(); werr != nil {
+		d.mu.Lock()
+		if d.broken == nil {
+			d.broken = fmt.Errorf("%w: %v", ErrWALBroken, werr)
+		}
+		err := d.broken
+		d.mu.Unlock()
+		d.gate.RUnlock()
+		return nil, err
+	}
+	d.mu.Lock()
 	d.sinceCkpt++
 	due := d.checkpointEvery > 0 && d.sinceCkpt >= d.checkpointEvery
 	if due {

@@ -1,0 +1,119 @@
+package core
+
+// Plan-cache behavior at the statement layer: hits on repeated statement
+// shapes (modulo whitespace/case normalization), invalidation on DDL and
+// shard-layout changes, and — the soundness assertion — a dropped table
+// never being served from a stale cached plan.
+
+import (
+	"strings"
+	"testing"
+)
+
+func openCached(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open(Config{Seed: 99, PlanCacheSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	return db
+}
+
+func TestPlanCacheHitOnNormalizedText(t *testing.T) {
+	db := openCached(t)
+	seed(t, db)
+
+	r1 := exec(t, db, `SELECT id FROM quote WHERE count = 100`)
+	s0 := db.PlanCacheStats()
+	if s0.Hits != 0 {
+		t.Fatalf("first execution hit the cache: %+v", s0)
+	}
+	// Same statement shape, different whitespace and keyword case: the
+	// normalized key is identical, so this is a hit.
+	r2 := exec(t, db, "select  id\n\tfrom quote   where count = 100")
+	s1 := db.PlanCacheStats()
+	if s1.Hits != s0.Hits+1 {
+		t.Fatalf("repeated statement missed the cache: before %+v after %+v", s0, s1)
+	}
+	if len(r1.Rows) != 2 || len(r2.Rows) != len(r1.Rows) {
+		t.Fatalf("cached rows %v, fresh rows %v", r2.Rows, r1.Rows)
+	}
+	for i := range r1.Rows {
+		if r1.Rows[i][0] != r2.Rows[i][0] {
+			t.Fatalf("row %d: cached %v, fresh %v", i, r2.Rows[i], r1.Rows[i])
+		}
+	}
+	// Different literals are different plans (scan bounds are embedded),
+	// so this must NOT hit the count=100 entry.
+	r3 := exec(t, db, `SELECT id FROM quote WHERE count = 500`)
+	if len(r3.Rows) != 1 {
+		t.Fatalf("literal-changed statement reused a stale plan: %v", r3.Rows)
+	}
+	if s2 := db.PlanCacheStats(); s2.Hits != s1.Hits {
+		t.Fatalf("different literals counted as a hit: %+v", s2)
+	}
+}
+
+func TestPlanCacheDDLInvalidation(t *testing.T) {
+	db := openCached(t)
+	seed(t, db)
+
+	q := `SELECT id FROM quote WHERE count = 100`
+	exec(t, db, q)
+	exec(t, db, q)
+	s0 := db.PlanCacheStats()
+	if s0.Hits == 0 {
+		t.Fatalf("warm-up did not populate the cache: %+v", s0)
+	}
+
+	// CREATE TABLE advances the catalog version: the cached plan is
+	// discarded on next access and recompiled.
+	exec(t, db, `CREATE TABLE extra (id INT PRIMARY KEY)`)
+	res := exec(t, db, q)
+	s1 := db.PlanCacheStats()
+	if s1.Invalidations != s0.Invalidations+1 {
+		t.Fatalf("CREATE TABLE did not invalidate: before %+v after %+v", s0, s1)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("recompiled plan returned %v", res.Rows)
+	}
+	if s2 := db.PlanCacheStats(); s2.Hits != s1.Hits+1 {
+		exec(t, db, q) // the recompile re-populated the entry
+		if s3 := db.PlanCacheStats(); s3.Hits != s1.Hits+1 {
+			t.Fatalf("entry not re-populated after invalidation: %+v", s3)
+		}
+	}
+
+	// DROP TABLE: a select cached against the dropped table must error,
+	// never serve rows from a stale plan over freed pages.
+	qi := `SELECT id FROM inventory`
+	exec(t, db, qi)
+	exec(t, db, qi)
+	exec(t, db, `DROP TABLE inventory`)
+	if _, err := db.Execute(qi); err == nil || !strings.Contains(err.Error(), "inventory") {
+		t.Fatalf("select on dropped table returned %v, want unknown-table error", err)
+	}
+}
+
+func TestPlanCacheShardLayoutInvalidation(t *testing.T) {
+	db := openCached(t)
+	seed(t, db)
+
+	q := `SELECT id FROM quote WHERE count = 100`
+	exec(t, db, q)
+	exec(t, db, q)
+	s0 := db.PlanCacheStats()
+
+	// A shard-layout change advances the catalog version like DDL does:
+	// plans compiled against the old layout are discarded.
+	db.store.SetDefaultShards(4)
+	res := exec(t, db, q)
+	s1 := db.PlanCacheStats()
+	if s1.Invalidations != s0.Invalidations+1 {
+		t.Fatalf("shard-layout change did not invalidate: before %+v after %+v", s0, s1)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("recompiled plan returned %v", res.Rows)
+	}
+}

@@ -101,6 +101,46 @@ func SetBatchSize(op Operator, n int) {
 	}
 }
 
+// ResetPlan walks a compiled operator tree and clears every piece of
+// cross-execution state, so a cached plan re-executes as if freshly
+// built. Most operators already reset fully in Open; the exceptions are
+// the buffering operators whose Open is deliberately fill-once within a
+// query (Materialize's row buffer, Spool's temp table) — reuse across
+// queries must clear them or the second execution serves the first
+// execution's rows.
+func ResetPlan(op Operator) {
+	switch x := op.(type) {
+	case *TableScan, *Values:
+	case *Filter:
+		ResetPlan(x.Child)
+	case *Project:
+		ResetPlan(x.Child)
+	case *Limit:
+		ResetPlan(x.Child)
+	case *Sort:
+		ResetPlan(x.Child)
+	case *Materialize:
+		x.rows, x.filled, x.pos = nil, false, 0
+		ResetPlan(x.Child)
+	case *HashAggregate:
+		ResetPlan(x.Child)
+	case *NestedLoopJoin:
+		ResetPlan(x.Outer)
+		ResetPlan(x.Inner)
+	case *IndexJoin:
+		ResetPlan(x.Outer)
+	case *MergeJoin:
+		ResetPlan(x.Left)
+		ResetPlan(x.Right)
+	case *HashJoin:
+		ResetPlan(x.Left)
+		ResetPlan(x.Right)
+	case *Spool:
+		_ = x.Drop() // releases the temp table; next Open refills
+		ResetPlan(x.Child)
+	}
+}
+
 // DrainBatches runs a batch operator to completion with the given batch
 // size and returns all rows, in the same order the scalar Drain would.
 func DrainBatches(b BatchOperator, size int) ([]record.Tuple, error) {

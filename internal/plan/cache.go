@@ -1,0 +1,162 @@
+package plan
+
+// The plan cache: an LRU over compiled statements keyed on normalized
+// SQL text. Entries are checked out exclusively — a hit removes the
+// entry from circulation until Return — because both the planner and the
+// executor mutate what they hold: qualifyRefs writes owner names into
+// the shared AST, and buffering operators (Materialize) carry row state
+// across Open/Close. Exclusive checkout makes reuse race-free without
+// cloning; a second concurrent execution of the same statement simply
+// misses and compiles fresh.
+//
+// Validity is keyed on the storage catalog version: any CREATE/DROP
+// TABLE or shard-layout change advances it, and Get discards entries
+// planned under an older version (DDL invalidation). Literal values are
+// part of the key text, which is exactly the soundness condition — a
+// cached Select plan embeds its scan bounds.
+
+import (
+	"container/list"
+	"sync"
+
+	"veridb/internal/engine"
+	"veridb/internal/sql"
+)
+
+// CacheEntry is one cached statement: the parsed AST, the compiled
+// operator tree for SELECTs (nil otherwise), and the catalog version the
+// plan is valid under.
+type CacheEntry struct {
+	key     string
+	Stmt    sql.Statement
+	Op      engine.Operator
+	Version uint64
+	busy    bool
+}
+
+// CacheStats counts cache traffic.
+type CacheStats struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Invalidations uint64 `json:"invalidations"`
+	Entries       int    `json:"entries"`
+}
+
+// Cache is a bounded LRU of compiled statements. All methods are safe
+// for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element // of *CacheEntry
+	lru     *list.List               // front = most recent
+	stats   CacheStats
+}
+
+// NewCache builds a cache bounded to cap entries; cap < 1 returns nil
+// (caching disabled — a nil *Cache is safe to call).
+func NewCache(cap int) *Cache {
+	if cap < 1 {
+		return nil
+	}
+	return &Cache{cap: cap, entries: make(map[string]*list.Element), lru: list.New()}
+}
+
+// Get checks an entry out, or returns nil on a miss. An entry planned
+// under a different catalog version is discarded (invalidation), and an
+// entry already checked out by a concurrent caller counts as a miss.
+// The caller owns a returned entry exclusively until Return.
+func (c *Cache) Get(key string, version uint64) *CacheEntry {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil
+	}
+	ent := el.Value.(*CacheEntry)
+	if ent.Version != version {
+		c.stats.Invalidations++
+		c.stats.Misses++
+		delete(c.entries, key)
+		c.lru.Remove(el)
+		return nil
+	}
+	if ent.busy {
+		c.stats.Misses++
+		return nil
+	}
+	ent.busy = true
+	c.lru.MoveToFront(el)
+	c.stats.Hits++
+	return ent
+}
+
+// Return hands a checked-out entry back to circulation. If the entry was
+// displaced while out (overwritten by Put, or purged), it is dropped.
+func (c *Cache) Return(ent *CacheEntry) {
+	if c == nil || ent == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[ent.key]; ok && el.Value.(*CacheEntry) == ent {
+		ent.busy = false
+	}
+}
+
+// Put inserts a freshly compiled statement. An existing entry for the
+// key is kept (the concurrent compiler that lost the race discards its
+// copy); beyond capacity the least-recently-used idle entry is evicted.
+func (c *Cache) Put(key string, stmt sql.Statement, op engine.Operator, version uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	ent := &CacheEntry{key: key, Stmt: stmt, Op: op, Version: version}
+	c.entries[key] = c.lru.PushFront(ent)
+	for c.lru.Len() > c.cap {
+		evicted := false
+		for el := c.lru.Back(); el != nil; el = el.Prev() {
+			if e := el.Value.(*CacheEntry); !e.busy {
+				delete(c.entries, e.key)
+				c.lru.Remove(el)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // every entry is checked out; tolerate the overshoot
+		}
+	}
+}
+
+// Purge empties the cache (manual invalidation).
+func (c *Cache) Purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Invalidations += uint64(len(c.entries))
+	c.entries = make(map[string]*list.Element)
+	c.lru.Init()
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	return s
+}

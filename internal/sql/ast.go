@@ -95,13 +95,37 @@ type Select struct {
 	Limit   int // -1: none
 }
 
-func (*CreateTable) stmt() {}
-func (*DropTable) stmt()   {}
-func (*Explain) stmt()     {}
-func (*Insert) stmt()      {}
-func (*Update) stmt()      {}
-func (*Delete) stmt()      {}
-func (*Select) stmt()      {}
+// Prepare is PREPARE name AS <statement>: it registers a parameterized
+// statement template (with ? placeholders) under a name, so EXECUTE can
+// replay the shape without resending or re-parsing the text.
+type Prepare struct {
+	Name string
+	Stmt Statement // SELECT, INSERT, UPDATE or DELETE template
+	// NumParams is how many ? placeholders the template holds; EXECUTE
+	// must bind exactly this many arguments.
+	NumParams int
+}
+
+// ExecutePrepared is EXECUTE name [(args...)]: it binds constant
+// arguments to a prepared template's placeholders and runs it.
+type ExecutePrepared struct {
+	Name string
+	Args []Expr // constant expressions, one per placeholder
+}
+
+// Deallocate is DEALLOCATE name: it drops a prepared statement.
+type Deallocate struct{ Name string }
+
+func (*CreateTable) stmt()     {}
+func (*DropTable) stmt()       {}
+func (*Explain) stmt()         {}
+func (*Insert) stmt()          {}
+func (*Update) stmt()          {}
+func (*Delete) stmt()          {}
+func (*Select) stmt()          {}
+func (*Prepare) stmt()         {}
+func (*ExecutePrepared) stmt() {}
+func (*Deallocate) stmt()      {}
 
 // Expr is any expression node.
 type Expr interface {
@@ -117,6 +141,11 @@ type ColumnRef struct {
 
 // Literal is a constant value.
 type Literal struct{ Val record.Value }
+
+// Param is one ? placeholder inside a PREPARE template. Index is the
+// 0-based ordinal of the placeholder in statement text order; BindParams
+// substitutes the matching argument before execution.
+type Param struct{ Index int }
 
 // BinaryExpr applies Op to L and R. Ops: OR AND = <> < <= > >= + - * / %.
 type BinaryExpr struct {
@@ -158,6 +187,7 @@ type IsNullExpr struct {
 
 func (*ColumnRef) expr()   {}
 func (*Literal) expr()     {}
+func (*Param) expr()       {}
 func (*BinaryExpr) expr()  {}
 func (*UnaryExpr) expr()   {}
 func (*FuncCall) expr()    {}
@@ -173,10 +203,11 @@ func (c *ColumnRef) String() string {
 }
 func (l *Literal) String() string {
 	if !l.Val.Null && l.Val.Type == record.TypeText {
-		return "'" + l.Val.S + "'"
+		return "'" + strings.ReplaceAll(l.Val.S, "'", "''") + "'"
 	}
 	return l.Val.String()
 }
+func (p *Param) String() string { return "?" }
 func (b *BinaryExpr) String() string {
 	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
 }

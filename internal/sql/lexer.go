@@ -127,7 +127,7 @@ func (l *Lexer) Next() (Token, error) {
 			return Token{Kind: TokSymbol, Text: two, Pos: start}, nil
 		}
 		switch c {
-		case '=', '<', '>', '(', ')', ',', '*', '+', '-', '/', '.', ';', '%':
+		case '=', '<', '>', '(', ')', ',', '*', '+', '-', '/', '.', ';', '%', '?':
 			l.pos++
 			return Token{Kind: TokSymbol, Text: string(c), Pos: start}, nil
 		}

@@ -12,6 +12,9 @@ import (
 type Parser struct {
 	toks []Token
 	pos  int
+	// nparams counts ? placeholders seen in the current top-level
+	// statement; placeholders are legal only inside a PREPARE template.
+	nparams int
 }
 
 // Parse parses a single statement (a trailing semicolon is allowed).
@@ -21,7 +24,7 @@ func Parse(src string) (Statement, error) {
 		return nil, err
 	}
 	p := &Parser{toks: toks}
-	st, err := p.statement()
+	st, err := p.topStatement()
 	if err != nil {
 		return nil, err
 	}
@@ -46,12 +49,28 @@ func ParseScript(src string) ([]Statement, error) {
 		if p.atEOF() {
 			return out, nil
 		}
-		st, err := p.statement()
+		st, err := p.topStatement()
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, st)
 	}
+}
+
+// topStatement parses one statement and enforces that ? placeholders
+// appear only under PREPARE.
+func (p *Parser) topStatement() (Statement, error) {
+	p.nparams = 0
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if p.nparams > 0 {
+		if _, ok := st.(*Prepare); !ok {
+			return nil, fmt.Errorf("sql: ? placeholders are only valid inside PREPARE")
+		}
+	}
+	return st, nil
 }
 
 func (p *Parser) cur() Token { return p.toks[p.pos] }
@@ -134,9 +153,73 @@ func (p *Parser) statement() (Statement, error) {
 			return nil, fmt.Errorf("sql: EXPLAIN supports only SELECT")
 		}
 		return &Explain{Query: sel}, nil
+	case "PREPARE":
+		return p.prepareStmt()
+	case "EXECUTE":
+		return p.executeStmt()
+	case "DEALLOCATE":
+		p.advance()
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &Deallocate{Name: name}, nil
 	default:
 		return nil, fmt.Errorf("sql: unsupported statement %s at offset %d", t, t.Pos)
 	}
+}
+
+// prepareStmt parses PREPARE name AS <statement>. The template may hold
+// ? placeholders; their count is recorded for EXECUTE-time arity checks.
+func (p *Parser) prepareStmt() (Statement, error) {
+	p.advance() // PREPARE
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	inner, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	switch inner.(type) {
+	case *Select, *Insert, *Update, *Delete:
+	default:
+		return nil, fmt.Errorf("sql: PREPARE supports SELECT, INSERT, UPDATE and DELETE, got %T", inner)
+	}
+	return &Prepare{Name: name, Stmt: inner, NumParams: p.nparams}, nil
+}
+
+// executeStmt parses EXECUTE name [(args...)]. Arguments are constant
+// expressions bound positionally to the template's placeholders.
+func (p *Parser) executeStmt() (Statement, error) {
+	p.advance() // EXECUTE
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ex := &ExecutePrepared{Name: name}
+	if p.acceptSymbol("(") {
+		if !p.acceptSymbol(")") {
+			for {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				ex.Args = append(ex.Args, e)
+				if p.acceptSymbol(",") {
+					continue
+				}
+				break
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ex, nil
 }
 
 func (p *Parser) createStmt() (Statement, error) {
@@ -764,6 +847,12 @@ func (p *Parser) primary() (Expr, error) {
 				return nil, err
 			}
 			return e, nil
+		}
+		if t.Text == "?" {
+			p.pos++
+			prm := &Param{Index: p.nparams}
+			p.nparams++
+			return prm, nil
 		}
 	}
 	return nil, fmt.Errorf("sql: unexpected %s in expression at offset %d", t, t.Pos)

@@ -54,5 +54,5 @@ var keywords = map[string]bool{
 	"TRUE": true, "FALSE": true, "AS": true, "JOIN": true, "INNER": true,
 	"ON": true, "INT": true, "FLOAT": true, "TEXT": true, "BOOL": true,
 	"BETWEEN": true, "IN": true, "DISTINCT": true, "DROP": true, "IS": true,
-	"EXPLAIN": true,
+	"EXPLAIN": true, "PREPARE": true, "EXECUTE": true, "DEALLOCATE": true,
 }

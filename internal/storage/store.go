@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"veridb/internal/record"
 	"veridb/internal/vmem"
@@ -50,7 +51,15 @@ type Store struct {
 	mu            sync.RWMutex
 	tables        map[string]*Table
 	defaultShards int
+	// version counts catalog and layout changes (table create/drop,
+	// default-shard change); plan caches key their validity on it.
+	version atomic.Uint64
 }
+
+// CatalogVersion returns a counter that advances on every catalog or
+// shard-layout change. A compiled plan is valid only while the version it
+// was planned under is current.
+func (s *Store) CatalogVersion() uint64 { return s.version.Load() }
 
 // NewStore builds a store over mem.
 func NewStore(mem *vmem.Memory) *Store {
@@ -66,6 +75,7 @@ func (s *Store) SetDefaultShards(n int) {
 	s.mu.Lock()
 	s.defaultShards = n
 	s.mu.Unlock()
+	s.version.Add(1)
 }
 
 // Memory exposes the underlying write-read consistent memory (for
@@ -111,6 +121,7 @@ func (s *Store) CreateTable(spec TableSpec) (*Table, error) {
 		return nil, err
 	}
 	s.tables[spec.Name] = t
+	s.version.Add(1)
 	return t, nil
 }
 
@@ -146,6 +157,7 @@ func (s *Store) DropTable(name string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNoSuchTable, name)
 	}
+	s.version.Add(1)
 	for _, sh := range t.shards {
 		sh.mu.Lock()
 		for _, pid := range sh.pages {

@@ -1,0 +1,228 @@
+package wal
+
+// Group commit: the leader/follower commit pipeline. Concurrent callers
+// Enqueue encoded records — the MAC chain advances at enqueue time, under
+// the log mutex, so the on-disk byte order and the torn-vs-tamper
+// classifier are exactly those of serial appends — and the first enqueuer
+// of an open group becomes its leader. The leader waits up to
+// GroupCommitMaxDelay (or until the group reaches GroupCommitMaxBatch
+// waiters), drains the group, and writes the whole batch with a single
+// write+fsync. Every waiter's Wait returns only after that fsync: the
+// zero-acked-loss invariant is untouched, the fsync is just amortised.
+//
+// Flushes happen outside the log mutex so the next group can form while
+// the current one is inside fsync (pipelining). Go mutexes are not FIFO,
+// so byte order on disk is enforced explicitly: each drained group chains
+// on the previous group's "flushed" channel and writes only after its
+// predecessor's bytes are down.
+//
+// A failed group write or fsync is sticky: l.failed is set under the log
+// mutex before any waiter of the failing group — or of any later group,
+// whose records chain past bytes that never reached disk — is woken, so
+// no caller can ack a statement whose durability is in doubt.
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Ticket is one caller's stake in a pending group: Wait blocks until the
+// group containing the caller's record is durably on disk (or failed).
+type Ticket struct {
+	l      *Log
+	seq    uint64
+	ch     chan error
+	leader bool
+	delay  time.Duration
+	// done marks the inline (group-commit-off) path: the record was
+	// written and fsynced during Enqueue, Wait returns immediately.
+	done bool
+}
+
+// SetGroupCommit configures the commit pipeline. delay <= 0 disables
+// grouping: Enqueue writes and fsyncs inline, bit-identical to the
+// serial Append path. maxBatch <= 0 means no early flush — groups close
+// on the delay timer alone.
+func (l *Log) SetGroupCommit(delay time.Duration, maxBatch int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.gcDelay = delay
+	l.gcMaxBatch = maxBatch
+}
+
+// SetSyncHook substitutes fn for File.Sync on the append path — fault
+// injection for tests. A nil fn restores the real fsync.
+func (l *Log) SetSyncHook(fn func(*os.File) error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.syncHook = fn
+}
+
+// Enqueue encodes one record into the open group and returns a Ticket.
+// The chain state (previous MAC, next sequence) advances immediately, so
+// a later Enqueue chains on this record even before it is flushed. The
+// record is durable only once Ticket.Wait returns nil.
+func (l *Log) Enqueue(typ byte, payload []byte) (*Ticket, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil, errors.New("wal: log closed")
+	}
+	if l.failed != nil {
+		return nil, l.failed
+	}
+	seq := l.nextSeq
+	if l.gcDelay <= 0 {
+		// Inline path: exactly the serial append, one write+fsync per
+		// record, under the mutex.
+		buf := appendRecord(nil, l.key, l.prevMAC, seq, typ, payload)
+		if _, err := l.f.Write(buf); err != nil {
+			l.failed = fmt.Errorf("wal: appending record %d: %w", seq, err)
+			return nil, l.failed
+		}
+		if err := l.syncLocked(l.f); err != nil {
+			l.failed = fmt.Errorf("wal: syncing record %d: %w", seq, err)
+			return nil, l.failed
+		}
+		l.prevMAC = chainMAC(l.key, l.prevMAC, seq, typ, payload)
+		l.nextSeq = seq + 1
+		return &Ticket{seq: seq, done: true}, nil
+	}
+
+	l.gbuf = appendRecord(l.gbuf, l.key, l.prevMAC, seq, typ, payload)
+	l.prevMAC = chainMAC(l.key, l.prevMAC, seq, typ, payload)
+	l.nextSeq = seq + 1
+	ch := make(chan error, 1)
+	l.gwaiters = append(l.gwaiters, ch)
+	t := &Ticket{l: l, seq: seq, ch: ch, delay: l.gcDelay}
+	if !l.leaderActive {
+		l.leaderActive = true
+		t.leader = true
+	}
+	if l.gcMaxBatch > 0 && len(l.gwaiters) >= l.gcMaxBatch {
+		select {
+		case l.full <- struct{}{}:
+		default:
+		}
+	}
+	return t, nil
+}
+
+// Wait blocks until the ticket's record is durable and returns its
+// sequence number. If the caller is the group leader it first runs the
+// group's delay window and flush; followers just wait for the leader's
+// signal. An error means the record may not be on disk — the caller must
+// not ack — and the log is fenced.
+func (t *Ticket) Wait() (uint64, error) {
+	if t.done {
+		return t.seq, nil
+	}
+	if t.leader {
+		timer := time.NewTimer(t.delay)
+		select {
+		case <-t.l.full:
+		case <-timer.C:
+		}
+		timer.Stop()
+		t.l.flushGroup()
+	}
+	if err := <-t.ch; err != nil {
+		return 0, err
+	}
+	return t.seq, nil
+}
+
+// Append writes one record, fsyncs (possibly as part of a group), and
+// returns its sequence number. The record is durable — and may be acked —
+// only once Append returns nil.
+func (l *Log) Append(typ byte, payload []byte) (uint64, error) {
+	t, err := l.Enqueue(typ, payload)
+	if err != nil {
+		return 0, err
+	}
+	return t.Wait()
+}
+
+// flushGroup drains the open group and writes it as one unit, ordered
+// strictly after every previously drained group. Called by the group
+// leader, and by Close to steal-drain a pending group.
+func (l *Log) flushGroup() {
+	l.mu.Lock()
+	buf, waiters := l.gbuf, l.gwaiters
+	l.gbuf, l.gwaiters = nil, nil
+	l.leaderActive = false
+	// Drop a stale early-flush signal so the next leader's window is not
+	// cut short by this group's fullness.
+	select {
+	case <-l.full:
+	default:
+	}
+	prev := l.flushed
+	mine := make(chan struct{})
+	l.flushed = mine
+	f := l.f
+	l.mu.Unlock()
+
+	if prev != nil {
+		<-prev // predecessor group's bytes are down (or it failed)
+	}
+
+	l.mu.Lock()
+	err := l.failed
+	l.mu.Unlock()
+	if err == nil && len(buf) > 0 {
+		if _, werr := f.Write(buf); werr != nil {
+			err = fmt.Errorf("wal: appending group: %w", werr)
+		} else if serr := l.sync(f); serr != nil {
+			err = fmt.Errorf("wal: syncing group: %w", serr)
+		}
+		if err != nil {
+			// Fence before any waiter wakes: once failed is visible, no
+			// Enqueue succeeds and every later group's flush fails too.
+			l.mu.Lock()
+			if l.failed == nil {
+				l.failed = err
+			}
+			l.mu.Unlock()
+		}
+	}
+	close(mine)
+	for _, ch := range waiters {
+		ch <- err
+	}
+}
+
+// drainPending flushes any open group and waits for every drained group
+// to reach disk. Callers must NOT hold l.mu. Used by Close; Checkpoint
+// needs no equivalent because core holds its statement gate exclusively,
+// which quiesces all in-flight Waits first.
+func (l *Log) drainPending() {
+	l.flushGroup()
+	l.mu.Lock()
+	last := l.flushed
+	l.mu.Unlock()
+	if last != nil {
+		<-last
+	}
+}
+
+// sync runs the configured fsync (or the injected hook) on f.
+func (l *Log) sync(f *os.File) error {
+	l.mu.Lock()
+	hook := l.syncHook
+	l.mu.Unlock()
+	if hook != nil {
+		return hook(f)
+	}
+	return f.Sync()
+}
+
+// syncLocked is sync for callers already holding l.mu.
+func (l *Log) syncLocked(f *os.File) error {
+	if l.syncHook != nil {
+		return l.syncHook(f)
+	}
+	return f.Sync()
+}

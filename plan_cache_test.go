@@ -1,0 +1,70 @@
+package veridb
+
+// Cached-vs-fresh endorsement identity: serving a workload from the plan
+// cache must be invisible to the client's endorsement checks — same rows
+// in the same order, same error text, and therefore the same response
+// digests and MACs as a database compiling every statement fresh. Runs
+// the exec-batch workload through the authenticated portal on a
+// cache-warmed instance and a cold one and compares the endorsed
+// responses byte for byte.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"veridb/internal/portal"
+)
+
+func TestPlanCacheEndorsementIdentity(t *testing.T) {
+	key := []byte("plan-cache-property-key")
+
+	fresh := open(t, Config{Seed: 7})
+	execBatchSetup(t, fresh)
+
+	warm := open(t, Config{Seed: 7})
+	execBatchSetup(t, warm)
+	// Warm the plan cache outside the portal (Exec does not consume
+	// portal sequence numbers), so every SELECT below is served from a
+	// cached plan while the fresh instance compiles it for the first
+	// time. The two failing queries never populate the cache.
+	for _, q := range execBatchQueries {
+		_, _ = warm.Exec(q)
+	}
+
+	want := serveAll(t, fresh, key)
+	got := serveAll(t, warm, key)
+	for i, resp := range got {
+		q := execBatchQueries[i]
+		w := want[i]
+		if resp.QID != w.QID || resp.Seq != w.Seq {
+			t.Fatalf("%q: qid/seq (%d,%d), fresh (%d,%d)", q, resp.QID, resp.Seq, w.QID, w.Seq)
+		}
+		if resp.ErrMsg != w.ErrMsg {
+			t.Fatalf("%q: error %q, fresh %q", q, resp.ErrMsg, w.ErrMsg)
+		}
+		if fmt.Sprint(resp.Columns) != fmt.Sprint(w.Columns) {
+			t.Fatalf("%q: columns %v, fresh %v", q, resp.Columns, w.Columns)
+		}
+		if len(resp.Rows) != len(w.Rows) {
+			t.Fatalf("%q: %d rows, fresh %d", q, len(resp.Rows), len(w.Rows))
+		}
+		for r := range resp.Rows {
+			if fmt.Sprint(resp.Rows[r]) != fmt.Sprint(w.Rows[r]) {
+				t.Fatalf("%q row %d: %v, fresh %v", q, r, resp.Rows[r], w.Rows[r])
+			}
+		}
+		if !bytes.Equal(portal.ResponseDigest(resp), portal.ResponseDigest(w)) {
+			t.Fatalf("%q: response digest diverged between cached and fresh execution", q)
+		}
+		if !bytes.Equal(resp.MAC, w.MAC) {
+			t.Fatalf("%q: response MAC diverged between cached and fresh execution", q)
+		}
+	}
+	if s := warm.PlanCache(); s.Hits < 7 {
+		t.Fatalf("warmed instance served %d cache hits, want at least the 7 cacheable queries: %+v", s.Hits, s)
+	}
+	if err := warm.Verify(); err != nil {
+		t.Fatalf("verification after cached workload: %v", err)
+	}
+}

@@ -27,6 +27,7 @@ package veridb
 
 import (
 	"fmt"
+	"time"
 
 	"veridb/internal/client"
 	"veridb/internal/core"
@@ -114,6 +115,10 @@ var (
 // verifier liveness, counters).
 type Health = core.Health
 
+// PlanCacheStats counts prepared-plan cache traffic (hits, misses,
+// invalidations, live entries).
+type PlanCacheStats = plan.CacheStats
+
 // JoinStrategy names for Config.Join.
 const (
 	// JoinAuto picks index-nested-loop when the inner column has a chain,
@@ -188,6 +193,24 @@ type Config struct {
 	// durability; Checkpoint can still be called manually). Requires
 	// DataDir.
 	CheckpointEvery int
+	// GroupCommitMaxDelay enables the group-commit pipeline: concurrent
+	// mutating statements appended to the WAL within this window are
+	// written and fsynced as one group, amortising the fsync without
+	// weakening the ack barrier (no statement is acked before its group's
+	// fsync). Zero disables grouping — one fsync per statement,
+	// bit-identical to prior behavior. Requires DataDir.
+	GroupCommitMaxDelay time.Duration
+	// GroupCommitMaxBatch closes a commit group early once this many
+	// statements are waiting, without waiting out GroupCommitMaxDelay.
+	// Zero means the default (64) when group commit is enabled. Requires
+	// GroupCommitMaxDelay > 0.
+	GroupCommitMaxBatch int
+	// PlanCacheSize bounds the prepared-plan LRU: compiled statements are
+	// reused by normalized SQL text, skipping the parser and planner for
+	// repeated statement shapes. The cache invalidates on DDL and
+	// shard-layout changes; cached and fresh executions produce identical
+	// rows, digests and response MACs. Zero means the default (128).
+	PlanCacheSize int
 }
 
 // validate rejects configurations that would otherwise surface as opaque
@@ -220,6 +243,24 @@ func (c Config) validate() error {
 	if c.CheckpointEvery > 0 && c.DataDir == "" {
 		return fmt.Errorf("veridb: CheckpointEvery %d requires DataDir (checkpoints need durable storage)", c.CheckpointEvery)
 	}
+	if c.GroupCommitMaxDelay < 0 {
+		return fmt.Errorf("veridb: GroupCommitMaxDelay is %v; want 0 (one fsync per statement) or a positive window", c.GroupCommitMaxDelay)
+	}
+	if c.GroupCommitMaxDelay > time.Second {
+		return fmt.Errorf("veridb: GroupCommitMaxDelay is %v; every statement ack waits out this window — want at most 1s", c.GroupCommitMaxDelay)
+	}
+	if c.GroupCommitMaxDelay > 0 && c.DataDir == "" {
+		return fmt.Errorf("veridb: GroupCommitMaxDelay %v requires DataDir (group commit batches WAL fsyncs)", c.GroupCommitMaxDelay)
+	}
+	if c.GroupCommitMaxBatch < 0 {
+		return fmt.Errorf("veridb: GroupCommitMaxBatch is %d; want 0 (default 64) or a positive group size", c.GroupCommitMaxBatch)
+	}
+	if c.GroupCommitMaxBatch > 0 && c.GroupCommitMaxDelay == 0 {
+		return fmt.Errorf("veridb: GroupCommitMaxBatch %d has no effect without GroupCommitMaxDelay (group commit is off)", c.GroupCommitMaxBatch)
+	}
+	if c.PlanCacheSize < 0 {
+		return fmt.Errorf("veridb: PlanCacheSize is %d; want 0 (default 128) or a positive entry count", c.PlanCacheSize)
+	}
 	return nil
 }
 
@@ -250,6 +291,14 @@ func (c Config) coreConfig() (core.Config, error) {
 	if batch == 0 {
 		batch = storage.DefaultBatchCapacity
 	}
+	gcBatch := c.GroupCommitMaxBatch
+	if c.GroupCommitMaxDelay > 0 && gcBatch == 0 {
+		gcBatch = 64
+	}
+	planCache := c.PlanCacheSize
+	if planCache == 0 {
+		planCache = 128
+	}
 	return core.Config{
 		Enclave: enclave.Config{EPCBytes: c.EPCBytes, ECallCycles: c.ECallCycles},
 		Memory: vmem.Config{
@@ -268,6 +317,10 @@ func (c Config) coreConfig() (core.Config, error) {
 		Seed:            c.Seed,
 		DataDir:         c.DataDir,
 		CheckpointEvery: c.CheckpointEvery,
+
+		GroupCommitMaxDelay: c.GroupCommitMaxDelay,
+		GroupCommitMaxBatch: gcBatch,
+		PlanCacheSize:       planCache,
 	}, nil
 }
 
@@ -336,6 +389,9 @@ func (db *DB) Exec(query string) (*Result, error) {
 
 // Explain returns the physical plan chosen for a SELECT.
 func (db *DB) Explain(query string) (string, error) { return db.inner.Explain(query) }
+
+// PlanCache snapshots the prepared-plan cache counters.
+func (db *DB) PlanCache() PlanCacheStats { return db.inner.PlanCacheStats() }
 
 // Checkpoint (durable instances only) freezes the verified tables into
 // immutable on-disk segment files with a MACed manifest and rotates the
