@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench bench-query bench-wal chaos crash fuzz ci
+.PHONY: build vet lint test race bench bench-query bench-wal bench-mvcc chaos crash fuzz ci
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,13 @@ bench-query:
 bench-wal:
 	$(GO) run ./cmd/veridb-bench wal -statements 300 -checkpoint-every 100 -wal-json ""
 
+# MVCC snapshot-read smoke: a short writer-retention run with the
+# concurrent snapshot reader asserting repeat-scan bit-identity, proving
+# the mvcc subcommand runs end-to-end. Real measurements use the
+# defaults: veridb-bench mvcc.
+bench-mvcc:
+	$(GO) run ./cmd/veridb-bench mvcc -warehouses 8 -seconds 1 -mvcc-json ""
+
 # Fault-injection suite: the chaos injector, quarantine/failover paths in
 # core, the retrying client, the portal response cache, and the end-to-end
 # fault-recovery bench — all under the race detector, uncached, with a
@@ -72,4 +79,4 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzManifestDecode$$' -fuzztime 10s ./internal/wal
 	$(GO) test -run '^$$' -fuzz '^FuzzSegmentDecode$$' -fuzztime 10s ./internal/wal
 
-ci: build lint test race chaos crash bench-query bench-wal
+ci: build lint test race chaos crash bench-query bench-wal bench-mvcc

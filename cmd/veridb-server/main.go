@@ -108,6 +108,8 @@ func main() {
 	groupCommit := flag.Duration("group-commit", 0, "group-commit window: batch concurrent WAL appends into one fsync (0 = one fsync per statement; requires -data-dir)")
 	groupCommitBatch := flag.Int("group-commit-batch", 0, "close a commit group early at this many statements (0 = default 64; requires -group-commit)")
 	planCache := flag.Int("plan-cache", 0, "prepared-plan LRU size (0 = default 128)")
+	mvccGC := flag.Duration("mvcc-gc", 0, "background row-version GC period (0 = opportunistic pruning only)")
+	maxVersions := flag.Int("max-versions", 0, "retained row versions per chain key (0 = GC-floor bounded)")
 	initSQL := flag.String("init", "", "semicolon-separated SQL to run at startup")
 	maxLine := flag.Int("max-line", 1<<20, "maximum request line size, bytes")
 	maxConns := flag.Int("max-conns", 256, "maximum concurrent connections (0 = unlimited)")
@@ -129,6 +131,8 @@ func main() {
 		GroupCommitMaxDelay: *groupCommit,
 		GroupCommitMaxBatch: *groupCommitBatch,
 		PlanCacheSize:       *planCache,
+		MVCCGCInterval:      *mvccGC,
+		MaxVersionsPerRow:   *maxVersions,
 	})
 	if err != nil {
 		log.Fatal(err)

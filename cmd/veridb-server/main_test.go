@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"veridb"
+	"veridb/internal/client"
 	"veridb/internal/enclave"
 	"veridb/internal/portal"
 )
@@ -265,5 +266,77 @@ func TestServerHealthOp(t *testing.T) {
 	}
 	if !resp.Quarantined || resp.MAC == "" || len(resp.Rows) != 0 {
 		t.Fatalf("quarantined query answered %+v", resp)
+	}
+}
+
+// TestServerSnapshotSessionOverWire drives BEGIN SNAPSHOT / COMMIT over
+// TCP with the client package's request helpers: the pinned client's
+// reads stay frozen while another wire client writes, the pinned session
+// is read-only, and COMMIT releases the pin.
+func TestServerSnapshotSessionOverWire(t *testing.T) {
+	db, err := veridb.Open(veridb.Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE t (a INT PRIMARY KEY, b INT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO t VALUES (1, 10), (2, 20)`); err != nil {
+		t.Fatal(err)
+	}
+	db.ProvisionClient("alice", []byte("ka"))
+	db.ProvisionClient("bob", []byte("kb"))
+	alice := client.New("alice", []byte("ka"))
+	bob := client.New("bob", []byte("kb"))
+
+	ln := serveTCP(t, &server{db: db, maxLine: 1 << 20})
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	sc := bufio.NewScanner(conn)
+
+	send := func(req portal.Request) wireResponse {
+		t.Helper()
+		if err := enc.Encode(wireRequest{
+			Op: "query", Client: req.ClientID, QID: req.QID, Query: req.Query,
+			MAC: base64.StdEncoding.EncodeToString(req.MAC),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !sc.Scan() {
+			t.Fatal("no response")
+		}
+		var resp wireResponse
+		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	begin := send(alice.NewBeginSnapshotRequest())
+	if begin.Err != "" || len(begin.Rows) != 1 || begin.Columns[0] != "snapshot_seq" {
+		t.Fatalf("BEGIN SNAPSHOT over wire: %+v", begin)
+	}
+	if r := send(bob.NewRequest(`INSERT INTO t VALUES (3, 30)`)); r.Err != "" {
+		t.Fatalf("bob insert: %+v", r)
+	}
+	if r := send(alice.NewRequest(`SELECT a FROM t ORDER BY a`)); r.Err != "" || len(r.Rows) != 2 {
+		t.Fatalf("alice pinned read saw bob's write: %+v", r)
+	}
+	if r := send(bob.NewRequest(`SELECT a FROM t ORDER BY a`)); r.Err != "" || len(r.Rows) != 3 {
+		t.Fatalf("bob read: %+v", r)
+	}
+	if r := send(alice.NewRequest(`DELETE FROM t WHERE a = 1`)); !strings.Contains(r.Err, "read-only") {
+		t.Fatalf("alice write under pin: %+v", r)
+	}
+	if r := send(alice.NewCommitSnapshotRequest()); r.Err != "" {
+		t.Fatalf("alice COMMIT: %+v", r)
+	}
+	if r := send(alice.NewRequest(`SELECT a FROM t ORDER BY a`)); r.Err != "" || len(r.Rows) != 3 {
+		t.Fatalf("alice post-COMMIT read: %+v", r)
 	}
 }

@@ -1,0 +1,215 @@
+package bench
+
+// MVCC snapshot-read benchmark: the tentpole measurement for snapshot-
+// consistent verified scans. A no-reader TPC-C run sets the writer
+// baseline; the concurrent run adds a reader that continuously pins
+// snapshots and drives long verified scans over the stock table,
+// asserting repeat-scan bit-identity (two scans of the same pinned
+// snapshot must return byte-identical rows no matter what the writers
+// do in between). Snapshot readers take no write latches past chain
+// verification, so writer throughput should retain ≥ 90% of baseline.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"veridb/internal/enclave"
+	"veridb/internal/record"
+	"veridb/internal/storage"
+	"veridb/internal/vmem"
+	"veridb/internal/workload/tpcc"
+)
+
+// MVCCConfig sizes the snapshot-read benchmark.
+type MVCCConfig struct {
+	Workload tpcc.Config
+	// Duration each phase (baseline, concurrent) runs for.
+	Duration time.Duration
+	// Clients is the TPC-C writer count (default 8).
+	Clients int
+	// VerifyEvery paces the background verifier (0 disables).
+	VerifyEvery int
+	// TableShards is the per-table hash-shard count (0 or 1: unsharded).
+	TableShards int
+	Seed        int64
+}
+
+func (c MVCCConfig) withDefaults() MVCCConfig {
+	if c.Workload.Warehouses == 0 {
+		c.Workload = tpcc.Config{Warehouses: 20, Customers: 10, Items: 200}
+	}
+	if c.Duration == 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.Clients == 0 {
+		c.Clients = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// MVCCRun is the BENCH_mvcc.json payload.
+type MVCCRun struct {
+	Warehouses int
+	Clients    int
+	Shards     int
+	DurationMS int64
+	// BaselineTPS is writer throughput with no concurrent readers.
+	BaselineTPS float64
+	// ConcurrentTPS is writer throughput with the snapshot reader running.
+	ConcurrentTPS float64
+	// Retention is ConcurrentTPS / BaselineTPS (the ≥ 0.9 target).
+	Retention float64
+	// ReaderSnapshots counts pinned snapshots the reader completed; every
+	// one was scanned twice with byte-identical results.
+	ReaderSnapshots int
+	// ReaderRows is the total rows the reader drained across all scans.
+	ReaderRows int
+}
+
+// mvccPhase runs the TPC-C writers for cfg.Duration, optionally with the
+// snapshot reader, over a freshly populated store.
+func mvccPhase(cfg MVCCConfig, withReader bool) (tps float64, snaps, rows int, err error) {
+	mem, err := vmem.New(enclave.NewForTest(uint64(cfg.Seed)), vmem.Config{Partitions: 16})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	st := storage.NewStore(mem)
+	if cfg.TableShards > 0 {
+		st.SetDefaultShards(cfg.TableShards)
+	}
+	tables, err := tpcc.CreateTables(st)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if err := tpcc.Populate(tables, cfg.Workload, cfg.Seed); err != nil {
+		return 0, 0, 0, err
+	}
+	if cfg.VerifyEvery > 0 {
+		if err := mem.StartVerifier(cfg.VerifyEvery); err != nil {
+			return 0, 0, 0, err
+		}
+		defer mem.StopVerifier()
+	}
+	var done atomic.Bool
+	var txns atomic.Int64
+	errCh := make(chan error, cfg.Clients+1)
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			w := tpcc.NewWorker(tables, cfg.Workload, c, cfg.Seed*1000+int64(c))
+			for !done.Load() {
+				if err := w.Run(); err != nil {
+					errCh <- err
+					return
+				}
+				txns.Add(1)
+			}
+		}(c)
+	}
+	var nSnaps, nRows atomic.Int64
+	if withReader {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				snap := st.OpenSnapshot()
+				first, n, err := mvccScanDigest(tables.Stock, snap)
+				if err != nil {
+					snap.Close()
+					errCh <- err
+					return
+				}
+				second, n2, err := mvccScanDigest(tables.Stock, snap)
+				snap.Close()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				if n != n2 || !bytes.Equal(first, second) {
+					errCh <- fmt.Errorf("bench: repeat scan of snapshot %d diverged: %d rows %x vs %d rows %x",
+						snap.Seq(), n, first, n2, second)
+					return
+				}
+				nSnaps.Add(1)
+				nRows.Add(int64(n + n2))
+			}
+		}()
+	}
+	time.Sleep(cfg.Duration)
+	done.Store(true)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return 0, 0, 0, err
+	default:
+	}
+	if err := mem.Alarm(); err != nil {
+		return 0, 0, 0, fmt.Errorf("bench: verification alarm in clean MVCC run: %w", err)
+	}
+	return float64(txns.Load()) / cfg.Duration.Seconds(),
+		int(nSnaps.Load()), int(nRows.Load()), nil
+}
+
+// mvccScanDigest drains one verified sequential scan of t as of snap and
+// returns a digest of the row bytes plus the row count.
+func mvccScanDigest(t *storage.Table, snap *storage.Snapshot) ([]byte, int, error) {
+	it, err := t.SeqScanAt(snap)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer it.Close()
+	h := sha256.New()
+	n := 0
+	batch := storage.NewRowBatch(storage.DefaultBatchCapacity)
+	for {
+		k, err := it.NextBatch(batch)
+		if err != nil {
+			return nil, 0, err
+		}
+		if k == 0 {
+			break
+		}
+		for i := 0; i < k; i++ {
+			h.Write(record.Encode(&record.Record{Data: batch.Row(i)}))
+			n++
+		}
+	}
+	return h.Sum(nil), n, nil
+}
+
+// RunMVCC measures snapshot-read retention: writer throughput with and
+// without a concurrent snapshot-scanning reader.
+func RunMVCC(cfg MVCCConfig) (*MVCCRun, error) {
+	cfg = cfg.withDefaults()
+	base, _, _, err := mvccPhase(cfg, false)
+	if err != nil {
+		return nil, fmt.Errorf("bench: MVCC baseline phase: %w", err)
+	}
+	conc, snaps, rows, err := mvccPhase(cfg, true)
+	if err != nil {
+		return nil, fmt.Errorf("bench: MVCC concurrent phase: %w", err)
+	}
+	run := &MVCCRun{
+		Warehouses:      cfg.Workload.Warehouses,
+		Clients:         cfg.Clients,
+		Shards:          cfg.TableShards,
+		DurationMS:      cfg.Duration.Milliseconds(),
+		BaselineTPS:     base,
+		ConcurrentTPS:   conc,
+		ReaderSnapshots: snaps,
+		ReaderRows:      rows,
+	}
+	if base > 0 {
+		run.Retention = conc / base
+	}
+	return run, nil
+}

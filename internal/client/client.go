@@ -197,6 +197,21 @@ func (c *Client) NewExecuteRequest(name string, args ...record.Value) portal.Req
 	return c.NewRequest(ExecuteText(name, args...))
 }
 
+// NewBeginSnapshotRequest signs a BEGIN SNAPSHOT: the server pins a
+// consistent read point for this client's session and returns its commit
+// sequence in a single snapshot_seq column. Until the matching COMMIT,
+// every query from this client reads that same snapshot and mutating
+// statements are rejected.
+func (c *Client) NewBeginSnapshotRequest() portal.Request {
+	return c.NewRequest("BEGIN SNAPSHOT")
+}
+
+// NewCommitSnapshotRequest signs the COMMIT releasing this client's
+// pinned snapshot.
+func (c *Client) NewCommitSnapshotRequest() portal.Request {
+	return c.NewRequest("COMMIT")
+}
+
 // VerifyResponse checks a response's MAC against the request and records
 // its sequence number, detecting rollbacks (*RollbackError). A verified
 // quarantine response returns ErrQuarantined; any other verified response

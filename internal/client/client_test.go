@@ -1,9 +1,12 @@
 package client
 
 import (
+	"crypto/hmac"
 	"errors"
 	"math/rand"
 	"testing"
+
+	"veridb/internal/portal"
 )
 
 func TestSeqTrackerSequential(t *testing.T) {
@@ -108,6 +111,27 @@ func TestNewRequestQIDsUnique(t *testing.T) {
 		seen[r.QID] = true
 		if len(r.MAC) == 0 || r.ClientID != "alice" {
 			t.Fatalf("bad request %+v", r)
+		}
+	}
+}
+
+func TestSnapshotRequestHelpers(t *testing.T) {
+	c := New("alice", []byte("key"))
+	begin := c.NewBeginSnapshotRequest()
+	if begin.Query != "BEGIN SNAPSHOT" {
+		t.Fatalf("begin query %q", begin.Query)
+	}
+	commit := c.NewCommitSnapshotRequest()
+	if commit.Query != "COMMIT" {
+		t.Fatalf("commit query %q", commit.Query)
+	}
+	if begin.QID == commit.QID {
+		t.Fatal("qids collide")
+	}
+	for _, r := range []portal.Request{begin, commit} {
+		want := portal.SignRequest([]byte("key"), "alice", r.QID, r.Query)
+		if !hmac.Equal(want, r.MAC) {
+			t.Fatalf("bad MAC on %q", r.Query)
 		}
 	}
 }

@@ -72,6 +72,15 @@ type Config struct {
 	// planner). Zero disables the cache; the public veridb package maps
 	// its zero to a default.
 	PlanCacheSize int
+	// MVCCGCInterval runs the version garbage collector every interval,
+	// reclaiming retired row versions below the watermark-and-pins floor.
+	// Zero disables background collection (versions are still pruned
+	// opportunistically as writers retire newer ones).
+	MVCCGCInterval time.Duration
+	// MaxVersionsPerRow caps retained versions per row key; once exceeded
+	// the oldest is discarded and snapshots that needed it fail with
+	// storage.ErrSnapshotTooOld. Zero retains versions until GC.
+	MaxVersionsPerRow int
 }
 
 // ErrQuarantined wraps every request rejected because the database's
@@ -98,6 +107,27 @@ type DB struct {
 
 	qmu  sync.Mutex
 	qerr error // sticky quarantine error, set on first alarm observation
+
+	// sessions tracks per-client snapshot state (BEGIN SNAPSHOT/COMMIT).
+	// The portal routes each request through ExecuteSession with the
+	// authenticated client ID; library calls share the "" session.
+	sessMu   sync.Mutex
+	sessions map[string]*session
+}
+
+// session is one client's statement context: at most a pinned read
+// snapshot. While pinned, every SELECT reads the pinned committed state
+// and mutating statements are rejected (the session is read-only).
+type session struct {
+	mu   sync.Mutex
+	snap *storage.Snapshot
+}
+
+// pinned returns the session's snapshot, or nil.
+func (s *session) pinned() *storage.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snap
 }
 
 // Open builds a database.
@@ -117,6 +147,9 @@ func Open(cfg Config) (*DB, error) {
 	if cfg.TableShards > 0 {
 		st.SetDefaultShards(cfg.TableShards)
 	}
+	if cfg.MaxVersionsPerRow > 0 {
+		st.SetMaxVersions(cfg.MaxVersionsPerRow)
+	}
 	db := &DB{
 		enc:       enc,
 		mem:       mem,
@@ -124,6 +157,7 @@ func Open(cfg Config) (*DB, error) {
 		opts:      plan.Options{Join: cfg.Join, ExecBatchSize: cfg.ExecBatchSize},
 		planCache: plan.NewCache(cfg.PlanCacheSize),
 		prepared:  make(map[string]*sql.Prepare),
+		sessions:  make(map[string]*session),
 	}
 	db.portal = portal.New(enc, db)
 	// Recovery runs before the background verifier starts: WAL replay
@@ -141,6 +175,13 @@ func Open(cfg Config) (*DB, error) {
 	if cfg.VerifyEveryOps > 0 && db.mem.Alarm() == nil {
 		if err := mem.StartVerifier(cfg.VerifyEveryOps); err != nil {
 			return nil, fmt.Errorf("core: starting background verifier: %w", err)
+		}
+	}
+	// GC starts after recovery: replay churns versions that the very first
+	// pass after open reclaims wholesale (nothing pins them).
+	if cfg.MVCCGCInterval > 0 {
+		if err := st.StartVersionGC(cfg.MVCCGCInterval); err != nil {
+			return nil, fmt.Errorf("core: starting version GC: %w", err)
 		}
 	}
 	return db, nil
@@ -164,6 +205,7 @@ func (db *DB) Portal() *portal.Portal { return db.portal }
 // dirty durable state to lose.
 func (db *DB) Close() {
 	db.mem.StopVerifier()
+	db.store.StopVersionGC()
 	if db.dur != nil {
 		db.dur.log.Close()
 	}
@@ -238,10 +280,19 @@ func (db *DB) Health() Health {
 // then acked. With the plan cache enabled, repeated statement text skips
 // the parser (and, for SELECT, the planner) entirely.
 func (db *DB) Execute(query string) (*portal.Result, error) {
+	return db.ExecuteSession("", query)
+}
+
+// ExecuteSession is Execute with a client identity: BEGIN SNAPSHOT and
+// COMMIT act on (and SELECTs read through) the named client's session.
+// The portal passes each request's authenticated client ID; plain Execute
+// shares the anonymous "" session.
+func (db *DB) ExecuteSession(clientID, query string) (*portal.Result, error) {
+	sess := db.sessionFor(clientID)
 	if db.planCache != nil {
 		if key, nerr := sql.Normalize(query); nerr == nil {
 			if ent := db.planCache.Get(key, db.store.CatalogVersion()); ent != nil {
-				res, err := db.executeCached(query, ent)
+				res, err := db.executeCached(sess, query, ent)
 				db.planCache.Return(ent)
 				return res, err
 			}
@@ -253,7 +304,7 @@ func (db *DB) Execute(query string) (*portal.Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, op, err := db.dispatchOp(query, stmt)
+			res, op, err := db.dispatchOp(sess, query, stmt)
 			if err == nil && cacheable(stmt) {
 				db.planCache.Put(key, stmt, op, version)
 			}
@@ -265,8 +316,20 @@ func (db *DB) Execute(query string) (*portal.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := db.dispatchOp(query, stmt)
+	res, _, err := db.dispatchOp(sess, query, stmt)
 	return res, err
+}
+
+// sessionFor returns (creating on first use) the session for a client ID.
+func (db *DB) sessionFor(clientID string) *session {
+	db.sessMu.Lock()
+	defer db.sessMu.Unlock()
+	s, ok := db.sessions[clientID]
+	if !ok {
+		s = &session{}
+		db.sessions[clientID] = s
+	}
+	return s
 }
 
 // cacheable reports whether a statement's compilation is worth keeping:
@@ -283,7 +346,7 @@ func cacheable(stmt sql.Statement) bool {
 // dispatchOp routes a parsed statement — prepared-statement expansion,
 // durable DML through the WAL, SELECT through an explicitly captured
 // plan (returned for caching), everything else to ExecuteStmt.
-func (db *DB) dispatchOp(query string, stmt sql.Statement) (*portal.Result, engine.Operator, error) {
+func (db *DB) dispatchOp(sess *session, query string, stmt sql.Statement) (*portal.Result, engine.Operator, error) {
 	switch s := stmt.(type) {
 	case *sql.ExecutePrepared:
 		bound, text, err := db.bindPrepared(s)
@@ -291,10 +354,10 @@ func (db *DB) dispatchOp(query string, stmt sql.Statement) (*portal.Result, engi
 			return nil, nil, err
 		}
 		if db.dur != nil && isMutating(bound) {
-			res, err := db.executeDurable(text, bound)
+			res, err := db.executeDurable(sess, text, bound)
 			return res, nil, err
 		}
-		res, err := db.ExecuteStmt(bound)
+		res, err := db.executeStmtSess(sess, bound)
 		return res, nil, err
 	case *sql.Select:
 		if err := db.QuarantineError(); err != nil {
@@ -304,33 +367,33 @@ func (db *DB) dispatchOp(query string, stmt sql.Statement) (*portal.Result, engi
 		if err != nil {
 			return nil, nil, err
 		}
-		res, err := db.runSelectOp(op)
+		res, err := db.runSelectOp(sess, op)
 		return res, op, err
 	}
 	if db.dur != nil && isMutating(stmt) {
-		res, err := db.executeDurable(query, stmt)
+		res, err := db.executeDurable(sess, query, stmt)
 		return res, nil, err
 	}
-	res, err := db.ExecuteStmt(stmt)
+	res, err := db.executeStmtSess(sess, stmt)
 	return res, nil, err
 }
 
 // executeCached runs a checked-out cache entry. A cached SELECT reuses
 // its compiled operator tree (reset, batch size re-derived); cached DML
 // reuses the parsed AST and goes through the ordinary durable routing.
-func (db *DB) executeCached(query string, ent *plan.CacheEntry) (*portal.Result, error) {
+func (db *DB) executeCached(sess *session, query string, ent *plan.CacheEntry) (*portal.Result, error) {
 	if ent.Op != nil {
 		if err := db.QuarantineError(); err != nil {
 			return nil, err
 		}
 		engine.ResetPlan(ent.Op)
 		engine.SetBatchSize(ent.Op, plan.EffectiveBatchSize(ent.Op, db.opts.ExecBatchSize))
-		return db.runSelectOp(ent.Op)
+		return db.runSelectOp(sess, ent.Op)
 	}
 	if db.dur != nil && isMutating(ent.Stmt) {
-		return db.executeDurable(query, ent.Stmt)
+		return db.executeDurable(sess, query, ent.Stmt)
 	}
-	return db.ExecuteStmt(ent.Stmt)
+	return db.executeStmtSess(sess, ent.Stmt)
 }
 
 // bindPrepared resolves an EXECUTE against the registry: evaluates the
@@ -380,10 +443,37 @@ func (db *DB) PlanCacheStats() plan.CacheStats { return db.planCache.Stats() }
 // replay (which must not re-log); library callers driving ExecuteStmt on
 // a durable instance forgo durability for those statements.
 func (db *DB) ExecuteStmt(stmt sql.Statement) (*portal.Result, error) {
+	return db.executeStmtSess(db.sessionFor(""), stmt)
+}
+
+func (db *DB) executeStmtSess(sess *session, stmt sql.Statement) (*portal.Result, error) {
 	if err := db.QuarantineError(); err != nil {
 		return nil, err
 	}
+	if isMutating(stmt) && sess.pinned() != nil {
+		return nil, fmt.Errorf("core: session is read-only while a snapshot is pinned; COMMIT first")
+	}
 	switch s := stmt.(type) {
+	case *sql.BeginSnapshot:
+		sess.mu.Lock()
+		defer sess.mu.Unlock()
+		if sess.snap != nil {
+			return nil, fmt.Errorf("core: session already holds a pinned snapshot (BEGIN SNAPSHOT without COMMIT)")
+		}
+		sess.snap = db.store.OpenSnapshot()
+		return &portal.Result{
+			Columns: []string{"snapshot_seq"},
+			Rows:    []record.Tuple{{record.Int(int64(sess.snap.Seq()))}},
+		}, nil
+	case *sql.CommitSnapshot:
+		sess.mu.Lock()
+		defer sess.mu.Unlock()
+		if sess.snap == nil {
+			return nil, fmt.Errorf("core: COMMIT without a pinned snapshot (BEGIN SNAPSHOT first)")
+		}
+		sess.snap.Close()
+		sess.snap = nil
+		return &portal.Result{}, nil
 	case *sql.CreateTable:
 		return db.createTable(s)
 	case *sql.DropTable:
@@ -398,7 +488,7 @@ func (db *DB) ExecuteStmt(stmt sql.Statement) (*portal.Result, error) {
 	case *sql.Delete:
 		return db.delete(s)
 	case *sql.Select:
-		return db.query(s)
+		return db.query(sess, s)
 	case *sql.Prepare:
 		db.prepMu.Lock()
 		db.prepared[s.Name] = s
@@ -409,7 +499,7 @@ func (db *DB) ExecuteStmt(stmt sql.Statement) (*portal.Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		return db.ExecuteStmt(bound)
+		return db.executeStmtSess(sess, bound)
 	case *sql.Deallocate:
 		db.prepMu.Lock()
 		_, ok := db.prepared[s.Name]
@@ -510,6 +600,7 @@ func (db *DB) insert(ins *sql.Insert) (*portal.Result, error) {
 		}
 	}
 	n := 0
+	tups := make([]record.Tuple, 0, len(ins.Rows))
 	for _, row := range ins.Rows {
 		if len(row) != len(order) {
 			return nil, fmt.Errorf("core: INSERT row has %d values for %d columns", len(row), len(order))
@@ -525,12 +616,31 @@ func (db *DB) insert(ins *sql.Insert) (*portal.Result, error) {
 			}
 			tup[order[i]] = v
 		}
-		if err := t.Insert(tup); err != nil {
-			return nil, err
+		tups = append(tups, tup)
+	}
+	// One commit timestamp for the whole statement: snapshots see all of
+	// the INSERT's rows or none of them.
+	if err := db.withCommit(func(c *storage.Commit) error {
+		for _, tup := range tups {
+			if err := t.InsertAt(tup, c); err != nil {
+				return err
+			}
+			n++
 		}
-		n++
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return &portal.Result{Affected: n}, nil
+}
+
+// withCommit runs f under a single commit timestamp. Every version f
+// installs or retires shares the one sequence number, so a statement's
+// effects become visible to snapshots atomically when the commit is done.
+func (db *DB) withCommit(f func(c *storage.Commit) error) error {
+	c := db.store.BeginCommit()
+	defer c.Done()
+	return f(c)
 }
 
 // matchingRows plans and materialises the rows of one table satisfying
@@ -594,19 +704,24 @@ func (db *DB) update(up *sql.Update) (*portal.Result, error) {
 	}
 	pkCol := t.PrimaryKeyColumn()
 	n := 0
-	for _, row := range rows {
-		newTup := row.Clone()
-		for _, s := range setters {
-			v, err := s.expr.Eval(row)
-			if err != nil {
-				return nil, err
+	if err := db.withCommit(func(c *storage.Commit) error {
+		for _, row := range rows {
+			newTup := row.Clone()
+			for _, s := range setters {
+				v, err := s.expr.Eval(row)
+				if err != nil {
+					return err
+				}
+				newTup[s.col] = v
 			}
-			newTup[s.col] = v
+			if err := t.UpdateAt(row[pkCol], newTup, c); err != nil {
+				return err
+			}
+			n++
 		}
-		if err := t.Update(row[pkCol], newTup); err != nil {
-			return nil, err
-		}
-		n++
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return &portal.Result{Affected: n}, nil
 }
@@ -622,25 +737,44 @@ func (db *DB) delete(del *sql.Delete) (*portal.Result, error) {
 	}
 	pkCol := t.PrimaryKeyColumn()
 	n := 0
-	for _, row := range rows {
-		if err := t.Delete(row[pkCol]); err != nil {
-			return nil, err
+	if err := db.withCommit(func(c *storage.Commit) error {
+		for _, row := range rows {
+			if err := t.DeleteAt(row[pkCol], c); err != nil {
+				return err
+			}
+			n++
 		}
-		n++
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return &portal.Result{Affected: n}, nil
 }
 
-func (db *DB) query(sel *sql.Select) (*portal.Result, error) {
+func (db *DB) query(sess *session, sel *sql.Select) (*portal.Result, error) {
 	op, err := plan.PlanSelect(db.store, sel, db.opts)
 	if err != nil {
 		return nil, err
 	}
-	return db.runSelectOp(op)
+	return db.runSelectOp(sess, op)
 }
 
-// runSelectOp drains a compiled plan into a result.
-func (db *DB) runSelectOp(op engine.Operator) (*portal.Result, error) {
+// runSelectOp drains a compiled plan into a result. Every base-table scan
+// in the plan reads one snapshot: the session's pinned one (BEGIN
+// SNAPSHOT) when present, otherwise a statement snapshot opened at the
+// current commit watermark and released when the drain finishes. Either
+// way a multi-scan plan (joins, self-joins, spool refills) observes a
+// single consistent committed state.
+func (db *DB) runSelectOp(sess *session, op engine.Operator) (*portal.Result, error) {
+	snap := sess.pinned()
+	if snap == nil {
+		snap = db.store.OpenSnapshot()
+		defer snap.Close()
+	}
+	engine.SetSnapshot(op, snap)
+	// Clear before the plan goes back into the cache: a cached operator
+	// must not retain a dangling snapshot across statements.
+	defer engine.SetSnapshot(op, nil)
 	rows, err := db.drain(op)
 	if err != nil {
 		return nil, err

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"veridb/internal/client"
 	"veridb/internal/plan"
@@ -358,6 +359,13 @@ func TestBackgroundVerifierIntegration(t *testing.T) {
 		if _, err := db.Execute(`INSERT INTO t VALUES (` + itoa(i) + `, 1)`); err != nil {
 			t.Fatal(err)
 		}
+	}
+	// The verifier runs in background goroutines; on a single-CPU box the
+	// insert loop can finish before they are ever scheduled, so give them
+	// a bounded window to complete an epoch before stopping.
+	deadline := time.Now().Add(5 * time.Second)
+	for db.Memory().Stats().Rotations == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
 	}
 	db.Memory().StopVerifier()
 	if db.Memory().Stats().Rotations == 0 {

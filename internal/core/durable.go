@@ -145,7 +145,7 @@ func isMutating(stmt sql.Statement) bool {
 // client never saw a success), and an append or group-fsync failure
 // refuses the ack and fences further writes rather than acking a
 // non-durable statement.
-func (db *DB) executeDurable(query string, stmt sql.Statement) (*portal.Result, error) {
+func (db *DB) executeDurable(sess *session, query string, stmt sql.Statement) (*portal.Result, error) {
 	d := db.dur
 	d.gate.RLock()
 	d.mu.Lock()
@@ -155,7 +155,7 @@ func (db *DB) executeDurable(query string, stmt sql.Statement) (*portal.Result, 
 		d.gate.RUnlock()
 		return nil, err
 	}
-	res, err := db.ExecuteStmt(stmt)
+	res, err := db.executeStmtSess(sess, stmt)
 	if err != nil {
 		d.mu.Unlock()
 		d.gate.RUnlock()

@@ -48,6 +48,10 @@ type TableScan struct {
 	// Col is the bounded column index; -1 scans the primary chain fully.
 	Col    int
 	Lo, Hi *record.Value
+	// Snap, when set, resolves the scan against a pinned snapshot instead
+	// of the latest committed state (see engine.SetSnapshot). The scan
+	// borrows the snapshot — the statement that pinned it closes it.
+	Snap *storage.Snapshot
 
 	sc      storage.Iterator
 	visited int
@@ -80,11 +84,16 @@ func (s *TableScan) Open() error {
 		s.sc = nil
 	}
 	var err error
-	if s.Col < 0 {
+	switch {
+	case s.Snap != nil && s.Col < 0:
+		s.sc, err = s.Table.SeqScanAt(s.Snap)
+	case s.Snap != nil:
+		s.sc, err = s.Table.RangeScanAt(s.Col, s.Lo, s.Hi, s.Snap)
+	case s.Col < 0:
 		// SeqScan iterates every shard; on a sharded table the storage
 		// layer fans the per-shard sub-scans out across VerifyWorkers.
 		s.sc, err = s.Table.SeqScan()
-	} else {
+	default:
 		s.sc, err = s.Table.RangeScan(s.Col, s.Lo, s.Hi)
 	}
 	return err

@@ -79,6 +79,10 @@ func (s *Spool) fill() (err error) {
 		Schema:     record.NewSchema(cols...),
 		PrimaryKey: 0,
 		Shards:     1,
+		// Statement-scoped spill target: versioning it would only pin its
+		// short-lived rows, and a statement snapshot pinned before the spool
+		// existed must still be allowed to replay it.
+		Ephemeral: true,
 	})
 	if err != nil {
 		return err

@@ -42,6 +42,16 @@ type Executor interface {
 	Execute(query string) (*Result, error)
 }
 
+// SessionExecutor is implemented by executors that keep per-client session
+// state (core.DB does: BEGIN SNAPSHOT pins a read point for the issuing
+// client only). When the executor supports it, the portal routes each
+// authenticated request under the client's own session so one client's
+// pinned snapshot never leaks into another's queries.
+type SessionExecutor interface {
+	Executor
+	ExecuteSession(clientID, query string) (*Result, error)
+}
+
 // Request is an authenticated client query.
 type Request struct {
 	ClientID string
@@ -216,7 +226,13 @@ func (p *Portal) Serve(req Request) (*Response, error) {
 			return resp, nil
 		}
 	}
-	res, err := p.exec.Execute(req.Query)
+	var res *Result
+	var err error
+	if se, ok := p.exec.(SessionExecutor); ok {
+		res, err = se.ExecuteSession(req.ClientID, req.Query)
+	} else {
+		res, err = p.exec.Execute(req.Query)
+	}
 	if err != nil {
 		resp.ErrMsg = err.Error()
 	} else {

@@ -116,6 +116,15 @@ type ExecutePrepared struct {
 // Deallocate is DEALLOCATE name: it drops a prepared statement.
 type Deallocate struct{ Name string }
 
+// BeginSnapshot is BEGIN SNAPSHOT: it pins the session's read point at
+// the current commit watermark. Until COMMIT, every SELECT in the session
+// reads that one consistent committed state; mutating statements are
+// rejected (the session is read-only while pinned).
+type BeginSnapshot struct{}
+
+// CommitSnapshot is COMMIT: it releases the session's pinned snapshot.
+type CommitSnapshot struct{}
+
 func (*CreateTable) stmt()     {}
 func (*DropTable) stmt()       {}
 func (*Explain) stmt()         {}
@@ -126,6 +135,8 @@ func (*Select) stmt()          {}
 func (*Prepare) stmt()         {}
 func (*ExecutePrepared) stmt() {}
 func (*Deallocate) stmt()      {}
+func (*BeginSnapshot) stmt()   {}
+func (*CommitSnapshot) stmt()  {}
 
 // Expr is any expression node.
 type Expr interface {

@@ -164,6 +164,15 @@ func (p *Parser) statement() (Statement, error) {
 			return nil, err
 		}
 		return &Deallocate{Name: name}, nil
+	case "BEGIN":
+		p.advance()
+		if err := p.expectKeyword("SNAPSHOT"); err != nil {
+			return nil, err
+		}
+		return &BeginSnapshot{}, nil
+	case "COMMIT":
+		p.advance()
+		return &CommitSnapshot{}, nil
 	default:
 		return nil, fmt.Errorf("sql: unsupported statement %s at offset %d", t, t.Pos)
 	}

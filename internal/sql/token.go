@@ -55,4 +55,5 @@ var keywords = map[string]bool{
 	"ON": true, "INT": true, "FLOAT": true, "TEXT": true, "BOOL": true,
 	"BETWEEN": true, "IN": true, "DISTINCT": true, "DROP": true, "IS": true,
 	"EXPLAIN": true, "PREPARE": true, "EXECUTE": true, "DEALLOCATE": true,
+	"BEGIN": true, "COMMIT": true, "SNAPSHOT": true,
 }

@@ -154,8 +154,8 @@ func TestEarlyClosedParallelScanLeaksNoGoroutines(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, ok := sc.(*parallelMergeIterator); !ok {
-			t.Fatalf("SeqScan returned %T, want parallel merge", sc)
+		if _, ok := unwrapIter(sc).(*parallelMergeIterator); !ok {
+			t.Fatalf("SeqScan returned %T, want parallel merge", unwrapIter(sc))
 		}
 		for i := 0; i < 3; i++ {
 			if _, ok, err := sc.Next(); err != nil || !ok {

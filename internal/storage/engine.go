@@ -60,6 +60,18 @@ type Engine interface {
 	// the per-shard sub-chains in key order.
 	RangeScan(col int, lo, hi *record.Value) (Iterator, error)
 	SeqScan() (Iterator, error)
+
+	// MVCC variants. The At-reads resolve every chain step against a pinned
+	// Snapshot (the committed state at its seq), letting scans run without
+	// holding shard latches; the At-writes stamp their versions with an
+	// explicit Commit so a multi-row statement becomes visible atomically.
+	GetAt(pk record.Value, snap *Snapshot) (record.Tuple, Evidence, error)
+	RangeScanAt(col int, lo, hi *record.Value, snap *Snapshot) (Iterator, error)
+	SeqScanAt(snap *Snapshot) (Iterator, error)
+	InsertAt(tup record.Tuple, c *Commit) error
+	DeleteAt(pk record.Value, c *Commit) error
+	UpdateAt(pk record.Value, newTup record.Tuple, c *Commit) error
+	UpdateFuncAt(pk record.Value, mutate func(record.Tuple) (record.Tuple, error), c *Commit) error
 }
 
 // Catalog is the table-registry half of the seam: Register creates a table
@@ -78,6 +90,10 @@ var (
 	_ Engine   = (*Table)(nil)
 	_ Catalog  = (*Store)(nil)
 	_ Iterator = (*Scanner)(nil)
+	_ Iterator = (*snapScanner)(nil)
 	_ Iterator = (*mergeIterator)(nil)
 	_ Iterator = (*parallelMergeIterator)(nil)
+
+	_ chainScanner = (*Scanner)(nil)
+	_ chainScanner = (*snapScanner)(nil)
 )

@@ -19,6 +19,19 @@ import (
 // never both claim a key (a duplicate would mean the untrusted host
 // replayed a record into a second shard's stream).
 
+// chainScanner is the per-shard stream a merge stitches: the latch-holding
+// Scanner (ephemeral tables) or the snapshot-resolving snapScanner
+// (versioned tables, eager latch release).
+type chainScanner interface {
+	nextKeyed() (record.Tuple, record.Key, bool, error)
+	Close()
+	Err() error
+	Visited() int
+}
+
+// scanOpener opens one shard's stream for a merge.
+type scanOpener func(sh *shard) (chainScanner, error)
+
 // mergeHead is one shard stream's current front row.
 type mergeHead struct {
 	tup   record.Tuple
@@ -35,13 +48,19 @@ func stitchCheck(hasLast bool, last, next record.Key, chain int) error {
 	return nil
 }
 
-// mergeIterator stitches one Scanner per shard sequentially. Shard latches
-// are acquired shared in shard order at open; writers hold at most one
-// shard latch at a time (see shard.update), so the ordered acquisition
-// cannot deadlock against them.
+// mergeIterator stitches one chainScanner per shard sequentially.
+//
+// Latch lifetime: on versioned tables the per-shard streams are
+// snapScanners, which resolve each chain step against a pinned snapshot
+// under a momentary shared latch and hold nothing between steps — a writer
+// is never blocked behind an open unfinished merge (regression test
+// TestWriterNotBlockedByOpenScan). Only ephemeral tables still use the
+// latch-holding Scanner; those latches are acquired shared in shard order
+// at open, and writers hold at most one shard latch at a time (see
+// shard.update), so the ordered acquisition cannot deadlock against them.
 type mergeIterator struct {
 	chain   int
-	scs     []*Scanner
+	scs     []chainScanner
 	heads   []mergeHead
 	last    record.Key
 	hasLast bool
@@ -49,10 +68,10 @@ type mergeIterator struct {
 	closed  bool
 }
 
-func newMergeIterator(t *Table, chain int, bounds ScanBounds) (*mergeIterator, error) {
-	m := &mergeIterator{chain: chain, scs: make([]*Scanner, 0, len(t.shards)), heads: make([]mergeHead, len(t.shards))}
+func newMergeIterator(t *Table, chain int, open scanOpener) (*mergeIterator, error) {
+	m := &mergeIterator{chain: chain, scs: make([]chainScanner, 0, len(t.shards)), heads: make([]mergeHead, len(t.shards))}
 	for i, sh := range t.shards {
-		sc, err := sh.newScan(chain, bounds)
+		sc, err := open(sh)
 		if err != nil {
 			sc.Close()
 			m.fail(err)
@@ -180,7 +199,7 @@ type parallelMergeIterator struct {
 // across consumer stalls without buffering whole shards.
 const producerBuf = 64
 
-func newParallelMergeIterator(t *Table, chain int, bounds ScanBounds) (*parallelMergeIterator, error) {
+func newParallelMergeIterator(t *Table, chain int, open scanOpener) (*parallelMergeIterator, error) {
 	m := &parallelMergeIterator{
 		chain: chain,
 		chans: make([]chan shardRow, len(t.shards)),
@@ -191,7 +210,7 @@ func newParallelMergeIterator(t *Table, chain int, bounds ScanBounds) (*parallel
 		ch := make(chan shardRow, producerBuf)
 		m.chans[i] = ch
 		m.wg.Add(1)
-		go m.produce(t.shards[i], ch, bounds)
+		go m.produce(t.shards[i], ch, open)
 	}
 	// Prime the heads so open-time verification failures (condition 1,
 	// broken anchors) surface from the constructor like the sequential path.
@@ -204,12 +223,13 @@ func newParallelMergeIterator(t *Table, chain int, bounds ScanBounds) (*parallel
 	return m, nil
 }
 
-func (m *parallelMergeIterator) produce(sh *shard, ch chan<- shardRow, bounds ScanBounds) {
+func (m *parallelMergeIterator) produce(sh *shard, ch chan<- shardRow, open scanOpener) {
 	defer m.wg.Done()
 	defer close(ch)
 	done := m.ctx.Done()
-	sc, err := sh.newScan(m.chain, bounds)
+	sc, err := open(sh)
 	if err != nil {
+		sc.Close()
 		select {
 		case ch <- shardRow{err: err}:
 		case <-done:

@@ -1,0 +1,712 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"veridb/internal/index"
+	"veridb/internal/record"
+)
+
+// Multi-version concurrency control. Every shard mutation retires the
+// record's pre-image into a per-shard version list kept in *trusted enclave
+// heap* — never in the write-read consistent memory — so versioning leaves
+// the resident RSWS digest bit-identical to the single-version layout
+// (pinned by the golden-checksum tests). The live record in vmem is always
+// the latest committed version; a retired version{begin, end, rec} says
+// "between commit seq begin (inclusive) and end (exclusive), the record
+// looked like rec". Readers pin a Snapshot at the commit watermark and
+// resolve every chain step as of that sequence, which lets scanners drop
+// the shard latch between steps instead of holding it for the scan's life.
+//
+// Trust argument: retired versions are captured from records that were just
+// fetched through the protected vmem interfaces (and therefore verified),
+// and the version lists live inside the enclave's trusted memory, so
+// re-reading them needs no re-verification. The current version keeps the
+// full §5.2 fetch-and-check discipline on every access.
+
+// ErrSnapshotTooOld means a pinned snapshot needs versions that the
+// MaxVersionsPerRow cap has already discarded; the reader must re-open a
+// fresh snapshot.
+var ErrSnapshotTooOld = errors.New("storage: snapshot too old: required row versions were pruned")
+
+// commitClock issues commit sequence numbers and tracks which prefix of
+// them has fully applied (the watermark) plus the snapshot pins that hold
+// old versions alive.
+type commitClock struct {
+	mu      sync.Mutex
+	next    uint64
+	pending map[uint64]struct{}
+	pins    map[uint64]int
+	// doneEff holds the final effective timestamp of completed commits the
+	// watermark has not yet covered. A commit's versions may land above its
+	// issued seq when its writes conflict with an in-flight later commit
+	// (see mvOp), so the watermark must not rest inside any commit's
+	// [seq, eff) window or a snapshot pinned there would see the commit
+	// half-applied.
+	doneEff map[uint64]uint64
+	// mark is the watermark: the largest W with every seq ≤ W completed
+	// AND wholly visible (effective timestamp ≤ W).
+	// floorV is min(mark, oldest pin): versions whose range ends at or
+	// below it can never be read again and are reclaimable.
+	mark   atomic.Uint64
+	floorV atomic.Uint64
+}
+
+func newCommitClock() *commitClock {
+	return &commitClock{
+		pending: make(map[uint64]struct{}),
+		pins:    make(map[uint64]int),
+		doneEff: make(map[uint64]uint64),
+	}
+}
+
+// begin issues the next commit sequence; the caller must end it (success
+// or failure) or the watermark stalls forever.
+func (c *commitClock) begin() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.next++
+	c.pending[c.next] = struct{}{}
+	return c.next
+}
+
+// end marks seq complete with final effective timestamp eff and advances
+// the watermark to the largest W where every seq ≤ W is both completed and
+// wholly visible (eff ≤ W). Every eff is bounded by the largest issued
+// seq, so once all in-flight commits complete the watermark reaches next.
+func (c *commitClock) end(seq, eff uint64) {
+	c.mu.Lock()
+	delete(c.pending, seq)
+	c.doneEff[seq] = eff
+	m := c.mark.Load()
+	best := m
+	runMax := m
+	for u := m + 1; u <= c.next; u++ {
+		if _, inFlight := c.pending[u]; inFlight {
+			break
+		}
+		if e := c.doneEff[u]; e > runMax {
+			runMax = e
+		}
+		if runMax <= u {
+			best = u
+		}
+	}
+	for u := range c.doneEff {
+		if u <= best {
+			delete(c.doneEff, u)
+		}
+	}
+	c.mark.Store(best)
+	c.recomputeFloorLocked()
+	c.mu.Unlock()
+}
+
+// pin pins the current watermark as a snapshot read point.
+func (c *commitClock) pin() uint64 {
+	c.mu.Lock()
+	s := c.mark.Load()
+	c.pins[s]++
+	c.recomputeFloorLocked()
+	c.mu.Unlock()
+	return s
+}
+
+func (c *commitClock) unpin(seq uint64) {
+	c.mu.Lock()
+	if n := c.pins[seq]; n > 1 {
+		c.pins[seq] = n - 1
+	} else {
+		delete(c.pins, seq)
+	}
+	c.recomputeFloorLocked()
+	c.mu.Unlock()
+}
+
+func (c *commitClock) recomputeFloorLocked() {
+	f := c.mark.Load()
+	for s := range c.pins {
+		if s < f {
+			f = s
+		}
+	}
+	c.floorV.Store(f)
+}
+
+// watermark returns the largest seq with every seq ≤ it completed.
+func (c *commitClock) watermark() uint64 { return c.mark.Load() }
+
+// floor returns the reclamation floor: no live or future snapshot can read
+// below it.
+func (c *commitClock) floor() uint64 { return c.floorV.Load() }
+
+// Commit is one issued commit timestamp. Done (idempotent) completes it;
+// an uncompleted Commit stalls the watermark, so callers must defer Done.
+type Commit struct {
+	s    *Store
+	seq  uint64
+	done atomic.Bool
+	// eff is the commit's final effective timestamp: the max of seq and
+	// every effective timestamp its shard operations actually landed at
+	// (conflicts with in-flight later commits can raise an operation above
+	// its issued seq; see mvOp). Done reports it to the clock so the
+	// watermark never rests inside this commit's [seq, eff) window.
+	eff atomic.Uint64
+}
+
+// Seq returns the commit sequence number.
+func (c *Commit) Seq() uint64 { return c.seq }
+
+// noteEff raises the commit's effective timestamp to e (CAS-max). Called
+// by mvOp.finish for every shard operation run under this commit.
+func (c *Commit) noteEff(e uint64) {
+	for {
+		cur := c.eff.Load()
+		if e <= cur || c.eff.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}
+
+// Done marks the commit complete (success or failure — the seq is spent
+// either way) and lets the watermark advance past it. All writes under
+// this commit must have returned before Done is called.
+func (c *Commit) Done() {
+	if c.done.CompareAndSwap(false, true) {
+		c.s.clock.end(c.seq, c.eff.Load())
+	}
+}
+
+// BeginCommit issues a commit timestamp for a batch of DML that should
+// become visible atomically to snapshot readers: versions installed with
+// this seq stay above every snapshot pinned before Done.
+func (s *Store) BeginCommit() *Commit {
+	c := &Commit{s: s, seq: s.clock.begin()}
+	c.eff.Store(c.seq)
+	return c
+}
+
+// Snapshot is a pinned, consistent read point: the commit watermark at
+// open plus the catalog version. Scans and point reads resolved against it
+// see exactly the rows committed at or below Seq, regardless of concurrent
+// writers. Close releases the pin (idempotent); an unclosed Snapshot keeps
+// old versions alive forever.
+type Snapshot struct {
+	s   *Store
+	seq uint64
+	cat uint64
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// OpenSnapshot pins the current commit watermark.
+func (s *Store) OpenSnapshot() *Snapshot {
+	return &Snapshot{s: s, seq: s.clock.pin(), cat: s.version.Load()}
+}
+
+// Seq returns the snapshot's pinned commit sequence.
+func (sn *Snapshot) Seq() uint64 { return sn.seq }
+
+// CatalogVersion returns the catalog version at pin time.
+func (sn *Snapshot) CatalogVersion() uint64 { return sn.cat }
+
+// Close releases the pin. Idempotent.
+func (sn *Snapshot) Close() {
+	sn.mu.Lock()
+	closed := sn.closed
+	sn.closed = true
+	sn.mu.Unlock()
+	if !closed {
+		sn.s.clock.unpin(sn.seq)
+	}
+}
+
+// Watermark returns the commit watermark: what a Snapshot opened now would
+// pin.
+func (s *Store) Watermark() uint64 { return s.clock.watermark() }
+
+// version is one retired record image: the record looked like rec for
+// commit seqs in [begin, end).
+type version struct {
+	begin, end uint64
+	rec        *record.Record
+}
+
+// shardVersions is a shard's MVCC side-state, all of it in trusted enclave
+// heap (maps and B-trees of encoded keys — no vmem pages, so the resident
+// digest never sees it). Guarded by the shard latch. nil on ephemeral
+// tables, which keep the classic latch-holding scan.
+type shardVersions struct {
+	// cur[i] maps a chain-i encoded key to the live record's begin seq;
+	// absent means "visible since forever" (seq 0) — the common case for
+	// cold rows, kept small by GC pruning entries at or below the floor.
+	cur []map[string]uint64
+	// hist[i] maps a chain-i encoded key to its retired versions, oldest
+	// first with contiguous [begin, end) ranges.
+	hist []map[string][]version
+	// histKeys[i] indexes the keys of hist[i] so as-of seeks can find keys
+	// that no longer exist in the live chain (Loc values are unused).
+	histKeys []*index.BTree
+	// verFloor rises when the MaxVersionsPerRow cap discards a version a
+	// snapshot below it might still need; such snapshots get
+	// ErrSnapshotTooOld instead of a silently wrong answer.
+	verFloor uint64
+	retained int
+}
+
+func newShardVersions(chains int) *shardVersions {
+	mv := &shardVersions{
+		cur:      make([]map[string]uint64, chains),
+		hist:     make([]map[string][]version, chains),
+		histKeys: make([]*index.BTree, chains),
+	}
+	for i := 0; i < chains; i++ {
+		mv.cur[i] = make(map[string]uint64)
+		mv.hist[i] = make(map[string][]version)
+		mv.histKeys[i] = index.New()
+	}
+	return mv
+}
+
+// mvOp accumulates one shard operation's version effects — pre-images to
+// retire, live entries to install or remove — and commits them in finish
+// with a single effective timestamp covering every record the operation
+// touched. One timestamp per operation is what keeps chains consistent
+// under seq/latch-order inversion: commit seqs are issued before writes
+// apply, so a later-seq commit can physically precede an earlier-seq one.
+// Clamping each touched key independently can then tear one mutation apart
+// (a delete's victim retired at its own seq, its predecessor's relink
+// clamped past an in-flight commit — a snapshot between the two sees a
+// chain link pointing at a key with no visible version). With a single
+// eff = max(seq, every touched key's version frontier), an operation is
+// visible to a snapshot either whole or not at all, and the visible state
+// at any seq S is exactly the shard's physical state after the latch-order
+// prefix of operations with eff ≤ S: any operation depending on a skipped
+// one's output must share a touched record with it, which forces its eff
+// above S too.
+//
+// A commit spanning several shard operations can still land its
+// operations at different effective timestamps when only some of them
+// conflict with an in-flight later commit. finish therefore reports each
+// operation's eff back to the Commit, and the clock's watermark only
+// rests at points where every included commit is wholly visible — so a
+// snapshot can never pin inside any commit's [seq, eff) window.
+//
+// A nil *mvOp (ephemeral tables, nil commit) is valid; all methods are
+// no-ops.
+type mvOp struct {
+	sh  *shard
+	c   *Commit
+	seq uint64
+	// pre[i][enc] is the first-captured pre-image per chain-i key: the
+	// image visible before the operation. Intra-op churn (insert's undo
+	// path) retires the same key again; those later images were never
+	// visible and are discarded.
+	pre []map[string]*record.Record
+	// act[i][enc] is a touched live entry's final disposition: +1 the key
+	// is live after the op (install), -1 it left the chains (unlink).
+	act []map[string]int8
+}
+
+// mvBegin opens the version transaction for one shard operation under
+// commit c. Returns nil (a valid no-op receiver) on ephemeral tables
+// (nil commit).
+func (sh *shard) mvBegin(c *Commit) *mvOp {
+	if sh.mv == nil || c == nil {
+		return nil
+	}
+	n := len(sh.mv.cur)
+	op := &mvOp{
+		sh:  sh,
+		c:   c,
+		seq: c.Seq(),
+		pre: make([]map[string]*record.Record, n),
+		act: make([]map[string]int8, n),
+	}
+	for i := 0; i < n; i++ {
+		op.pre[i] = make(map[string]*record.Record)
+		op.act[i] = make(map[string]int8)
+	}
+	return op
+}
+
+// retire captures rec's pre-image under every chain key it carries. Call
+// before mutating or unlinking the record. The record stays live unless a
+// later unlink says otherwise.
+func (op *mvOp) retire(rec *record.Record) {
+	if op == nil {
+		return
+	}
+	var cl *record.Record
+	for i, l := range rec.Links {
+		if l.Key.IsNull() {
+			continue
+		}
+		enc := string(l.Key.Encode())
+		if _, seen := op.pre[i][enc]; seen {
+			continue
+		}
+		if cl == nil {
+			cl = rec.Clone()
+		}
+		op.pre[i][enc] = cl
+		if _, ok := op.act[i][enc]; !ok {
+			op.act[i][enc] = 1
+		}
+	}
+}
+
+// install records rec as live after the operation, under every chain key
+// it carries. Call after the physical mutation lands.
+func (op *mvOp) install(rec *record.Record) {
+	if op == nil {
+		return
+	}
+	for i, l := range rec.Links {
+		if l.Key.IsNull() {
+			continue
+		}
+		op.act[i][string(l.Key.Encode())] = 1
+	}
+}
+
+// unlink retires rec's pre-image and marks its live entries for removal
+// (the record is leaving the chains). Call before the physical delete.
+func (op *mvOp) unlink(rec *record.Record) {
+	if op == nil {
+		return
+	}
+	op.retire(rec)
+	for i, l := range rec.Links {
+		if l.Key.IsNull() {
+			continue
+		}
+		op.act[i][string(l.Key.Encode())] = -1
+	}
+}
+
+// finish commits the accumulated version effects at the operation's single
+// effective timestamp and must run before the shard latch is released.
+// Empty ranges (eff equal to a key's current begin — intra-commit churn)
+// append nothing.
+func (op *mvOp) finish() {
+	if op == nil {
+		return
+	}
+	mv := op.sh.mv
+	// The effective timestamp: the commit seq, raised to every touched
+	// key's version frontier (live begin and retired tail) so ranges tile
+	// per key and the whole operation shares one visibility boundary.
+	eff := op.seq
+	for i := range op.act {
+		for enc := range op.act[i] {
+			if b, ok := mv.cur[i][enc]; ok && b > eff {
+				eff = b
+			}
+			if vs := mv.hist[i][enc]; len(vs) > 0 {
+				if e := vs[len(vs)-1].end; e > eff {
+					eff = e
+				}
+			}
+		}
+	}
+	op.c.noteEff(eff)
+	floor := op.sh.t.store.clock.floor()
+	maxVer := int(op.sh.t.store.maxVersions.Load())
+	for i := range op.pre {
+		for enc, img := range op.pre[i] {
+			b := mv.cur[i][enc]
+			if eff <= b {
+				continue // never visible: nothing to retire
+			}
+			vs := mv.hist[i][enc]
+			hadHist := len(vs) > 0
+			for len(vs) > 0 && vs[0].end <= floor {
+				vs = vs[1:]
+				mv.retained--
+			}
+			vs = append(vs, version{begin: b, end: eff, rec: img})
+			mv.retained++
+			if maxVer > 0 && len(vs) > maxVer {
+				if f := vs[0].end; f > mv.verFloor {
+					mv.verFloor = f
+				}
+				vs = vs[1:]
+				mv.retained--
+			}
+			mv.hist[i][enc] = vs
+			if !hadHist {
+				mv.histKeys[i].Set([]byte(enc), index.Loc{})
+			}
+		}
+	}
+	for i := range op.act {
+		for enc, a := range op.act[i] {
+			if a < 0 {
+				delete(mv.cur[i], enc)
+			} else {
+				mv.cur[i][enc] = eff
+			}
+		}
+	}
+}
+
+// versionAtLocked resolves chain-i key k as of commit seq. Returns the
+// record image visible at seq (shared — callers must not mutate it and
+// must Clone emitted tuples), or visible=false when the key is absent at
+// seq. The caller holds the shard latch (read or write).
+func (sh *shard) versionAtLocked(chain int, k record.Key, enc []byte, seq uint64) (*record.Record, bool, error) {
+	mv := sh.mv
+	if mv != nil {
+		if vs := mv.hist[chain][string(enc)]; len(vs) > 0 {
+			for i := len(vs) - 1; i >= 0; i-- {
+				v := vs[i]
+				if v.begin <= seq {
+					if seq < v.end {
+						return v.rec, true, nil
+					}
+					break // ranges tile downward: older versions end even lower
+				}
+			}
+		}
+	}
+	if loc, ok := sh.chains[chain].Get(enc); ok {
+		visible := true
+		if mv != nil {
+			if b := mv.cur[chain][string(enc)]; b > seq {
+				visible = false
+			}
+		}
+		if visible {
+			rec, err := sh.fetch(loc)
+			if err != nil {
+				return nil, false, err
+			}
+			if len(rec.Links) <= chain || rec.Links[chain].Key.IsNull() || !rec.Links[chain].Key.Equal(k) {
+				return nil, false, fmt.Errorf("%w: chain %d index pointed %v at record keyed %v",
+					ErrVerifyFailed, chain, k, rec.Links[chain].Key)
+			}
+			return rec, true, nil
+		}
+	}
+	if mv != nil && seq < mv.verFloor {
+		return nil, false, fmt.Errorf("%w: read at seq %d below shard floor %d", ErrSnapshotTooOld, seq, mv.verFloor)
+	}
+	return nil, false, nil
+}
+
+// entryAtLocked finds the as-of-seq chain entry point: the record with the
+// greatest chain-i key ≤ start that is visible at seq. It walks down over
+// the union of the live index and the history-key index, skipping keys not
+// yet visible at seq; the ⊥ sentinel terminates the walk (its version
+// ranges tile all the way back to genesis). The caller holds the shard
+// latch.
+func (sh *shard) entryAtLocked(chain int, start record.Key, seq uint64) (*record.Record, error) {
+	cursor := start.Encode()
+	first := true
+	for {
+		var liveKey, histKey []byte
+		var liveOK, histOK bool
+		if first {
+			liveKey, _, liveOK = sh.chains[chain].SeekLE(cursor)
+			if sh.mv != nil {
+				histKey, _, histOK = sh.mv.histKeys[chain].SeekLE(cursor)
+			}
+		} else {
+			liveKey, _, liveOK = sh.chains[chain].SeekLT(cursor)
+			if sh.mv != nil {
+				histKey, _, histOK = sh.mv.histKeys[chain].SeekLT(cursor)
+			}
+		}
+		first = false
+		cand := liveKey
+		if !liveOK || (histOK && string(histKey) > string(cand)) {
+			cand = histKey
+		}
+		if !liveOK && !histOK {
+			return nil, fmt.Errorf("%w: chain %d has no record ≤ %v (missing ⊥ anchor)", ErrVerifyFailed, chain, start)
+		}
+		k, err := record.DecodeKey(cand)
+		if err != nil {
+			return nil, fmt.Errorf("%w: undecodable chain %d key: %v", ErrVerifyFailed, chain, err)
+		}
+		rec, visible, err := sh.versionAtLocked(chain, k, cand, seq)
+		if err != nil {
+			return nil, err
+		}
+		if visible {
+			return rec, nil
+		}
+		cursor = cand
+	}
+}
+
+// searchChainAtLocked is the §5.2 verified index search as of a snapshot
+// seq: the entry record's ⟨key, nKey⟩ interval (at seq) proves presence or
+// absence exactly as in the latest-version search.
+func (sh *shard) searchChainAt(chain int, k record.Key, seq uint64) (record.Tuple, Evidence, error) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if sh.mv != nil && seq < sh.mv.verFloor {
+		return nil, Evidence{}, fmt.Errorf("%w: snapshot %d below shard floor %d", ErrSnapshotTooOld, seq, sh.mv.verFloor)
+	}
+	rec, err := sh.entryAtLocked(chain, k, seq)
+	if err != nil {
+		return nil, Evidence{}, err
+	}
+	if len(rec.Links) <= chain || rec.Links[chain].Key.IsNull() {
+		return nil, Evidence{}, fmt.Errorf("%w: evidence record does not participate in chain %d", ErrVerifyFailed, chain)
+	}
+	l := rec.Links[chain]
+	ev := Evidence{Table: sh.t.name, Chain: chain, Key: l.Key, NKey: l.NKey}
+	switch {
+	case l.Key.Equal(k):
+		ev.Found = true
+		return rec.Data.Clone(), ev, nil
+	case l.Key.Compare(k) < 0 && k.Compare(l.NKey) < 0:
+		return nil, ev, nil
+	default:
+		return nil, Evidence{}, fmt.Errorf("%w: record ⟨%v,%v⟩ does not witness probe %v on chain %d at seq %d",
+			ErrVerifyFailed, l.Key, l.NKey, k, chain, seq)
+	}
+}
+
+// SetMaxVersions caps retained versions per row key (0: unlimited). When
+// the cap discards a version an open snapshot might still need, reads from
+// that snapshot fail with ErrSnapshotTooOld instead of lying.
+func (s *Store) SetMaxVersions(n int) {
+	if n < 0 {
+		n = 0
+	}
+	s.maxVersions.Store(int64(n))
+}
+
+// VersionGCStats summarises one garbage-collection pass.
+type VersionGCStats struct {
+	// Reclaimed counts versions dropped by this pass.
+	Reclaimed int
+	// Retained counts versions still held after the pass.
+	Retained int
+	// Floor is the reclamation floor the pass ran at.
+	Floor uint64
+}
+
+// VersionGCPass reclaims, across every table, retired versions whose range
+// ends at or below the watermark-and-pins floor — no live or future
+// snapshot can read them — and prunes live-version begin-seq entries the
+// floor has passed. It touches only trusted heap state: the resident RSWS
+// checksum is unchanged by construction.
+func (s *Store) VersionGCPass() VersionGCStats {
+	floor := s.clock.floor()
+	st := VersionGCStats{Floor: floor}
+	s.mu.RLock()
+	tables := make([]*Table, 0, len(s.tables))
+	for _, t := range s.tables {
+		tables = append(tables, t)
+	}
+	s.mu.RUnlock()
+	for _, t := range tables {
+		for _, sh := range t.shards {
+			sh.mu.Lock()
+			mv := sh.mv
+			if mv == nil {
+				sh.mu.Unlock()
+				continue
+			}
+			for i := range mv.hist {
+				for enc, vs := range mv.hist[i] {
+					n := 0
+					for n < len(vs) && vs[n].end <= floor {
+						n++
+					}
+					if n == 0 {
+						continue
+					}
+					st.Reclaimed += n
+					mv.retained -= n
+					if n == len(vs) {
+						delete(mv.hist[i], enc)
+						mv.histKeys[i].Delete([]byte(enc))
+					} else {
+						mv.hist[i][enc] = vs[n:]
+					}
+				}
+				for enc, b := range mv.cur[i] {
+					// A begin at or below the floor is indistinguishable from
+					// the implicit 0 for every snapshot that can still open.
+					if b <= floor {
+						delete(mv.cur[i], enc)
+					}
+				}
+			}
+			st.Retained += mv.retained
+			sh.mu.Unlock()
+		}
+	}
+	return st
+}
+
+// VersionStats returns the retained-version count across all tables and
+// the current reclamation floor.
+func (s *Store) VersionStats() (retained int, floor uint64) {
+	floor = s.clock.floor()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, t := range s.tables {
+		for _, sh := range t.shards {
+			sh.mu.RLock()
+			if sh.mv != nil {
+				retained += sh.mv.retained
+			}
+			sh.mu.RUnlock()
+		}
+	}
+	return retained, floor
+}
+
+// StartVersionGC launches a background goroutine running VersionGCPass
+// every interval. Returns an error if a collector is already running.
+func (s *Store) StartVersionGC(interval time.Duration) error {
+	if interval <= 0 {
+		return fmt.Errorf("storage: version GC interval %v must be positive", interval)
+	}
+	s.gcMu.Lock()
+	defer s.gcMu.Unlock()
+	if s.gcStop != nil {
+		return fmt.Errorf("storage: version GC already running")
+	}
+	stop := make(chan struct{})
+	s.gcStop = stop
+	s.gcWG.Add(1)
+	go func() {
+		defer s.gcWG.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				s.VersionGCPass()
+			}
+		}
+	}()
+	return nil
+}
+
+// StopVersionGC stops the background collector (no-op if not running).
+func (s *Store) StopVersionGC() {
+	s.gcMu.Lock()
+	stop := s.gcStop
+	s.gcStop = nil
+	s.gcMu.Unlock()
+	if stop != nil {
+		close(stop)
+		s.gcWG.Wait()
+	}
+}

@@ -37,6 +37,12 @@ type shard struct {
 	fill     uint64          // current insertion target page
 	spacious map[uint64]bool // pages with known reclaimable or free space
 	rows     int
+
+	// mv holds the shard's retired record versions and live-version begin
+	// seqs for MVCC snapshot reads (nil on ephemeral tables). It lives in
+	// trusted enclave heap, outside the write-read consistent memory, so
+	// versioning never perturbs the resident RSWS digest. Guarded by mu.
+	mv *shardVersions
 }
 
 func newShard(t *Table, id, affinity int) (*shard, error) {
@@ -46,6 +52,9 @@ func newShard(t *Table, id, affinity int) (*shard, error) {
 		affinity: affinity,
 		chains:   make([]*index.BTree, len(t.chainCols)),
 		spacious: make(map[uint64]bool),
+	}
+	if !t.ephemeral {
+		sh.mv = newShardVersions(len(t.chainCols))
 	}
 	for i := range sh.chains {
 		sh.chains[i] = index.New()
@@ -180,8 +189,10 @@ func (sh *shard) rewrite(loc index.Loc, rec *record.Record) (index.Loc, error) {
 // setPredNKey updates the chain-i predecessor of key so that its nKey
 // becomes nk. The predecessor is located through the untrusted index and
 // its identity verified against the chain (pred.key < key ≤ pred's old
-// nKey would have held before the mutation this call is part of).
-func (sh *shard) setPredNKey(i int, key record.Key, nk record.Key) error {
+// nKey would have held before the mutation this call is part of). The
+// predecessor's pre-image is retired into op so snapshot readers keep
+// seeing the old link.
+func (sh *shard) setPredNKey(op *mvOp, i int, key record.Key, nk record.Key) error {
 	_, loc, ok := sh.chains[i].SeekLT(key.Encode())
 	if !ok {
 		return fmt.Errorf("%w: chain %d has no predecessor for %v", ErrVerifyFailed, i, key)
@@ -196,18 +207,24 @@ func (sh *shard) setPredNKey(i int, key record.Key, nk record.Key) error {
 	if rec.Links[i].Key.Compare(key) >= 0 {
 		return fmt.Errorf("%w: chain %d predecessor %v not below %v", ErrVerifyFailed, i, rec.Links[i].Key, key)
 	}
+	op.retire(rec)
 	rec.Links[i].NKey = nk
-	_, err = sh.rewrite(loc, rec)
-	return err
+	if _, err = sh.rewrite(loc, rec); err != nil {
+		return err
+	}
+	op.install(rec)
+	return nil
 }
 
 // insert adds a tuple whose primary key routes to this shard, maintaining
 // every chain (§4.2 Insert: "identifies the record whose primary key right
 // precedes the current one, and updates its nKey").
-func (sh *shard) insert(tup record.Tuple, pk record.Key) error {
+func (sh *shard) insert(tup record.Tuple, pk record.Key, c *Commit) error {
 	t := sh.t
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	op := sh.mvBegin(c)
+	defer op.finish()
 
 	// One pass per chain: fetch the predecessor once, capture its current
 	// nKey (the new record's successor) and relink it to the new key —
@@ -221,9 +238,12 @@ func (sh *shard) insert(tup record.Tuple, pk record.Key) error {
 	relinked := 0
 	undo := func() {
 		// Restore predecessors updated so far (failure of a later step).
+		// The op records only first pre-images and final dispositions, so
+		// the relink-then-restore churn never reaches the version lists and
+		// snapshot readers stay consistent.
 		for i := 0; i < relinked; i++ {
 			if present[i] {
-				_ = sh.setPredNKey(i, keys[i], succs[i])
+				_ = sh.setPredNKey(op, i, keys[i], succs[i])
 			}
 		}
 	}
@@ -257,11 +277,13 @@ func (sh *shard) insert(tup record.Tuple, pk record.Key) error {
 			return fmt.Errorf("%w: chain %d anchor at %x does not participate", ErrVerifyFailed, i, pKey)
 		}
 		succs[i] = pRec.Links[i].NKey
+		op.retire(pRec)
 		pRec.Links[i].NKey = k
 		if _, err := sh.rewrite(pLoc, pRec); err != nil {
 			undo()
 			return err
 		}
+		op.install(pRec)
 		relinked++
 	}
 
@@ -273,7 +295,8 @@ func (sh *shard) insert(tup record.Tuple, pk record.Key) error {
 			links[i] = record.ChainLink{Key: record.NullKey(), NKey: record.NullKey()}
 		}
 	}
-	loc, err := sh.placeRecord(record.Encode(&record.Record{Links: links, Data: tup}))
+	newRec := &record.Record{Links: links, Data: tup}
+	loc, err := sh.placeRecord(record.Encode(newRec))
 	if err != nil {
 		undo()
 		return err
@@ -283,17 +306,20 @@ func (sh *shard) insert(tup record.Tuple, pk record.Key) error {
 			sh.chains[i].Set(keys[i].Encode(), loc)
 		}
 	}
+	op.install(newRec)
 	sh.rows++
 	return nil
 }
 
-func (sh *shard) delete(pk record.Key) error {
+func (sh *shard) delete(pk record.Key, c *Commit) error {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return sh.deleteLocked(pk)
+	op := sh.mvBegin(c)
+	defer op.finish()
+	return sh.deleteLocked(pk, op)
 }
 
-func (sh *shard) deleteLocked(pk record.Key) error {
+func (sh *shard) deleteLocked(pk record.Key, op *mvOp) error {
 	loc, ok := sh.chains[0].Get(pk.Encode())
 	if !ok {
 		return fmt.Errorf("%w: primary key %v in %q", ErrNotFound, pk, sh.t.name)
@@ -305,13 +331,17 @@ func (sh *shard) deleteLocked(pk record.Key) error {
 	if !rec.Links[0].Key.Equal(pk) {
 		return fmt.Errorf("%w: index pointed %v at record keyed %v", ErrVerifyFailed, pk, rec.Links[0].Key)
 	}
+	// Retire the record's pre-image and drop its live-version entries: the
+	// row stays readable below the op's effective seq through the version
+	// history even after the physical record is gone.
+	op.unlink(rec)
 	// Unlink from every chain the record participates in.
 	for i := range sh.chains {
 		l := rec.Links[i]
 		if l.Key.IsNull() {
 			continue
 		}
-		if err := sh.setPredNKey(i, l.Key, l.NKey); err != nil {
+		if err := sh.setPredNKey(op, i, l.Key, l.NKey); err != nil {
 			return err
 		}
 	}
@@ -335,7 +365,7 @@ func (sh *shard) deleteLocked(pk record.Key) error {
 
 // updateFunc is the read-modify-write primitive, run entirely under this
 // shard's write latch. Chain-key columns must not change.
-func (sh *shard) updateFunc(pkVal record.Value, pk record.Key, mutate func(record.Tuple) (record.Tuple, error)) error {
+func (sh *shard) updateFunc(pkVal record.Value, pk record.Key, mutate func(record.Tuple) (record.Tuple, error), c *Commit) error {
 	t := sh.t
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -375,9 +405,15 @@ func (sh *shard) updateFunc(pkVal record.Value, pk record.Key, mutate func(recor
 				t.name, t.schema.Columns[t.chainCols[i]].Name)
 		}
 	}
+	op := sh.mvBegin(c)
+	defer op.finish()
+	op.retire(rec)
 	rec.Data = newTup
-	_, err = sh.rewrite(loc, rec)
-	return err
+	if _, err = sh.rewrite(loc, rec); err != nil {
+		return err
+	}
+	op.install(rec)
+	return nil
 }
 
 // update replaces the row keyed pk by newTup when no chain key changes
@@ -388,7 +424,7 @@ func (sh *shard) updateFunc(pkVal record.Value, pk record.Key, mutate func(recor
 // between the delete and the re-insert (exactly the pre-sharding
 // behaviour), so a writer never holds two shard latches at once — the
 // lock-order argument that keeps multi-shard scans deadlock-free.
-func (sh *shard) update(pkVal record.Value, pk record.Key, newTup record.Tuple) (reinsert bool, err error) {
+func (sh *shard) update(pkVal record.Value, pk record.Key, newTup record.Tuple, c *Commit) (reinsert bool, err error) {
 	t := sh.t
 	sh.mu.Lock()
 	loc, ok := sh.chains[0].Get(pk.Encode())
@@ -424,18 +460,26 @@ func (sh *shard) update(pkVal record.Value, pk record.Key, newTup record.Tuple) 
 		}
 	}
 	if sameKeys {
+		op := sh.mvBegin(c)
+		op.retire(rec)
 		rec.Data = newTup
 		_, err = sh.rewrite(loc, rec)
+		if err == nil {
+			op.install(rec)
+		}
+		op.finish()
 		sh.mu.Unlock()
 		return false, err
 	}
 	// Chain keys changed: delete + insert (possibly on a different page —
 	// or, if the primary key changed, a different shard).
-	if err := sh.deleteLocked(pk); err != nil {
-		sh.mu.Unlock()
+	op := sh.mvBegin(c)
+	err = sh.deleteLocked(pk, op)
+	op.finish()
+	sh.mu.Unlock()
+	if err != nil {
 		return false, err
 	}
-	sh.mu.Unlock()
 	return true, nil
 }
 

@@ -255,8 +255,8 @@ func TestShardedParallelSeqScan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := sc.(*parallelMergeIterator); !ok {
-		t.Fatalf("SeqScan returned %T, want parallel merge", sc)
+	if _, ok := unwrapIter(sc).(*parallelMergeIterator); !ok {
+		t.Fatalf("SeqScan returned %T, want parallel merge", unwrapIter(sc))
 	}
 	rows := drain(t, sc)
 	if len(rows) != 500 {

@@ -41,6 +41,12 @@ type TableSpec struct {
 	// Shards is the hash-shard count; 0 falls back to the store default and
 	// 1 (the overall default) reproduces the unsharded layout bit-for-bit.
 	Shards int
+	// Ephemeral marks statement-scoped working tables (e.g. spool spill
+	// targets). They skip MVCC versioning entirely: no commit-clock
+	// traffic, no version capture, and scans use the classic latch-holding
+	// Scanner — correct because an ephemeral table is only ever touched by
+	// the statement that created it.
+	Ephemeral bool
 }
 
 // Store owns the verifiable storage for a set of tables over one
@@ -54,6 +60,16 @@ type Store struct {
 	// version counts catalog and layout changes (table create/drop,
 	// default-shard change); plan caches key their validity on it.
 	version atomic.Uint64
+
+	// clock issues commit timestamps and tracks the watermark/floor for
+	// snapshot reads (see mvcc.go).
+	clock *commitClock
+	// maxVersions caps retained versions per row key (0: unlimited).
+	maxVersions atomic.Int64
+
+	gcMu   sync.Mutex
+	gcStop chan struct{}
+	gcWG   sync.WaitGroup
 }
 
 // CatalogVersion returns a counter that advances on every catalog or
@@ -63,7 +79,7 @@ func (s *Store) CatalogVersion() uint64 { return s.version.Load() }
 
 // NewStore builds a store over mem.
 func NewStore(mem *vmem.Memory) *Store {
-	return &Store{mem: mem, tables: make(map[string]*Table), defaultShards: 1}
+	return &Store{mem: mem, tables: make(map[string]*Table), defaultShards: 1, clock: newCommitClock()}
 }
 
 // SetDefaultShards sets the shard count used when a TableSpec leaves Shards
@@ -116,9 +132,16 @@ func (s *Store) CreateTable(spec TableSpec) (*Table, error) {
 	if shards < 1 {
 		return nil, fmt.Errorf("storage: table %q shard count %d must be ≥ 1", spec.Name, shards)
 	}
-	t, err := newTable(s, spec.Name, spec.Schema, chainCols, shards)
+	t, err := newTable(s, spec.Name, spec.Schema, chainCols, shards, spec.Ephemeral)
 	if err != nil {
 		return nil, err
+	}
+	if !spec.Ephemeral {
+		// Stamp the creation as a commit so snapshots pinned before it will
+		// refuse to scan the table (their catalog predates it).
+		c := s.BeginCommit()
+		t.born = c.Seq()
+		c.Done()
 	}
 	s.tables[spec.Name] = t
 	s.version.Add(1)

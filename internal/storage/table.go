@@ -35,9 +35,16 @@ type Table struct {
 	chainCols []int
 
 	shards []*shard
+
+	// ephemeral tables (spool spill targets) skip MVCC entirely: no commit
+	// clock traffic, no version capture, latch-holding scans.
+	ephemeral bool
+	// born is the commit seq the table was created at; snapshots pinned
+	// below it must not scan the table (their catalog predates it).
+	born uint64
 }
 
-func newTable(s *Store, name string, schema *record.Schema, chainCols []int, nShards int) (*Table, error) {
+func newTable(s *Store, name string, schema *record.Schema, chainCols []int, nShards int, ephemeral bool) (*Table, error) {
 	if nShards < 1 {
 		nShards = 1
 	}
@@ -48,6 +55,7 @@ func newTable(s *Store, name string, schema *record.Schema, chainCols []int, nSh
 		schema:    schema,
 		chainCols: chainCols,
 		shards:    make([]*shard, nShards),
+		ephemeral: ephemeral,
 	}
 	for i := range t.shards {
 		affinity := -1
@@ -133,9 +141,32 @@ func (t *Table) chainKey(i int, tup record.Tuple, pk record.Key) (record.Key, bo
 	return k, true, nil
 }
 
+// autoCommit runs a single-statement mutation under its own commit
+// timestamp: snapshot readers see it atomically once it completes.
+// Ephemeral tables skip the clock entirely (nil commit, no version
+// capture).
+func (t *Table) autoCommit(f func(c *Commit) error) error {
+	if t.ephemeral {
+		return f(nil)
+	}
+	c := t.store.BeginCommit()
+	defer c.Done()
+	return f(c)
+}
+
 // Insert adds a tuple to the shard its primary key routes to, maintaining
-// every chain (§4.2 Insert).
+// every chain (§4.2 Insert). The write commits under its own timestamp.
 func (t *Table) Insert(tup record.Tuple) error {
+	return t.autoCommit(func(c *Commit) error { return t.insertCommit(tup, c) })
+}
+
+// InsertAt is Insert stamped with an explicit commit: all writes sharing
+// the commit become visible to snapshot readers atomically at c.Done.
+func (t *Table) InsertAt(tup record.Tuple, c *Commit) error {
+	return t.insertCommit(tup, c)
+}
+
+func (t *Table) insertCommit(tup record.Tuple, c *Commit) error {
 	if err := t.schema.Validate(tup); err != nil {
 		return err
 	}
@@ -144,18 +175,27 @@ func (t *Table) Insert(tup record.Tuple) error {
 	if err != nil {
 		return fmt.Errorf("storage: table %q: %w", t.name, err)
 	}
-	return t.shardFor(pk).insert(tup, pk)
+	return t.shardFor(pk).insert(tup, pk, c)
 }
 
 // Delete removes the row with the given primary-key value (§4.2 Delete:
 // unlink from every chain, then drop the record; space reclamation is
 // deferred to the verification scan).
 func (t *Table) Delete(pkVal record.Value) error {
+	return t.autoCommit(func(c *Commit) error { return t.deleteCommit(pkVal, c) })
+}
+
+// DeleteAt is Delete stamped with an explicit commit.
+func (t *Table) DeleteAt(pkVal record.Value, c *Commit) error {
+	return t.deleteCommit(pkVal, c)
+}
+
+func (t *Table) deleteCommit(pkVal record.Value, c *Commit) error {
 	pk, err := record.KeyOf(pkVal)
 	if err != nil {
 		return err
 	}
-	return t.shardFor(pk).delete(pk)
+	return t.shardFor(pk).delete(pk, c)
 }
 
 // UpdateFunc atomically reads the row with the given primary key, applies
@@ -165,11 +205,20 @@ func (t *Table) Delete(pkVal record.Value) error {
 // Update). Chain-key columns must not change; use Update for key-changing
 // writes.
 func (t *Table) UpdateFunc(pkVal record.Value, mutate func(record.Tuple) (record.Tuple, error)) error {
+	return t.autoCommit(func(c *Commit) error { return t.updateFuncCommit(pkVal, mutate, c) })
+}
+
+// UpdateFuncAt is UpdateFunc stamped with an explicit commit.
+func (t *Table) UpdateFuncAt(pkVal record.Value, mutate func(record.Tuple) (record.Tuple, error), c *Commit) error {
+	return t.updateFuncCommit(pkVal, mutate, c)
+}
+
+func (t *Table) updateFuncCommit(pkVal record.Value, mutate func(record.Tuple) (record.Tuple, error), c *Commit) error {
 	pk, err := record.KeyOf(pkVal)
 	if err != nil {
 		return err
 	}
-	return t.shardFor(pk).updateFunc(pkVal, pk, mutate)
+	return t.shardFor(pk).updateFunc(pkVal, pk, mutate, c)
 }
 
 // Update replaces the row with the given primary key by newTup. When no
@@ -178,6 +227,15 @@ func (t *Table) UpdateFunc(pkVal record.Value, mutate func(record.Tuple) (record
 // deleted and re-inserted — which re-routes it when the primary key now
 // hashes to a different shard.
 func (t *Table) Update(pkVal record.Value, newTup record.Tuple) error {
+	return t.autoCommit(func(c *Commit) error { return t.updateCommit(pkVal, newTup, c) })
+}
+
+// UpdateAt is Update stamped with an explicit commit.
+func (t *Table) UpdateAt(pkVal record.Value, newTup record.Tuple, c *Commit) error {
+	return t.updateCommit(pkVal, newTup, c)
+}
+
+func (t *Table) updateCommit(pkVal record.Value, newTup record.Tuple, c *Commit) error {
 	if err := t.schema.Validate(newTup); err != nil {
 		return err
 	}
@@ -186,14 +244,16 @@ func (t *Table) Update(pkVal record.Value, newTup record.Tuple) error {
 	if err != nil {
 		return err
 	}
-	reinsert, err := t.shardFor(pk).update(pkVal, pk, newTup)
+	reinsert, err := t.shardFor(pk).update(pkVal, pk, newTup, c)
 	if err != nil {
 		return err
 	}
 	if !reinsert {
 		return nil
 	}
-	if err := t.Insert(newTup); err != nil {
+	// Same commit: the delete and the re-insert are one version
+	// transition, invisible as separate steps to any snapshot.
+	if err := t.insertCommit(newTup, c); err != nil {
 		return fmt.Errorf("storage: update of %v lost its row on re-insert: %w", pkVal, err)
 	}
 	return nil
@@ -217,18 +277,77 @@ func (t *Table) SearchPK(v record.Value) (record.Tuple, Evidence, error) {
 	return t.Get(v)
 }
 
+// snapCheck validates that snap may read this table at all.
+func (t *Table) snapCheck(snap *Snapshot) error {
+	if t.ephemeral {
+		return fmt.Errorf("storage: ephemeral table %q cannot be read at a snapshot", t.name)
+	}
+	if snap.Seq() < t.born {
+		return fmt.Errorf("storage: table %q was created at seq %d, after snapshot %d", t.name, t.born, snap.Seq())
+	}
+	return nil
+}
+
+// GetAt is Get evaluated against a pinned snapshot: the ⟨key, nKey⟩
+// evidence record is the one visible at the snapshot seq, so presence and
+// absence are proved for the committed state the snapshot pinned.
+func (t *Table) GetAt(v record.Value, snap *Snapshot) (record.Tuple, Evidence, error) {
+	if err := t.snapCheck(snap); err != nil {
+		return nil, Evidence{}, err
+	}
+	pk, err := record.KeyOf(v)
+	if err != nil {
+		return nil, Evidence{}, err
+	}
+	return t.shardFor(pk).searchChainAt(0, pk, snap.Seq())
+}
+
 // NewScan opens a verified scan of the given chain over bounds. For
 // chain 0 the bounds are primary keys; for secondary chains callers pass
 // composite bounds (record.CompositeLow/High). On a sharded table the scan
 // stitches every shard's sub-chain in key order.
+//
+// On a versioned table the scan runs against an implicit snapshot pinned
+// at the current commit watermark and owned by the iterator (released at
+// Close), so shard latches are never held across the scan's life. Only
+// ephemeral tables use the latch-holding Scanner.
 func (t *Table) NewScan(chain int, bounds ScanBounds) (Iterator, error) {
 	if chain < 0 || chain >= len(t.chainCols) {
 		return nil, fmt.Errorf("storage: table %q has no chain %d", t.name, chain)
 	}
-	if len(t.shards) == 1 {
-		return t.shards[0].newScan(chain, bounds)
+	if t.ephemeral {
+		if len(t.shards) == 1 {
+			return t.shards[0].newScan(chain, bounds)
+		}
+		return newMergeIterator(t, chain, func(sh *shard) (chainScanner, error) {
+			return sh.newScan(chain, bounds)
+		})
 	}
-	return newMergeIterator(t, chain, bounds)
+	snap := t.store.OpenSnapshot()
+	it, err := t.NewScanAt(chain, bounds, snap)
+	if err != nil {
+		snap.Close()
+		return it, err
+	}
+	return &snapClosingIter{Iterator: it, snap: snap}, nil
+}
+
+// NewScanAt opens a verified scan of the given chain as of snap. The
+// caller keeps ownership of snap (one snapshot can serve many scans).
+func (t *Table) NewScanAt(chain int, bounds ScanBounds, snap *Snapshot) (Iterator, error) {
+	if chain < 0 || chain >= len(t.chainCols) {
+		return nil, fmt.Errorf("storage: table %q has no chain %d", t.name, chain)
+	}
+	if err := t.snapCheck(snap); err != nil {
+		return nil, err
+	}
+	seq := snap.Seq()
+	if len(t.shards) == 1 {
+		return t.shards[0].newSnapScan(chain, bounds, seq)
+	}
+	return newMergeIterator(t, chain, func(sh *shard) (chainScanner, error) {
+		return sh.newSnapScan(chain, bounds, seq)
+	})
 }
 
 // RangeScan opens a verified scan over the chain serving column col,
@@ -236,9 +355,27 @@ func (t *Table) NewScan(chain int, bounds ScanBounds) (Iterator, error) {
 // secondary chains the value bounds are translated to composite-key bounds
 // so duplicate column values are all covered.
 func (t *Table) RangeScan(col int, lo, hi *record.Value) (Iterator, error) {
+	chain, bounds, err := t.rangeBounds(col, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return t.NewScan(chain, bounds)
+}
+
+// RangeScanAt is RangeScan evaluated against a pinned snapshot.
+func (t *Table) RangeScanAt(col int, lo, hi *record.Value, snap *Snapshot) (Iterator, error) {
+	chain, bounds, err := t.rangeBounds(col, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return t.NewScanAt(chain, bounds, snap)
+}
+
+// rangeBounds translates column-value bounds into chain-key scan bounds.
+func (t *Table) rangeBounds(col int, lo, hi *record.Value) (int, ScanBounds, error) {
 	chain := t.ChainFor(col)
 	if chain < 0 {
-		return nil, fmt.Errorf("storage: table %q column %d has no access-method chain", t.name, col)
+		return 0, ScanBounds{}, fmt.Errorf("storage: table %q column %d has no access-method chain", t.name, col)
 	}
 	var bounds ScanBounds
 	if lo != nil {
@@ -250,7 +387,7 @@ func (t *Table) RangeScan(col int, lo, hi *record.Value) (Iterator, error) {
 			k, err = record.CompositeLow(*lo)
 		}
 		if err != nil {
-			return nil, err
+			return 0, ScanBounds{}, err
 		}
 		bounds.Start = &k
 	}
@@ -268,11 +405,11 @@ func (t *Table) RangeScan(col int, lo, hi *record.Value) (Iterator, error) {
 			k, err = record.CompositeHigh(*hi)
 		}
 		if err != nil {
-			return nil, err
+			return 0, ScanBounds{}, err
 		}
 		bounds.End = &k
 	}
-	return t.NewScan(chain, bounds)
+	return chain, bounds, nil
 }
 
 // ScanRange is the historical name of RangeScan.
@@ -283,10 +420,37 @@ func (t *Table) ScanRange(col int, lo, hi *record.Value) (Iterator, error) {
 // SeqScan opens a verified scan of the whole primary chain. On a sharded
 // table with VerifyWorkers > 1 the per-shard sub-scans run on concurrent
 // producers and are merged in key order (see merge.go); the output and its
-// verification guarantees are identical to the sequential stitch.
+// verification guarantees are identical to the sequential stitch. On a
+// versioned table the scan owns an implicit snapshot (see NewScan).
 func (t *Table) SeqScan() (Iterator, error) {
-	if len(t.shards) > 1 && t.mem.Config().VerifyWorkers > 1 {
-		return newParallelMergeIterator(t, 0, ScanBounds{})
+	if t.ephemeral {
+		if len(t.shards) > 1 && t.mem.Config().VerifyWorkers > 1 {
+			return newParallelMergeIterator(t, 0, func(sh *shard) (chainScanner, error) {
+				return sh.newScan(0, ScanBounds{})
+			})
+		}
+		return t.NewScan(0, ScanBounds{})
 	}
-	return t.NewScan(0, ScanBounds{})
+	snap := t.store.OpenSnapshot()
+	it, err := t.SeqScanAt(snap)
+	if err != nil {
+		snap.Close()
+		return it, err
+	}
+	return &snapClosingIter{Iterator: it, snap: snap}, nil
+}
+
+// SeqScanAt is SeqScan evaluated against a pinned snapshot the caller
+// owns. The parallel per-shard fan-out applies exactly as in SeqScan.
+func (t *Table) SeqScanAt(snap *Snapshot) (Iterator, error) {
+	if err := t.snapCheck(snap); err != nil {
+		return nil, err
+	}
+	if len(t.shards) > 1 && t.mem.Config().VerifyWorkers > 1 {
+		seq := snap.Seq()
+		return newParallelMergeIterator(t, 0, func(sh *shard) (chainScanner, error) {
+			return sh.newSnapScan(0, ScanBounds{}, seq)
+		})
+	}
+	return t.NewScanAt(0, ScanBounds{}, snap)
 }

@@ -211,6 +211,17 @@ type Config struct {
 	// shard-layout changes; cached and fresh executions produce identical
 	// rows, digests and response MACs. Zero means the default (128).
 	PlanCacheSize int
+	// MVCCGCInterval runs a background version-garbage-collection pass at
+	// this period, pruning row versions no live snapshot can read. Zero
+	// disables the background collector (retired versions still fall away
+	// opportunistically as rows are rewritten).
+	MVCCGCInterval time.Duration
+	// MaxVersionsPerRow caps the retained history per row chain key; when
+	// a writer would exceed it the oldest version is dropped and snapshots
+	// old enough to need it fail with a snapshot-too-old error instead of
+	// reading an inconsistent cut. Zero keeps history bounded only by the
+	// GC floor.
+	MaxVersionsPerRow int
 }
 
 // validate rejects configurations that would otherwise surface as opaque
@@ -260,6 +271,12 @@ func (c Config) validate() error {
 	}
 	if c.PlanCacheSize < 0 {
 		return fmt.Errorf("veridb: PlanCacheSize is %d; want 0 (default 128) or a positive entry count", c.PlanCacheSize)
+	}
+	if c.MVCCGCInterval < 0 {
+		return fmt.Errorf("veridb: MVCCGCInterval is %v; want 0 (no background version GC) or a positive period", c.MVCCGCInterval)
+	}
+	if c.MaxVersionsPerRow < 0 {
+		return fmt.Errorf("veridb: MaxVersionsPerRow is %d; want 0 (GC-floor bounded history) or a positive cap", c.MaxVersionsPerRow)
 	}
 	return nil
 }
@@ -321,6 +338,8 @@ func (c Config) coreConfig() (core.Config, error) {
 		GroupCommitMaxDelay: c.GroupCommitMaxDelay,
 		GroupCommitMaxBatch: gcBatch,
 		PlanCacheSize:       planCache,
+		MVCCGCInterval:      c.MVCCGCInterval,
+		MaxVersionsPerRow:   c.MaxVersionsPerRow,
 	}, nil
 }
 
