@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench bench-query bench-wal bench-mvcc chaos crash fuzz ci
+.PHONY: build vet lint test race bench bench-query bench-wal bench-mvcc bench-overload chaos crash fuzz ci
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,14 @@ bench-wal:
 bench-mvcc:
 	$(GO) run ./cmd/veridb-bench mvcc -warehouses 8 -seconds 1 -mvcc-json ""
 
+# Overload-protection smoke: a short shed/timeout/abandonment storm at 4x
+# concurrency. The bench itself hard-fails on any untyped shed, drain
+# stall, leaked pin/goroutine or unaccounted post-drain memory, so this
+# doubles as a leak regression gate. Real measurements use the defaults:
+# veridb-bench overload.
+bench-overload:
+	$(GO) run ./cmd/veridb-bench overload -overload-rows 500 -seconds 1 -overload-json ""
+
 # Fault-injection suite: the chaos injector, quarantine/failover paths in
 # core, the retrying client, the portal response cache, and the end-to-end
 # fault-recovery bench — all under the race detector, uncached, with a
@@ -55,7 +63,7 @@ bench-mvcc:
 chaos:
 	$(GO) test -race -count=1 -timeout 5m \
 		./internal/chaos ./internal/core ./internal/client \
-		./internal/portal ./internal/bench
+		./internal/portal ./internal/bench ./internal/govern
 
 # Crash matrix: the durable-storage proof. Kills the WAL at every record
 # boundary and mid-record (clean truncation + torn half-synced writes),
@@ -79,4 +87,4 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzManifestDecode$$' -fuzztime 10s ./internal/wal
 	$(GO) test -run '^$$' -fuzz '^FuzzSegmentDecode$$' -fuzztime 10s ./internal/wal
 
-ci: build lint test race chaos crash bench-query bench-wal bench-mvcc
+ci: build lint test race chaos crash bench-query bench-wal bench-mvcc bench-overload

@@ -16,6 +16,7 @@
 //	veridb-bench query  [-query-rows N] [-batch-sizes 1,64,256] [-query-json BENCH_query.json]
 //	veridb-bench wal    [-statements N] [-checkpoint-every N] [-wal-json BENCH_wal.json]
 //	veridb-bench mvcc   [-warehouses N] [-seconds S] [-mvcc-clients N] [-mvcc-json BENCH_mvcc.json]
+//	veridb-bench overload [-overload-rows N] [-seconds S] [-overload-workers N] [-overload-json BENCH_overload.json]
 //	veridb-bench ablations [-rows N]
 //	veridb-bench all
 //
@@ -38,6 +39,13 @@
 // append throughput with a MACed, fsync'd WAL (vs. the in-memory
 // baseline), checkpoint cost, and the recovery latency of reopening the
 // data directory through the VerifyAll admission gate.
+//
+// The overload subcommand measures overload protection: it drives point
+// queries at several times the admission capacity, plus pathological
+// workers (deadline-racing sorts, abandoned snapshot pins, slow LIMITed
+// readers), and records the non-shed p99 against the unloaded p99, the
+// typed shed refusals, and the post-drain leak checks (goroutines,
+// tracked memory, snapshot pins). Every delivered response MAC-verifies.
 //
 // The mvcc subcommand measures snapshot-read retention: TPC-C writer
 // throughput with and without a concurrent reader that pins snapshots
@@ -88,6 +96,9 @@ func main() {
 	walJSON := fs.String("wal-json", "BENCH_wal.json", "write the durability run as JSON to this path (wal); empty disables")
 	mvccClients := fs.Int("mvcc-clients", 8, "TPC-C writer count (mvcc)")
 	mvccJSON := fs.String("mvcc-json", "BENCH_mvcc.json", "write the snapshot-read run as JSON to this path (mvcc); empty disables")
+	overloadRows := fs.Int("overload-rows", 2000, "seeded kv rows (overload)")
+	overloadWorkers := fs.Int("overload-workers", 8, "point-query storm workers (overload)")
+	overloadJSON := fs.String("overload-json", "BENCH_overload.json", "write the overload run as JSON to this path (overload); empty disables")
 	fs.Parse(os.Args[2:])
 
 	run := func(name string, f func() error) {
@@ -100,7 +111,8 @@ func main() {
 	}
 	known := map[string]bool{"fig9": true, "fig10": true, "fig11": true,
 		"fig12": true, "fig13": true, "verify": true, "fault": true,
-		"query": true, "wal": true, "mvcc": true, "ablations": true, "all": true}
+		"query": true, "wal": true, "mvcc": true, "overload": true,
+		"ablations": true, "all": true}
 	if !known[cmd] {
 		usage()
 		os.Exit(2)
@@ -115,11 +127,12 @@ func main() {
 	run("query", func() error { return queryBatch(*queryRows, *batchSizes, *queryJSON) })
 	run("wal", func() error { return walBench(*statements, *checkpointEvery, *walJSON) })
 	run("mvcc", func() error { return mvccBench(*warehouses, *seconds, *mvccClients, *mvccJSON) })
+	run("overload", func() error { return overloadBench(*overloadRows, *seconds, *overloadWorkers, *overloadJSON) })
 	run("ablations", func() error { return ablations(*rows) })
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `veridb-bench <fig9|fig10|fig11|fig12|fig13|verify|fault|query|wal|mvcc|ablations|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `veridb-bench <fig9|fig10|fig11|fig12|fig13|verify|fault|query|wal|mvcc|overload|ablations|all> [flags]`)
 }
 
 func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
@@ -454,6 +467,43 @@ func mvccBench(warehouses int, seconds float64, clients int, jsonPath string) er
 	fmt.Printf("%-22s %12.0f\n", "with snapshot reader", run.ConcurrentTPS)
 	fmt.Printf("-- retention %.1f%% (target ≥ 90%%); reader pinned %d snapshots, drained %d rows, every snapshot scanned twice bit-identically\n",
 		run.Retention*100, run.ReaderSnapshots, run.ReaderRows)
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(run, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("-- wrote %s\n", jsonPath)
+	}
+	fmt.Println()
+	return nil
+}
+
+func overloadBench(rows int, seconds float64, workers int, jsonPath string) error {
+	fmt.Printf("== Overload protection: shedding, deadlines and leak checks under 4x load (rows=%d, workers=%d, %.1fs storm) ==\n",
+		rows, workers, seconds)
+	run, err := bench.RunOverload(bench.OverloadConfig{
+		Rows:     rows,
+		Workers:  workers,
+		Duration: time.Duration(seconds * float64(time.Second)),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-26s %12s\n", "metric", "value")
+	fmt.Printf("%-26s %12.0f\n", "unloaded p99 (us)", run.UnloadedP99US)
+	fmt.Printf("%-26s %12.0f\n", "loaded non-shed p99 (us)", run.LoadedP99US)
+	fmt.Printf("%-26s %11.2fx\n", "p99 ratio (target <= 3)", run.P99Ratio)
+	fmt.Printf("%-26s %12d\n", "delivered (MAC-verified)", run.Delivered)
+	fmt.Printf("%-26s %12d\n", "shed (typed, retryable)", run.Shed)
+	fmt.Printf("%-26s %12d\n", "deadline cancellations", run.Timeouts)
+	fmt.Printf("%-26s %12d\n", "sessions expired", run.SessionsExpired)
+	fmt.Printf("%-26s %12d\n", "mem high water (bytes)", run.MemHighWater)
+	fmt.Printf("-- post-drain: mem %d (net of %d cache bytes), pins %d, goroutines %d (baseline %d)\n",
+		run.PostDrainMemUsed, run.ResponseCacheBytes, run.PostDrainPins,
+		run.PostCloseGoroutines, run.BaselineGoroutines)
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(run, "", "  ")
 		if err != nil {

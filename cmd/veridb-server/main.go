@@ -59,7 +59,10 @@ type wireRequest struct {
 	Client string `json:"client,omitempty"`
 	QID    uint64 `json:"qid,omitempty"`
 	Query  string `json:"query,omitempty"`
-	MAC    string `json:"mac,omitempty"`
+	// TimeoutMS is an optional per-request deadline in milliseconds,
+	// folded into the MAC when nonzero (see portal.SignRequestTimeout).
+	TimeoutMS uint64 `json:"timeout_ms,omitempty"`
+	MAC       string `json:"mac,omitempty"`
 }
 
 type wireResponse struct {
@@ -81,10 +84,27 @@ type wireQuote struct {
 }
 
 type wireHealth struct {
-	Quarantined     bool     `json:"quarantined"`
-	Alarm           string   `json:"alarm,omitempty"`
-	VerifierRunning bool     `json:"verifierRunning"`
-	Epochs          []uint64 `json:"epochs"`
+	Quarantined     bool       `json:"quarantined"`
+	Alarm           string     `json:"alarm,omitempty"`
+	VerifierRunning bool       `json:"verifierRunning"`
+	Epochs          []uint64   `json:"epochs"`
+	Govern          wireGovern `json:"govern"`
+}
+
+// wireGovern is the overload-protection slice of the health response:
+// what a capacity planner watches (high-water memory, shed counts) and
+// what a load balancer keys on (in-flight and waiting depths).
+type wireGovern struct {
+	MemUsed            int64 `json:"memUsed"`
+	MemLimit           int64 `json:"memLimit"`
+	MemHighWater       int64 `json:"memHighWater"`
+	MemDenied          int64 `json:"memDenied"`
+	InFlight           int64 `json:"inFlight"`
+	Waiting            int64 `json:"waiting"`
+	Shed               int64 `json:"shed"`
+	SessionsExpired    int64 `json:"sessionsExpired"`
+	SnapshotPins       int   `json:"snapshotPins"`
+	ResponseCacheBytes int64 `json:"responseCacheBytes"`
 }
 
 // server is the connection-handling state shared by every session.
@@ -110,6 +130,13 @@ func main() {
 	planCache := flag.Int("plan-cache", 0, "prepared-plan LRU size (0 = default 128)")
 	mvccGC := flag.Duration("mvcc-gc", 0, "background row-version GC period (0 = opportunistic pruning only)")
 	maxVersions := flag.Int("max-versions", 0, "retained row versions per chain key (0 = GC-floor bounded)")
+	stmtTimeout := flag.Duration("statement-timeout", 0, "per-statement execution deadline (0 = none)")
+	memBudget := flag.Int64("mem-budget", 0, "process memory budget for query state, bytes (0 = track only)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "maximum statements executing at once (0 = no admission control)")
+	admissionQueue := flag.Int("admission-queue", 0, "statements allowed to wait for an execution slot (requires -max-concurrent)")
+	admissionWait := flag.Duration("admission-wait", 0, "longest a queued statement waits before being shed (0 = 50ms; requires -max-concurrent)")
+	sessionMaxIdle := flag.Duration("session-max-idle", 0, "expire idle pinned snapshots after this inactivity (0 = never)")
+	respCacheBytes := flag.Int64("response-cache-bytes", 0, "portal response cache byte bound (0 = default 16 MB)")
 	initSQL := flag.String("init", "", "semicolon-separated SQL to run at startup")
 	maxLine := flag.Int("max-line", 1<<20, "maximum request line size, bytes")
 	maxConns := flag.Int("max-conns", 256, "maximum concurrent connections (0 = unlimited)")
@@ -133,6 +160,14 @@ func main() {
 		PlanCacheSize:       *planCache,
 		MVCCGCInterval:      *mvccGC,
 		MaxVersionsPerRow:   *maxVersions,
+
+		StatementTimeout:        *stmtTimeout,
+		MemBudget:               *memBudget,
+		MaxConcurrentStatements: *maxConcurrent,
+		AdmissionQueueDepth:     *admissionQueue,
+		AdmissionMaxWait:        *admissionWait,
+		SessionMaxIdle:          *sessionMaxIdle,
+		ResponseCacheBytes:      *respCacheBytes,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -297,7 +332,8 @@ func (s *server) dispatch(conn net.Conn, req wireRequest) error {
 			return s.writeLine(conn, map[string]string{"err": "bad mac encoding"})
 		}
 		resp, err := s.db.Serve(veridb.Request{
-			ClientID: req.Client, QID: req.QID, Query: req.Query, MAC: mac,
+			ClientID: req.Client, QID: req.QID, Query: req.Query,
+			TimeoutMS: req.TimeoutMS, MAC: mac,
 		})
 		if err != nil {
 			// Authorisation failures have no authenticated response.
@@ -315,11 +351,24 @@ func (s *server) dispatch(conn net.Conn, req wireRequest) error {
 		return s.writeLine(conn, out)
 	case "health":
 		h := s.db.Health()
+		g := s.db.Govern()
 		return s.writeLine(conn, wireHealth{
 			Quarantined:     h.Quarantined,
 			Alarm:           h.Alarm,
 			VerifierRunning: h.VerifierRunning,
 			Epochs:          h.Epochs,
+			Govern: wireGovern{
+				MemUsed:            g.MemUsed,
+				MemLimit:           g.MemLimit,
+				MemHighWater:       g.MemHighWater,
+				MemDenied:          g.MemDenied,
+				InFlight:           g.Admission.InFlight,
+				Waiting:            g.Admission.Waiting,
+				Shed:               g.Admission.Shed,
+				SessionsExpired:    g.SessionsExpired,
+				SnapshotPins:       g.SnapshotPins,
+				ResponseCacheBytes: g.ResponseCache.Bytes,
+			},
 		})
 	default:
 		return s.writeLine(conn, map[string]string{"err": fmt.Sprintf("unknown op %q", req.Op)})

@@ -13,8 +13,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"veridb/internal/enclave"
+	"veridb/internal/govern"
 	"veridb/internal/portal"
 	"veridb/internal/record"
 	"veridb/internal/sql"
@@ -43,10 +45,19 @@ var (
 // ServerError is an authenticated execution error: the response verified
 // (MAC, sequence number) and carried the portal's error message. It is
 // distinct from transport and integrity failures — the server answered
-// honestly that the query failed.
-type ServerError struct{ Msg string }
+// honestly that the query failed. When the message carries a typed server
+// condition the client recognises (today: govern's overload refusal), err
+// holds the recovered typed error so errors.Is/As see through the string.
+type ServerError struct {
+	Msg string
+	err error
+}
 
 func (e *ServerError) Error() string { return "client: server reported: " + e.Msg }
+
+// Unwrap exposes the typed condition recovered from the message, if any,
+// so errors.Is(err, govern.ErrOverloaded) matches across the wire.
+func (e *ServerError) Unwrap() error { return e.err }
 
 // RollbackError is the non-repudiable evidence of a rollback: the repeated
 // sequence number and the interval of previously received numbers that
@@ -159,15 +170,31 @@ func (c *Client) Attest(q enclave.Quote, expectedMeasurement [32]byte, nonce []b
 
 // NewRequest signs a query with a fresh qid.
 func (c *Client) NewRequest(query string) portal.Request {
+	return c.NewRequestTimeout(query, 0)
+}
+
+// NewRequestTimeout signs a query with a fresh qid and a per-request
+// deadline the server enforces. The timeout is folded into the MAC, so a
+// relay cannot strip or stretch it; a zero timeout yields the exact same
+// request NewRequest produces.
+func (c *Client) NewRequestTimeout(query string, timeout time.Duration) portal.Request {
 	c.mu.Lock()
 	c.nextQID++
 	qid := c.nextQID
 	c.mu.Unlock()
+	var ms uint64
+	if timeout > 0 {
+		ms = uint64(timeout.Milliseconds())
+		if ms == 0 {
+			ms = 1 // sub-millisecond deadlines round up, not off
+		}
+	}
 	return portal.Request{
-		ClientID: c.ID,
-		QID:      qid,
-		Query:    query,
-		MAC:      portal.SignRequest(c.key, c.ID, qid, query),
+		ClientID:  c.ID,
+		QID:       qid,
+		Query:     query,
+		TimeoutMS: ms,
+		MAC:       portal.SignRequestTimeout(c.key, c.ID, qid, query, ms),
 	}
 }
 
@@ -237,7 +264,11 @@ func (c *Client) VerifyResponse(req portal.Request, resp *portal.Response) error
 		return err
 	}
 	if resp.ErrMsg != "" {
-		return &ServerError{Msg: resp.ErrMsg}
+		se := &ServerError{Msg: resp.ErrMsg}
+		if oe, ok := govern.ParseOverloaded(resp.ErrMsg); ok {
+			se.err = oe
+		}
+		return se
 	}
 	return nil
 }

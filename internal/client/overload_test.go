@@ -1,0 +1,98 @@
+package client
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"veridb/internal/govern"
+	"veridb/internal/portal"
+)
+
+// shedExec refuses the first n executions with a typed overload refusal,
+// then serves normally.
+type shedExec struct {
+	sheds int
+	calls int
+}
+
+func (e *shedExec) Execute(query string) (*portal.Result, error) {
+	e.calls++
+	if e.calls <= e.sheds {
+		return nil, &govern.OverloadedError{RetryAfter: 25 * time.Millisecond}
+	}
+	return &portal.Result{Columns: []string{"q"}}, nil
+}
+
+// TestDoRetriesOverloadWithFreshQID: an authenticated overload refusal is
+// retried — with a FRESH qid (the refusal is cached under the old one at
+// the portal, so reusing it would replay the refusal forever) and after at
+// least the server's RetryAfter hint.
+func TestDoRetriesOverloadWithFreshQID(t *testing.T) {
+	exec := &shedExec{sheds: 2}
+	c, p, _ := newClientPortal(t, exec)
+	var qids []uint64
+	transport := TransportFunc(func(req portal.Request) (*portal.Response, error) {
+		qids = append(qids, req.QID)
+		return p.Serve(req)
+	})
+	var slept []time.Duration
+	cfg := RetryConfig{Retries: 5, Backoff: time.Millisecond, sleep: func(d time.Duration) { slept = append(slept, d) }}
+	resp, err := c.Do(transport, "SELECT 1", cfg)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if resp.ErrMsg != "" {
+		t.Fatalf("final response carries error %q", resp.ErrMsg)
+	}
+	if exec.calls != 3 {
+		t.Fatalf("executed %d times, want 2 sheds + 1 success", exec.calls)
+	}
+	if len(qids) != 3 {
+		t.Fatalf("attempts = %d, want 3", len(qids))
+	}
+	if qids[0] == qids[1] || qids[1] == qids[2] {
+		t.Fatalf("overload retry reused a qid: %v", qids)
+	}
+	for i, d := range slept {
+		if d < 25*time.Millisecond {
+			t.Fatalf("retry %d slept %v, shorter than the 25ms RetryAfter hint", i, d)
+		}
+	}
+}
+
+// TestDoGivesUpOverloadAfterRetryBudget: a server that sheds every attempt
+// exhausts the retry budget and surfaces the typed overload error.
+func TestDoGivesUpOverloadAfterRetryBudget(t *testing.T) {
+	exec := &shedExec{sheds: 1 << 30}
+	c, p, _ := newClientPortal(t, exec)
+	transport := TransportFunc(func(req portal.Request) (*portal.Response, error) { return p.Serve(req) })
+	_, err := c.Do(transport, "SELECT 1", noSleep(RetryConfig{Retries: 2, Backoff: time.Millisecond}))
+	if !errors.Is(err, govern.ErrOverloaded) {
+		t.Fatalf("want ErrOverloaded after budget, got %v", err)
+	}
+	if exec.calls != 3 {
+		t.Fatalf("executed %d times, want 3 attempts", exec.calls)
+	}
+}
+
+// TestVerifyResponseTypesOverload: the overload refusal survives the trip
+// through the string-typed wire error and comes back as a typed
+// *govern.OverloadedError with its RetryAfter hint intact.
+func TestVerifyResponseTypesOverload(t *testing.T) {
+	exec := &shedExec{sheds: 1}
+	c, p, _ := newClientPortal(t, exec)
+	req := c.NewRequest("SELECT 1")
+	resp, err := p.Serve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verr := c.VerifyResponse(req, resp)
+	var oe *govern.OverloadedError
+	if !errors.As(verr, &oe) {
+		t.Fatalf("verify error not typed: %v", verr)
+	}
+	if oe.RetryAfter != 25*time.Millisecond {
+		t.Fatalf("RetryAfter = %v, want 25ms", oe.RetryAfter)
+	}
+}

@@ -9,8 +9,10 @@ package client
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
+	"veridb/internal/govern"
 	"veridb/internal/portal"
 )
 
@@ -64,33 +66,54 @@ func (cfg *RetryConfig) fill() {
 }
 
 // Do signs query once and delivers it through t, retrying timed-out or
-// failed attempts with exponential backoff. Every retry reuses the same
-// qid and MAC, so the portal either serves the request once or replays
-// the cached endorsement — at-most-once execution survives lost
+// failed attempts with exponential backoff. Every transport retry reuses
+// the same qid and MAC, so the portal either serves the request once or
+// replays the cached endorsement — at-most-once execution survives lost
 // responses. The returned response is already verified (MAC, sequence
 // number, quarantine flag); verification failures are never retried,
-// because a forged or rolled-back response is evidence, not noise.
+// because a forged or rolled-back response is evidence, not noise — with
+// one exception: an authenticated overload refusal (govern.ErrOverloaded)
+// is an honest "come back later", retried after the server's RetryAfter
+// hint (or the exponential backoff, whichever is longer) plus jitter.
+// Overload retries sign a FRESH qid: the refusal was endorsed and cached
+// under the old one, so re-sending it would replay the refusal forever
+// instead of re-attempting admission.
 func (c *Client) Do(t Transport, query string, cfg RetryConfig) (*portal.Response, error) {
 	cfg.fill()
 	req := c.NewRequest(query)
 	var lastErr error
 	for attempt := 0; attempt <= cfg.Retries; attempt++ {
 		if attempt > 0 {
-			cfg.sleep(cfg.Backoff << (attempt - 1))
+			delay := cfg.Backoff << (attempt - 1)
+			var oe *govern.OverloadedError
+			if errors.As(lastErr, &oe) {
+				if oe.RetryAfter > delay {
+					delay = oe.RetryAfter
+				}
+				// Jitter de-synchronises a herd of shed clients that would
+				// otherwise all honor the same RetryAfter hint at once.
+				delay += time.Duration(rand.Int63n(int64(delay)/2 + 1))
+				req = c.NewRequest(query)
+			}
+			cfg.sleep(delay)
 		}
 		resp, err := roundTripTimeout(t, req, cfg.Timeout)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		// Transport delivered something: verify it. Auth/integrity
-		// failures terminate the loop — retrying cannot make a forged
-		// response honest, and a rollback or quarantine signal must
-		// reach the caller.
-		if err := c.VerifyResponse(req, resp); err != nil {
-			return resp, err
+		verr := c.VerifyResponse(req, resp)
+		if verr == nil {
+			return resp, nil
 		}
-		return resp, nil
+		if errors.Is(verr, govern.ErrOverloaded) {
+			lastErr = verr
+			continue
+		}
+		// Auth/integrity failures and ordinary execution errors terminate
+		// the loop — retrying cannot make a forged response honest, and a
+		// rollback or quarantine signal must reach the caller.
+		return resp, verr
 	}
 	return nil, fmt.Errorf("client: qid %d failed after %d attempts: %w", req.QID, cfg.Retries+1, lastErr)
 }

@@ -5,14 +5,17 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"veridb/internal/enclave"
 	"veridb/internal/engine"
+	"veridb/internal/govern"
 	"veridb/internal/plan"
 	"veridb/internal/portal"
 	"veridb/internal/record"
@@ -81,12 +84,54 @@ type Config struct {
 	// the oldest is discarded and snapshots that needed it fail with
 	// storage.ErrSnapshotTooOld. Zero retains versions until GC.
 	MaxVersionsPerRow int
+	// StatementTimeout bounds each statement's wall-clock execution: the
+	// context threaded through the engine is cancelled at the deadline and
+	// the statement fails with context.DeadlineExceeded, releasing its
+	// scans, latches, snapshot pins and merge producers on the way out.
+	// Zero disables the server-side deadline (per-request deadlines on the
+	// wire still apply).
+	StatementTimeout time.Duration
+	// MemBudget caps the estimated bytes of statement materialisations,
+	// MVCC version chains and the portal response cache, process-wide.
+	// Statements that would exceed it fail fast with a typed
+	// govern.ErrResourceExhausted; under sustained pressure spill-eligible
+	// operators degrade to smaller batches first. Zero tracks usage
+	// without refusing.
+	MemBudget int64
+	// MaxConcurrentStatements caps statements executing inside the kernel
+	// at once; excess statements wait in a bounded admission queue and are
+	// shed with a typed govern.ErrOverloaded (carrying a RetryAfter hint)
+	// once the queue is full or AdmissionMaxWait elapses. Zero disables
+	// admission control.
+	MaxConcurrentStatements int
+	// AdmissionQueueDepth bounds how many statements may wait for an
+	// execution slot before new arrivals are shed immediately. Meaningful
+	// only with MaxConcurrentStatements > 0.
+	AdmissionQueueDepth int
+	// AdmissionMaxWait bounds how long a queued statement waits for a slot
+	// before being shed. Zero maps to a 50ms default. Meaningful only with
+	// MaxConcurrentStatements > 0.
+	AdmissionMaxWait time.Duration
+	// SessionMaxIdle expires a client session's pinned snapshot (BEGIN
+	// SNAPSHOT) after this much statement inactivity, unblocking version
+	// GC when a client vanishes mid-session. The expired session's next
+	// statement fails once with ErrSessionExpired. Zero never expires.
+	SessionMaxIdle time.Duration
+	// ResponseCacheBytes bounds the portal's retry-idempotence response
+	// cache by total estimated bytes (oldest evicted first); the per-client
+	// entry cap still applies. Zero keeps the portal default (16 MB).
+	ResponseCacheBytes int64
 }
 
 // ErrQuarantined wraps every request rejected because the database's
 // verifier raised a sticky tamper alarm: the state machine is fenced and
 // only failover (Supervisor) or a fresh Recover can restore service.
 var ErrQuarantined = errors.New("core: database quarantined after tamper alarm")
+
+// ErrSessionExpired is returned once, on the first statement a client
+// issues after the session reaper released its pinned snapshot for idling
+// past SessionMaxIdle. The client re-pins with a fresh BEGIN SNAPSHOT.
+var ErrSessionExpired = errors.New("core: session snapshot expired after idling past SessionMaxIdle; BEGIN SNAPSHOT again")
 
 // DB is one VeriDB instance.
 type DB struct {
@@ -113,6 +158,19 @@ type DB struct {
 	// authenticated client ID; library calls share the "" session.
 	sessMu   sync.Mutex
 	sessions map[string]*session
+
+	// Overload protection (see internal/govern): the process memory
+	// budget, the bounded admission gate, and the statement deadline.
+	budget      *govern.Budget
+	admit       *govern.Admission
+	stmtTimeout time.Duration
+
+	// Session idle reaper (SessionMaxIdle): expires abandoned snapshot
+	// pins so version GC is never held hostage by a vanished client.
+	sessionMaxIdle time.Duration
+	reaperStop     chan struct{}
+	reaperWG       sync.WaitGroup
+	sessExpired    atomic.Int64
 }
 
 // session is one client's statement context: at most a pinned read
@@ -121,6 +179,12 @@ type DB struct {
 type session struct {
 	mu   sync.Mutex
 	snap *storage.Snapshot
+	// lastUse is the last statement touch; the reaper expires pinned
+	// sessions idle past SessionMaxIdle.
+	lastUse time.Time
+	// expired marks a reaped session; its next statement fails once with
+	// ErrSessionExpired so the client learns its pin is gone.
+	expired bool
 }
 
 // pinned returns the session's snapshot, or nil.
@@ -151,15 +215,24 @@ func Open(cfg Config) (*DB, error) {
 		st.SetMaxVersions(cfg.MaxVersionsPerRow)
 	}
 	db := &DB{
-		enc:       enc,
-		mem:       mem,
-		store:     st,
-		opts:      plan.Options{Join: cfg.Join, ExecBatchSize: cfg.ExecBatchSize},
-		planCache: plan.NewCache(cfg.PlanCacheSize),
-		prepared:  make(map[string]*sql.Prepare),
-		sessions:  make(map[string]*session),
+		enc:            enc,
+		mem:            mem,
+		store:          st,
+		opts:           plan.Options{Join: cfg.Join, ExecBatchSize: cfg.ExecBatchSize},
+		planCache:      plan.NewCache(cfg.PlanCacheSize),
+		prepared:       make(map[string]*sql.Prepare),
+		sessions:       make(map[string]*session),
+		budget:         govern.NewBudget(cfg.MemBudget),
+		admit:          govern.NewAdmission(cfg.MaxConcurrentStatements, cfg.AdmissionQueueDepth, cfg.AdmissionMaxWait),
+		stmtTimeout:    cfg.StatementTimeout,
+		sessionMaxIdle: cfg.SessionMaxIdle,
 	}
+	st.SetBudget(db.budget)
 	db.portal = portal.New(enc, db)
+	db.portal.SetBudget(db.budget)
+	if cfg.ResponseCacheBytes > 0 {
+		db.portal.SetResponseCacheBytes(cfg.ResponseCacheBytes)
+	}
 	// Recovery runs before the background verifier starts: WAL replay
 	// drives the protected interfaces at full speed and must not race a
 	// scanner pool, and the recovered image is admitted through an
@@ -184,6 +257,9 @@ func Open(cfg Config) (*DB, error) {
 			return nil, fmt.Errorf("core: starting version GC: %w", err)
 		}
 	}
+	if cfg.SessionMaxIdle > 0 {
+		db.startSessionReaper(cfg.SessionMaxIdle)
+	}
 	return db, nil
 }
 
@@ -206,9 +282,87 @@ func (db *DB) Portal() *portal.Portal { return db.portal }
 func (db *DB) Close() {
 	db.mem.StopVerifier()
 	db.store.StopVersionGC()
+	db.stopSessionReaper()
 	if db.dur != nil {
 		db.dur.log.Close()
 	}
+}
+
+// startSessionReaper launches the idle-session collector: every quarter of
+// maxIdle it releases pinned snapshots whose session has not issued a
+// statement within maxIdle, so an abandoned BEGIN SNAPSHOT stops pinning
+// the version-GC floor.
+func (db *DB) startSessionReaper(maxIdle time.Duration) {
+	stop := make(chan struct{})
+	db.reaperStop = stop
+	interval := maxIdle / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	db.reaperWG.Add(1)
+	go func() {
+		defer db.reaperWG.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				db.reapIdleSessions(maxIdle)
+			}
+		}
+	}()
+}
+
+func (db *DB) stopSessionReaper() {
+	if db.reaperStop != nil {
+		close(db.reaperStop)
+		db.reaperWG.Wait()
+		db.reaperStop = nil
+	}
+}
+
+// reapIdleSessions closes the pinned snapshot of every session idle past
+// maxIdle and marks it expired. A statement in flight refreshed its
+// session's lastUse on entry, so only sessions with no recent statement
+// activity qualify. Returns how many pins it released.
+func (db *DB) reapIdleSessions(maxIdle time.Duration) int {
+	db.sessMu.Lock()
+	sessions := make([]*session, 0, len(db.sessions))
+	for _, s := range db.sessions {
+		sessions = append(sessions, s)
+	}
+	db.sessMu.Unlock()
+	cutoff := time.Now().Add(-maxIdle)
+	n := 0
+	for _, s := range sessions {
+		s.mu.Lock()
+		if s.snap != nil && s.lastUse.Before(cutoff) {
+			s.snap.Close()
+			s.snap = nil
+			s.expired = true
+			n++
+		}
+		s.mu.Unlock()
+	}
+	if n > 0 {
+		db.sessExpired.Add(int64(n))
+	}
+	return n
+}
+
+// touchSession records statement activity on the session and surfaces a
+// pending expiry notice exactly once.
+func (db *DB) touchSession(sess *session) error {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.lastUse = time.Now()
+	if sess.expired {
+		sess.expired = false
+		return ErrSessionExpired
+	}
+	return nil
 }
 
 // QuarantineError returns the sticky quarantine error, entering the
@@ -280,7 +434,7 @@ func (db *DB) Health() Health {
 // then acked. With the plan cache enabled, repeated statement text skips
 // the parser (and, for SELECT, the planner) entirely.
 func (db *DB) Execute(query string) (*portal.Result, error) {
-	return db.ExecuteSession("", query)
+	return db.ExecuteContext(context.Background(), "", query)
 }
 
 // ExecuteSession is Execute with a client identity: BEGIN SNAPSHOT and
@@ -288,11 +442,51 @@ func (db *DB) Execute(query string) (*portal.Result, error) {
 // The portal passes each request's authenticated client ID; plain Execute
 // shares the anonymous "" session.
 func (db *DB) ExecuteSession(clientID, query string) (*portal.Result, error) {
+	return db.ExecuteContext(context.Background(), clientID, query)
+}
+
+// ExecuteContext is ExecuteSession under the caller's context: the
+// statement is cancelled when ctx ends (and, with StatementTimeout set,
+// when the server-side deadline elapses — whichever comes first), with
+// every resource it held released through the operator Close chain. All
+// statements pass the admission gate first; once the server is past
+// MaxConcurrentStatements with a full queue, new statements are refused
+// with a typed govern.ErrOverloaded. Integrity fences are checked before
+// and after admission so quarantine is never masked as overload.
+func (db *DB) ExecuteContext(ctx context.Context, clientID, query string) (*portal.Result, error) {
+	// Fence first: a quarantined instance refuses with the quarantine
+	// error no matter how loaded it is.
+	if err := db.QuarantineError(); err != nil {
+		return nil, err
+	}
+	if db.stmtTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, db.stmtTimeout)
+		defer cancel()
+	}
+	release, err := db.admit.Acquire(ctx)
+	if err != nil {
+		// A quarantine raised while this statement waited takes precedence
+		// over the shed: the client must learn the instance is fenced.
+		if qerr := db.QuarantineError(); qerr != nil {
+			return nil, qerr
+		}
+		return nil, err
+	}
+	defer release()
+	return db.executeAdmitted(ctx, clientID, query)
+}
+
+// executeAdmitted runs one statement that already holds an admission slot.
+func (db *DB) executeAdmitted(ctx context.Context, clientID, query string) (*portal.Result, error) {
 	sess := db.sessionFor(clientID)
+	if err := db.touchSession(sess); err != nil {
+		return nil, err
+	}
 	if db.planCache != nil {
 		if key, nerr := sql.Normalize(query); nerr == nil {
 			if ent := db.planCache.Get(key, db.store.CatalogVersion()); ent != nil {
-				res, err := db.executeCached(sess, query, ent)
+				res, err := db.executeCached(ctx, sess, query, ent)
 				db.planCache.Return(ent)
 				return res, err
 			}
@@ -304,7 +498,7 @@ func (db *DB) ExecuteSession(clientID, query string) (*portal.Result, error) {
 			if err != nil {
 				return nil, err
 			}
-			res, op, err := db.dispatchOp(sess, query, stmt)
+			res, op, err := db.dispatchOp(ctx, sess, query, stmt)
 			if err == nil && cacheable(stmt) {
 				db.planCache.Put(key, stmt, op, version)
 			}
@@ -316,7 +510,7 @@ func (db *DB) ExecuteSession(clientID, query string) (*portal.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, _, err := db.dispatchOp(sess, query, stmt)
+	res, _, err := db.dispatchOp(ctx, sess, query, stmt)
 	return res, err
 }
 
@@ -346,7 +540,7 @@ func cacheable(stmt sql.Statement) bool {
 // dispatchOp routes a parsed statement — prepared-statement expansion,
 // durable DML through the WAL, SELECT through an explicitly captured
 // plan (returned for caching), everything else to ExecuteStmt.
-func (db *DB) dispatchOp(sess *session, query string, stmt sql.Statement) (*portal.Result, engine.Operator, error) {
+func (db *DB) dispatchOp(ctx context.Context, sess *session, query string, stmt sql.Statement) (*portal.Result, engine.Operator, error) {
 	switch s := stmt.(type) {
 	case *sql.ExecutePrepared:
 		bound, text, err := db.bindPrepared(s)
@@ -354,10 +548,10 @@ func (db *DB) dispatchOp(sess *session, query string, stmt sql.Statement) (*port
 			return nil, nil, err
 		}
 		if db.dur != nil && isMutating(bound) {
-			res, err := db.executeDurable(sess, text, bound)
+			res, err := db.executeDurable(ctx, sess, text, bound)
 			return res, nil, err
 		}
-		res, err := db.executeStmtSess(sess, bound)
+		res, err := db.executeStmtSess(ctx, sess, bound)
 		return res, nil, err
 	case *sql.Select:
 		if err := db.QuarantineError(); err != nil {
@@ -367,33 +561,33 @@ func (db *DB) dispatchOp(sess *session, query string, stmt sql.Statement) (*port
 		if err != nil {
 			return nil, nil, err
 		}
-		res, err := db.runSelectOp(sess, op)
+		res, err := db.runSelectOp(ctx, sess, op)
 		return res, op, err
 	}
 	if db.dur != nil && isMutating(stmt) {
-		res, err := db.executeDurable(sess, query, stmt)
+		res, err := db.executeDurable(ctx, sess, query, stmt)
 		return res, nil, err
 	}
-	res, err := db.executeStmtSess(sess, stmt)
+	res, err := db.executeStmtSess(ctx, sess, stmt)
 	return res, nil, err
 }
 
 // executeCached runs a checked-out cache entry. A cached SELECT reuses
 // its compiled operator tree (reset, batch size re-derived); cached DML
 // reuses the parsed AST and goes through the ordinary durable routing.
-func (db *DB) executeCached(sess *session, query string, ent *plan.CacheEntry) (*portal.Result, error) {
+func (db *DB) executeCached(ctx context.Context, sess *session, query string, ent *plan.CacheEntry) (*portal.Result, error) {
 	if ent.Op != nil {
 		if err := db.QuarantineError(); err != nil {
 			return nil, err
 		}
 		engine.ResetPlan(ent.Op)
 		engine.SetBatchSize(ent.Op, plan.EffectiveBatchSize(ent.Op, db.opts.ExecBatchSize))
-		return db.runSelectOp(sess, ent.Op)
+		return db.runSelectOp(ctx, sess, ent.Op)
 	}
 	if db.dur != nil && isMutating(ent.Stmt) {
-		return db.executeDurable(sess, query, ent.Stmt)
+		return db.executeDurable(ctx, sess, query, ent.Stmt)
 	}
-	return db.executeStmtSess(sess, ent.Stmt)
+	return db.executeStmtSess(ctx, sess, ent.Stmt)
 }
 
 // bindPrepared resolves an EXECUTE against the registry: evaluates the
@@ -435,6 +629,42 @@ func (db *DB) bindPrepared(ex *sql.ExecutePrepared) (sql.Statement, string, erro
 // disabled).
 func (db *DB) PlanCacheStats() plan.CacheStats { return db.planCache.Stats() }
 
+// GovernStats is a point-in-time snapshot of the overload-protection
+// state: budget usage, admission counters, reaped sessions and live
+// snapshot pins. The overload bench asserts its post-drain values.
+type GovernStats struct {
+	// MemUsed / MemLimit / MemHighWater / MemDenied mirror the budget.
+	MemUsed      int64
+	MemLimit     int64
+	MemHighWater int64
+	MemDenied    int64
+	// Admission snapshots the shed/queue counters.
+	Admission govern.AdmissionStats
+	// SessionsExpired counts pinned sessions the idle reaper released.
+	SessionsExpired int64
+	// SnapshotPins is the number of snapshot pins currently held.
+	SnapshotPins int
+	// ResponseCache snapshots the portal response cache.
+	ResponseCache portal.CacheStats
+}
+
+// GovernStats snapshots the overload-protection counters.
+func (db *DB) GovernStats() GovernStats {
+	return GovernStats{
+		MemUsed:         db.budget.Used(),
+		MemLimit:        db.budget.Limit(),
+		MemHighWater:    db.budget.HighWater(),
+		MemDenied:       db.budget.Denied(),
+		Admission:       db.admit.Stats(),
+		SessionsExpired: db.sessExpired.Load(),
+		SnapshotPins:    db.store.SnapshotPins(),
+		ResponseCache:   db.portal.CacheStats(),
+	}
+}
+
+// Budget exposes the process memory budget (library-level access).
+func (db *DB) Budget() *govern.Budget { return db.budget }
+
 // ExecuteStmt runs a parsed statement. Once the verifier's alarm is sticky
 // every statement — reads included — is fenced with ErrQuarantined:
 // results computed from tampered state must never be endorsed.
@@ -443,10 +673,10 @@ func (db *DB) PlanCacheStats() plan.CacheStats { return db.planCache.Stats() }
 // replay (which must not re-log); library callers driving ExecuteStmt on
 // a durable instance forgo durability for those statements.
 func (db *DB) ExecuteStmt(stmt sql.Statement) (*portal.Result, error) {
-	return db.executeStmtSess(db.sessionFor(""), stmt)
+	return db.executeStmtSess(context.Background(), db.sessionFor(""), stmt)
 }
 
-func (db *DB) executeStmtSess(sess *session, stmt sql.Statement) (*portal.Result, error) {
+func (db *DB) executeStmtSess(ctx context.Context, sess *session, stmt sql.Statement) (*portal.Result, error) {
 	if err := db.QuarantineError(); err != nil {
 		return nil, err
 	}
@@ -484,11 +714,11 @@ func (db *DB) executeStmtSess(sess *session, stmt sql.Statement) (*portal.Result
 	case *sql.Insert:
 		return db.insert(s)
 	case *sql.Update:
-		return db.update(s)
+		return db.update(ctx, s)
 	case *sql.Delete:
-		return db.delete(s)
+		return db.delete(ctx, s)
 	case *sql.Select:
-		return db.query(sess, s)
+		return db.query(ctx, sess, s)
 	case *sql.Prepare:
 		db.prepMu.Lock()
 		db.prepared[s.Name] = s
@@ -499,7 +729,7 @@ func (db *DB) executeStmtSess(sess *session, stmt sql.Statement) (*portal.Result
 		if err != nil {
 			return nil, err
 		}
-		return db.executeStmtSess(sess, bound)
+		return db.executeStmtSess(ctx, sess, bound)
 	case *sql.Deallocate:
 		db.prepMu.Lock()
 		_, ok := db.prepared[s.Name]
@@ -645,8 +875,9 @@ func (db *DB) withCommit(f func(c *storage.Commit) error) error {
 
 // matchingRows plans and materialises the rows of one table satisfying
 // where (the scan closes before any write begins, so DML never deadlocks
-// with its own read phase).
-func (db *DB) matchingRows(t storage.Engine, where sql.Expr) ([]record.Tuple, error) {
+// with its own read phase). The statement controls bound the read phase:
+// cancellation unwinds it and the materialised rows charge the budget.
+func (db *DB) matchingRows(ex *engine.Exec, t storage.Engine, where sql.Expr) ([]record.Tuple, error) {
 	sel := &sql.Select{
 		Items: []sql.SelectItem{{Star: true}},
 		From:  []sql.TableRef{{Table: t.Name(), Alias: t.Name()}},
@@ -657,22 +888,32 @@ func (db *DB) matchingRows(t storage.Engine, where sql.Expr) ([]record.Tuple, er
 	if err != nil {
 		return nil, err
 	}
-	return db.drain(op)
+	engine.SetExec(op, ex)
+	return db.drainExec(op, plan.EffectiveBatchSize(op, db.opts.ExecBatchSize), ex)
 }
 
-// drain runs a compiled plan to completion in the mode the planner fixed
-// for it: batch-wise when vectorized, the legacy scalar Drain otherwise.
-// Either way the rows come back in identical order, so the portal's
-// response digest (which folds rows in emission order) is bit-identical
-// across modes.
-func (db *DB) drain(op engine.Operator) ([]record.Tuple, error) {
-	if eff := plan.EffectiveBatchSize(op, db.opts.ExecBatchSize); eff > 1 {
-		return engine.DrainBatches(engine.AsBatch(op), eff)
+// Budget-pressure degradation: once tracked memory passes this fraction of
+// the budget, statements drop to the degraded batch size before reserving
+// more — smaller materialisation steps under pressure, refusal only when
+// the budget is actually gone.
+const (
+	degradePressure   = 0.5
+	degradedBatchSize = 16
+)
+
+// drainExec runs a compiled plan to completion at batch size eff under the
+// statement controls: batch-wise when vectorized, the legacy scalar path
+// otherwise. Either way the rows come back in identical order, so the
+// portal's response digest (which folds rows in emission order) is
+// bit-identical across modes.
+func (db *DB) drainExec(op engine.Operator, eff int, ex *engine.Exec) ([]record.Tuple, error) {
+	if eff > 1 {
+		return engine.DrainBatchesExec(engine.AsBatch(op), eff, ex)
 	}
-	return engine.Drain(op)
+	return engine.DrainExec(op, ex)
 }
 
-func (db *DB) update(up *sql.Update) (*portal.Result, error) {
+func (db *DB) update(ctx context.Context, up *sql.Update) (*portal.Result, error) {
 	t, err := db.store.Table(up.Table)
 	if err != nil {
 		return nil, err
@@ -698,7 +939,12 @@ func (db *DB) update(up *sql.Update) (*portal.Result, error) {
 		}
 		setters[i] = setter{col: ci, expr: c}
 	}
-	rows, err := db.matchingRows(t, up.Where)
+	// Cancellation applies to the read phase only: once the write loop
+	// starts there is no undo log, so the statement runs to completion to
+	// keep its effects atomic under the single commit timestamp.
+	res := govern.NewReservation(db.budget)
+	defer res.Release()
+	rows, err := db.matchingRows(engine.NewExec(ctx, res), t, up.Where)
 	if err != nil {
 		return nil, err
 	}
@@ -726,12 +972,16 @@ func (db *DB) update(up *sql.Update) (*portal.Result, error) {
 	return &portal.Result{Affected: n}, nil
 }
 
-func (db *DB) delete(del *sql.Delete) (*portal.Result, error) {
+func (db *DB) delete(ctx context.Context, del *sql.Delete) (*portal.Result, error) {
 	t, err := db.store.Table(del.Table)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := db.matchingRows(t, del.Where)
+	// As in update: cancellation bounds the read phase; the write loop is
+	// atomic and runs to completion.
+	res := govern.NewReservation(db.budget)
+	defer res.Release()
+	rows, err := db.matchingRows(engine.NewExec(ctx, res), t, del.Where)
 	if err != nil {
 		return nil, err
 	}
@@ -751,12 +1001,12 @@ func (db *DB) delete(del *sql.Delete) (*portal.Result, error) {
 	return &portal.Result{Affected: n}, nil
 }
 
-func (db *DB) query(sess *session, sel *sql.Select) (*portal.Result, error) {
+func (db *DB) query(ctx context.Context, sess *session, sel *sql.Select) (*portal.Result, error) {
 	op, err := plan.PlanSelect(db.store, sel, db.opts)
 	if err != nil {
 		return nil, err
 	}
-	return db.runSelectOp(sess, op)
+	return db.runSelectOp(ctx, sess, op)
 }
 
 // runSelectOp drains a compiled plan into a result. Every base-table scan
@@ -765,7 +1015,27 @@ func (db *DB) query(sess *session, sel *sql.Select) (*portal.Result, error) {
 // current commit watermark and released when the drain finishes. Either
 // way a multi-scan plan (joins, self-joins, spool refills) observes a
 // single consistent committed state.
-func (db *DB) runSelectOp(sess *session, op engine.Operator) (*portal.Result, error) {
+//
+// The statement executes under its context and a statement-scoped memory
+// reservation: cancellation unwinds at batch boundaries through the
+// normal error path (the deferred snapshot close and the operator Close
+// chain release everything the plan held), and every materialisation the
+// plan performs is charged against the process budget, failing fast with
+// govern.ErrResourceExhausted rather than growing the heap unbounded.
+// Under budget pressure the plan degrades to a smaller batch size first.
+func (db *DB) runSelectOp(ctx context.Context, sess *session, op engine.Operator) (*portal.Result, error) {
+	res := govern.NewReservation(db.budget)
+	defer res.Release()
+	ex := engine.NewExec(ctx, res)
+	engine.SetExec(op, ex)
+	// Clear before the plan goes back into the cache, like the snapshot: a
+	// cached operator must not retain a dead context across statements.
+	defer engine.SetExec(op, nil)
+	eff := plan.EffectiveBatchSize(op, db.opts.ExecBatchSize)
+	if eff > degradedBatchSize && db.budget.Pressure() > degradePressure {
+		eff = degradedBatchSize
+		engine.SetBatchSize(op, eff)
+	}
 	snap := sess.pinned()
 	if snap == nil {
 		snap = db.store.OpenSnapshot()
@@ -775,7 +1045,7 @@ func (db *DB) runSelectOp(sess *session, op engine.Operator) (*portal.Result, er
 	// Clear before the plan goes back into the cache: a cached operator
 	// must not retain a dangling snapshot across statements.
 	defer engine.SetSnapshot(op, nil)
-	rows, err := db.drain(op)
+	rows, err := db.drainExec(op, eff, ex)
 	if err != nil {
 		return nil, err
 	}

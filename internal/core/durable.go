@@ -7,6 +7,7 @@ package core
 // pre-durability builds.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -145,7 +146,7 @@ func isMutating(stmt sql.Statement) bool {
 // client never saw a success), and an append or group-fsync failure
 // refuses the ack and fences further writes rather than acking a
 // non-durable statement.
-func (db *DB) executeDurable(sess *session, query string, stmt sql.Statement) (*portal.Result, error) {
+func (db *DB) executeDurable(ctx context.Context, sess *session, query string, stmt sql.Statement) (*portal.Result, error) {
 	d := db.dur
 	d.gate.RLock()
 	d.mu.Lock()
@@ -155,7 +156,7 @@ func (db *DB) executeDurable(sess *session, query string, stmt sql.Statement) (*
 		d.gate.RUnlock()
 		return nil, err
 	}
-	res, err := db.executeStmtSess(sess, stmt)
+	res, err := db.executeStmtSess(ctx, sess, stmt)
 	if err != nil {
 		d.mu.Unlock()
 		d.gate.RUnlock()

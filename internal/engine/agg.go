@@ -152,7 +152,8 @@ type HashAggregate struct {
 	Names   []string // names for the group columns
 	Aggs    []AggSpec
 
-	batch int // execution mode; see SetBatchSize
+	batch int   // execution mode; see SetBatchSize
+	exec  *Exec // statement controls; see SetExec
 	out   []record.Tuple
 	pos   int
 }
@@ -186,7 +187,12 @@ func (h *HashAggregate) Open() error {
 	// Accumulation is inherently per-row; the cursor keeps the child's
 	// subtree vectorized underneath when the aggregate runs batched.
 	cur := newBatchCursor(h.Child, h.batch)
-	for {
+	for row := 0; ; row++ {
+		if row%ctxCheckStride == 0 {
+			if err := h.exec.Err(); err != nil {
+				return err
+			}
+		}
 		t, ok, err := cur.next()
 		if err != nil {
 			return err
@@ -234,7 +240,10 @@ func (h *HashAggregate) Open() error {
 		}
 		h.out = append(h.out, row)
 	}
-	return nil
+	// The grouped output lives until the statement drains it; the input
+	// rows were consumed streaming, so the output buffer is this
+	// operator's materialisation footprint.
+	return h.exec.ChargeTuples(h.out)
 }
 
 // Next emits the next group row.

@@ -165,13 +165,15 @@ func DrainBatches(b BatchOperator, size int) ([]record.Tuple, error) {
 }
 
 // drainChild drains a pipeline breaker's input in the operator's execution
-// mode: batch-wise when batch > 1, through the legacy scalar Drain
-// otherwise. Row order is identical either way.
-func drainChild(child Operator, batch int) ([]record.Tuple, error) {
+// mode: batch-wise when batch > 1, through the scalar path otherwise. Row
+// order is identical either way. The statement controls (ex may be nil)
+// bound the drain: cancellation is checked at batch boundaries and the
+// materialised rows are charged to the statement's memory reservation.
+func drainChild(child Operator, batch int, ex *Exec) ([]record.Tuple, error) {
 	if batch > 1 {
-		return DrainBatches(AsBatch(child), batch)
+		return DrainBatchesExec(AsBatch(child), batch, ex)
 	}
-	return Drain(child)
+	return DrainExec(child, ex)
 }
 
 // batchCursor adapts a child to row-at-a-time consumption while pulling

@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"context"
+
+	"veridb/internal/govern"
+	"veridb/internal/record"
+)
+
+// Exec carries the per-statement execution controls: the caller's context
+// for cooperative cancellation and a govern.Reservation charged for every
+// materialisation the statement performs (sort buffers, hash-join build
+// sides, aggregate output, spooled rows, drained results). Operators check
+// the context at batch boundaries — between batches on the vectorized
+// path, every ctxCheckStride rows on the scalar path — so a cancelled or
+// timed-out statement unwinds through the normal error path and the
+// existing Close/defer chains release scans, latches, snapshot pins and
+// merge producers.
+//
+// A nil *Exec disables both controls; every method is nil-safe, so legacy
+// call sites need no guards.
+type Exec struct {
+	ctx context.Context
+	res *govern.Reservation
+}
+
+// ctxCheckStride is how many scalar rows flow between context checks. The
+// vectorized path checks once per batch instead.
+const ctxCheckStride = 64
+
+// NewExec builds the statement controls. ctx may be nil (treated as
+// background); res may be nil (no memory accounting).
+func NewExec(ctx context.Context, res *govern.Reservation) *Exec {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Exec{ctx: ctx, res: res}
+}
+
+// Err reports the statement's cancellation state: the context error once
+// the deadline passed or the caller cancelled, nil otherwise.
+func (e *Exec) Err() error {
+	if e == nil || e.ctx == nil {
+		return nil
+	}
+	return e.ctx.Err()
+}
+
+// ChargeTuples reserves budget for rows the statement just materialised,
+// failing with govern.ErrResourceExhausted when the process budget cannot
+// cover them.
+func (e *Exec) ChargeTuples(rows []record.Tuple) error {
+	if e == nil || e.res == nil || len(rows) == 0 {
+		return nil
+	}
+	var n int64
+	for _, t := range rows {
+		n += record.TupleBytes(t)
+	}
+	return e.res.Grow(n)
+}
+
+// ChargeBytes reserves n estimated bytes for the statement.
+func (e *Exec) ChargeBytes(n int64) error {
+	if e == nil || e.res == nil {
+		return nil
+	}
+	return e.res.Grow(n)
+}
+
+// SetExec walks an operator tree and attaches the statement controls to
+// every operator that reads storage or materialises state. nil detaches
+// them (the plan cache re-targets cached trees per execution). Call before
+// Open, like SetBatchSize and SetSnapshot.
+func SetExec(op Operator, ex *Exec) {
+	switch x := op.(type) {
+	case *TableScan:
+		x.exec = ex
+	case *Values:
+	case *Filter:
+		SetExec(x.Child, ex)
+	case *Project:
+		SetExec(x.Child, ex)
+	case *Limit:
+		SetExec(x.Child, ex)
+	case *Sort:
+		x.exec = ex
+		SetExec(x.Child, ex)
+	case *Materialize:
+		x.exec = ex
+		SetExec(x.Child, ex)
+	case *HashAggregate:
+		x.exec = ex
+		SetExec(x.Child, ex)
+	case *NestedLoopJoin:
+		SetExec(x.Outer, ex)
+		SetExec(x.Inner, ex)
+	case *IndexJoin:
+		SetExec(x.Outer, ex)
+	case *MergeJoin:
+		SetExec(x.Left, ex)
+		SetExec(x.Right, ex)
+	case *HashJoin:
+		x.exec = ex
+		SetExec(x.Left, ex)
+		SetExec(x.Right, ex)
+	case *Spool:
+		x.exec = ex
+		SetExec(x.Child, ex)
+	}
+}
+
+// DrainExec runs an operator to completion under the statement controls:
+// the context is checked every ctxCheckStride rows and the drained rows
+// are charged to the reservation as they accumulate.
+func DrainExec(op Operator, ex *Exec) ([]record.Tuple, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var out []record.Tuple
+	var pending int64
+	for {
+		t, ok, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			if err := ex.ChargeBytes(pending); err != nil {
+				return nil, err
+			}
+			return out, nil
+		}
+		out = append(out, t)
+		pending += record.TupleBytes(t)
+		if len(out)%ctxCheckStride == 0 {
+			if err := ex.Err(); err != nil {
+				return nil, err
+			}
+			if err := ex.ChargeBytes(pending); err != nil {
+				return nil, err
+			}
+			pending = 0
+		}
+	}
+}
+
+// DrainBatchesExec runs a batch operator to completion with the given
+// batch size under the statement controls, checking the context and
+// charging the reservation once per batch.
+func DrainBatchesExec(b BatchOperator, size int, ex *Exec) ([]record.Tuple, error) {
+	if err := b.Open(); err != nil {
+		return nil, err
+	}
+	defer b.Close()
+	batch := NewRowBatch(size)
+	var out []record.Tuple
+	for {
+		if err := ex.Err(); err != nil {
+			return nil, err
+		}
+		n, err := b.NextBatch(batch)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return out, nil
+		}
+		start := len(out)
+		for i := 0; i < n; i++ {
+			out = append(out, batch.Row(i))
+		}
+		if err := ex.ChargeTuples(out[start:]); err != nil {
+			return nil, err
+		}
+	}
+}

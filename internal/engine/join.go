@@ -435,7 +435,8 @@ type HashJoin struct {
 	LeftKey, RightKey *Compiled
 	Residual          *Compiled
 
-	batch   int // execution mode; see SetBatchSize
+	batch   int   // execution mode; see SetBatchSize
+	exec    *Exec // statement controls; see SetExec
 	lcur    *batchCursor
 	table   map[string][]record.Tuple
 	cur     record.Tuple
@@ -454,7 +455,7 @@ func (j *HashJoin) Open() error {
 	j.table = make(map[string][]record.Tuple)
 	j.cur, j.matches, j.mi = nil, nil, 0
 	j.lcur = newBatchCursor(j.Left, j.batch)
-	rows, err := drainChild(j.Right, j.batch)
+	rows, err := drainChild(j.Right, j.batch, j.exec)
 	if err != nil {
 		return err
 	}

@@ -53,8 +53,10 @@ type TableScan struct {
 	// borrows the snapshot — the statement that pinned it closes it.
 	Snap *storage.Snapshot
 
+	exec    *Exec // statement controls; see SetExec
 	sc      storage.Iterator
 	visited int
+	rowsOut int // scalar rows since the last context check
 }
 
 // NewTableScan builds a full scan over the primary chain.
@@ -104,6 +106,12 @@ func (s *TableScan) Next() (record.Tuple, bool, error) {
 	if s.sc == nil {
 		return nil, false, fmt.Errorf("engine: scan of %q not open", s.Table.Name())
 	}
+	if s.rowsOut++; s.rowsOut >= ctxCheckStride {
+		s.rowsOut = 0
+		if err := s.exec.Err(); err != nil {
+			return nil, false, err
+		}
+	}
 	t, ok, err := s.sc.Next()
 	if !ok {
 		s.visited = s.sc.Visited()
@@ -129,6 +137,9 @@ func (s *TableScan) Visited() int { return s.visited }
 func (s *TableScan) NextBatch(dst *RowBatch) (int, error) {
 	if s.sc == nil {
 		return 0, fmt.Errorf("engine: scan of %q not open", s.Table.Name())
+	}
+	if err := s.exec.Err(); err != nil {
+		return 0, err
 	}
 	n, err := s.sc.NextBatch(dst)
 	if err != nil || n == 0 {
@@ -375,7 +386,8 @@ type Sort struct {
 	Child Operator
 	Keys  []SortKey
 
-	batch int // execution mode; see SetBatchSize
+	batch int   // execution mode; see SetBatchSize
+	exec  *Exec // statement controls; see SetExec
 	rows  []record.Tuple
 	pos   int
 }
@@ -386,7 +398,7 @@ func (s *Sort) Schema() Schema { return s.Child.Schema() }
 // Open drains and sorts the child.
 func (s *Sort) Open() error {
 	s.rows, s.pos = nil, 0
-	rows, err := drainChild(s.Child, s.batch)
+	rows, err := drainChild(s.Child, s.batch, s.exec)
 	if err != nil {
 		return err
 	}
@@ -460,7 +472,8 @@ func (s *Sort) Close() error {
 type Materialize struct {
 	Child Operator
 
-	batch  int // execution mode; see SetBatchSize
+	batch  int   // execution mode; see SetBatchSize
+	exec   *Exec // statement controls; see SetExec
 	rows   []record.Tuple
 	filled bool
 	pos    int
@@ -472,7 +485,7 @@ func (m *Materialize) Schema() Schema { return m.Child.Schema() }
 // Open fills the buffer on first use and rewinds on every use.
 func (m *Materialize) Open() error {
 	if !m.filled {
-		rows, err := drainChild(m.Child, m.batch)
+		rows, err := drainChild(m.Child, m.batch, m.exec)
 		if err != nil {
 			return err
 		}

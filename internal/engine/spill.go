@@ -29,7 +29,8 @@ type Spool struct {
 	// Store hosts the temporary table.
 	Store storage.Catalog
 
-	batch  int // execution mode; see SetBatchSize
+	batch  int   // execution mode; see SetBatchSize
+	exec   *Exec // statement controls; see SetExec
 	table  storage.Engine
 	name   string
 	sc     storage.Iterator
@@ -100,13 +101,26 @@ func (s *Spool) fill() (err error) {
 	defer s.Child.Close()
 	cur := newBatchCursor(s.Child, s.batch)
 	row := int64(0)
+	var pending int64
 	for {
+		if row%ctxCheckStride == 0 {
+			if err := s.exec.Err(); err != nil {
+				return err
+			}
+			// Spooled rows land in the verified store's heap; charge them
+			// like any other materialisation so a runaway spill hits the
+			// budget instead of the allocator.
+			if err := s.exec.ChargeBytes(pending); err != nil {
+				return err
+			}
+			pending = 0
+		}
 		tup, ok, err := cur.next()
 		if err != nil {
 			return err
 		}
 		if !ok {
-			return nil
+			return s.exec.ChargeBytes(pending)
 		}
 		spilled := make(record.Tuple, 0, len(tup)+1)
 		spilled = append(spilled, record.Int(row))
@@ -115,6 +129,7 @@ func (s *Spool) fill() (err error) {
 			return err
 		}
 		row++
+		pending += record.TupleBytes(spilled)
 	}
 }
 

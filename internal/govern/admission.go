@@ -1,0 +1,184 @@
+package govern
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// ErrOverloaded is the sentinel wrapped by every load-shedding refusal.
+// Callers match it with errors.Is.
+var ErrOverloaded = errors.New("govern: server overloaded")
+
+// overloadedMarker is the machine-parseable tail appended to every
+// OverloadedError message. It survives the trip through the portal's
+// string-typed error field, so the wire client can recover the typed
+// error (and its RetryAfter hint) with ParseOverloaded.
+const overloadedMarker = "retry-after="
+
+// OverloadedError is the typed refusal returned when admission sheds a
+// statement. RetryAfter is the server's backoff hint. It unwraps to
+// ErrOverloaded.
+type OverloadedError struct {
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("govern: server overloaded; %s%dms", overloadedMarker, e.RetryAfter.Milliseconds())
+}
+
+func (e *OverloadedError) Unwrap() error { return ErrOverloaded }
+
+// ParseOverloaded recovers a typed *OverloadedError from an error message
+// that crossed the wire as a string. ok is false when the message does not
+// carry the overload marker.
+func ParseOverloaded(msg string) (*OverloadedError, bool) {
+	i := strings.Index(msg, overloadedMarker)
+	if i < 0 {
+		return nil, false
+	}
+	rest := msg[i+len(overloadedMarker):]
+	end := strings.IndexFunc(rest, func(r rune) bool { return r < '0' || r > '9' })
+	if end == 0 {
+		return nil, false
+	}
+	if end < 0 {
+		end = len(rest)
+	}
+	ms, err := strconv.ParseInt(rest[:end], 10, 64)
+	if err != nil {
+		return nil, false
+	}
+	return &OverloadedError{RetryAfter: time.Duration(ms) * time.Millisecond}, true
+}
+
+// AdmissionStats is a point-in-time snapshot of the admission queue.
+type AdmissionStats struct {
+	Admitted int64 // statements that got a slot
+	Queued   int64 // statements that waited in the queue before a slot
+	Shed     int64 // statements refused with ErrOverloaded
+	InFlight int64 // slots currently held
+	Waiting  int64 // statements currently parked in the queue
+}
+
+// Admission bounds statement concurrency with a slot pool and a finite
+// wait queue. A statement either takes a free slot immediately, waits in
+// the queue up to maxWait (or its context deadline, whichever is sooner),
+// or is shed with a typed *OverloadedError carrying a retry hint.
+//
+// A nil *Admission admits everything: Acquire returns a no-op release.
+type Admission struct {
+	slots    chan struct{}
+	queueCap int64
+	maxWait  time.Duration
+
+	admitted atomic.Int64
+	queued   atomic.Int64
+	shed     atomic.Int64
+	inFlight atomic.Int64
+	waiting  atomic.Int64
+}
+
+// NewAdmission builds an admission gate with maxConcurrent slots, at most
+// queueDepth statements waiting behind them, and maxWait as the longest a
+// queued statement will park before being shed. maxConcurrent <= 0
+// disables the gate (returns nil).
+func NewAdmission(maxConcurrent, queueDepth int, maxWait time.Duration) *Admission {
+	if maxConcurrent <= 0 {
+		return nil
+	}
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	if maxWait <= 0 {
+		maxWait = 50 * time.Millisecond
+	}
+	return &Admission{
+		slots:    make(chan struct{}, maxConcurrent),
+		queueCap: int64(queueDepth),
+		maxWait:  maxWait,
+	}
+}
+
+// Acquire claims an execution slot, waiting in the bounded queue if none
+// is free. The returned release function MUST be called exactly once when
+// the statement finishes. On refusal it returns a *OverloadedError whose
+// RetryAfter reflects the current queue depth, or ctx.Err() if the
+// caller's context died while waiting.
+func (a *Admission) Acquire(ctx context.Context) (release func(), err error) {
+	if a == nil {
+		return func() {}, nil
+	}
+	// Fast path: free slot, no queueing.
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		a.inFlight.Add(1)
+		return a.release, nil
+	default:
+	}
+	// Queue full → shed immediately rather than park.
+	if a.waiting.Load() >= a.queueCap {
+		a.shed.Add(1)
+		return nil, a.refusal()
+	}
+	a.waiting.Add(1)
+	defer a.waiting.Add(-1)
+	timer := time.NewTimer(a.maxWait)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		a.admitted.Add(1)
+		a.queued.Add(1)
+		a.inFlight.Add(1)
+		return a.release, nil
+	case <-timer.C:
+		a.shed.Add(1)
+		return nil, a.refusal()
+	case <-ctx.Done():
+		a.shed.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+func (a *Admission) release() {
+	a.inFlight.Add(-1)
+	<-a.slots
+}
+
+// refusal builds the shed error with a retry hint scaled to how backed up
+// the server is: one maxWait per queued-or-running statement ahead of the
+// caller. The hint is clamped to [1ms, 2s] — the wire encoding carries
+// whole milliseconds, so anything smaller would parse back as "no hint".
+func (a *Admission) refusal() *OverloadedError {
+	depth := a.waiting.Load() + a.inFlight.Load()
+	if depth < 1 {
+		depth = 1
+	}
+	after := time.Duration(depth) * a.maxWait
+	if after < time.Millisecond {
+		after = time.Millisecond
+	}
+	if after > 2*time.Second {
+		after = 2 * time.Second
+	}
+	return &OverloadedError{RetryAfter: after}
+}
+
+// Stats snapshots the admission counters. Zero-valued for a nil gate.
+func (a *Admission) Stats() AdmissionStats {
+	if a == nil {
+		return AdmissionStats{}
+	}
+	return AdmissionStats{
+		Admitted: a.admitted.Load(),
+		Queued:   a.queued.Load(),
+		Shed:     a.shed.Load(),
+		InFlight: a.inFlight.Load(),
+		Waiting:  a.waiting.Load(),
+	}
+}

@@ -1,0 +1,145 @@
+package portal
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"veridb/internal/govern"
+	"veridb/internal/record"
+)
+
+// wideExec returns a response of roughly width bytes for any query, so
+// tests can fill the byte-bounded response cache quickly.
+type wideExec struct{ width int }
+
+func (e *wideExec) Execute(query string) (*Result, error) {
+	return &Result{
+		Columns: []string{"payload"},
+		Rows:    []record.Tuple{{record.Text(strings.Repeat("x", e.width))}},
+	}, nil
+}
+
+func serveOK(t *testing.T, p *Portal, key []byte, qid uint64) *Response {
+	t.Helper()
+	req := Request{ClientID: "alice", QID: qid, Query: "SELECT 1"}
+	req.MAC = SignRequest(key, req.ClientID, req.QID, req.Query)
+	resp, err := p.Serve(req)
+	if err != nil {
+		t.Fatalf("qid %d: %v", qid, err)
+	}
+	return resp
+}
+
+// TestResponseCacheByteBound: the response cache never holds more than the
+// configured byte budget — oldest endorsements are evicted first, the
+// eviction counter advances, and a replay of an evicted qid is refused
+// while a still-cached qid replays fine.
+func TestResponseCacheByteBound(t *testing.T) {
+	p, key := newPortal(t, &wideExec{width: 1024})
+	p.SetResponseCacheBytes(4096)
+	const n = 20
+	for qid := uint64(1); qid <= n; qid++ {
+		serveOK(t, p, key, qid)
+	}
+	st := p.CacheStats()
+	if st.Bytes > 4096 {
+		t.Fatalf("cache holds %d bytes past the 4096 bound", st.Bytes)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite overflow")
+	}
+	if st.Entries >= n {
+		t.Fatalf("all %d entries retained under a bound that fits ~3", n)
+	}
+	// Oldest-first: qid 1 is gone, the newest qid is still cached.
+	old := Request{ClientID: "alice", QID: 1, Query: "SELECT 1"}
+	old.MAC = SignRequest(key, old.ClientID, old.QID, old.Query)
+	if _, err := p.Serve(old); !errors.Is(err, ErrReplayedQID) {
+		t.Fatalf("evicted replay served: %v", err)
+	}
+	fresh := Request{ClientID: "alice", QID: n, Query: "SELECT 1"}
+	fresh.MAC = SignRequest(key, fresh.ClientID, fresh.QID, fresh.Query)
+	if _, err := p.Serve(fresh); err != nil {
+		t.Fatalf("cached replay rejected: %v", err)
+	}
+}
+
+// TestResponseCacheChargesBudget: every cached byte is charged to the
+// process budget and released on eviction, so the cache's footprint is
+// visible to (and bounded with) the rest of the memory governor.
+func TestResponseCacheChargesBudget(t *testing.T) {
+	p, key := newPortal(t, &wideExec{width: 512})
+	b := govern.NewBudget(0) // track-only
+	p.SetBudget(b)
+	for qid := uint64(1); qid <= 8; qid++ {
+		serveOK(t, p, key, qid)
+	}
+	if used, cached := b.Used(), p.CacheStats().Bytes; used != cached {
+		t.Fatalf("budget used %d != cached bytes %d", used, cached)
+	}
+	// Shrinking the bound evicts immediately and releases the charges.
+	p.SetResponseCacheBytes(1024)
+	st := p.CacheStats()
+	if st.Bytes > 1024 {
+		t.Fatalf("cache holds %d bytes after shrink to 1024", st.Bytes)
+	}
+	if used := b.Used(); used != st.Bytes {
+		t.Fatalf("budget used %d != cached bytes %d after shrink", used, st.Bytes)
+	}
+}
+
+// TestSignRequestTimeoutZeroCompat: a zero timeout folds nothing extra
+// into the MAC — byte-identical to the legacy SignRequest, so old clients
+// and new portals interoperate.
+func TestSignRequestTimeoutZeroCompat(t *testing.T) {
+	key := []byte("shared")
+	legacy := SignRequest(key, "alice", 7, "SELECT 1")
+	zero := SignRequestTimeout(key, "alice", 7, "SELECT 1", 0)
+	if !bytes.Equal(legacy, zero) {
+		t.Fatal("zero-timeout MAC differs from legacy SignRequest")
+	}
+	if with := SignRequestTimeout(key, "alice", 7, "SELECT 1", 250); bytes.Equal(with, legacy) {
+		t.Fatal("timeout not folded into the MAC")
+	}
+}
+
+// ctxExec records the context the portal dispatched with.
+type ctxExec struct {
+	echoExec
+	deadline bool
+}
+
+func (e *ctxExec) ExecuteContext(ctx context.Context, clientID, query string) (*Result, error) {
+	_, e.deadline = ctx.Deadline()
+	return e.echoExec.Execute(query)
+}
+
+// TestTimeoutIsAuthenticatedAndDispatched: the per-request timeout is
+// covered by the request MAC (a relay cannot stretch or strip it), and a
+// nonzero timeout reaches a ContextExecutor as a real context deadline.
+func TestTimeoutIsAuthenticatedAndDispatched(t *testing.T) {
+	ex := &ctxExec{}
+	p, key := newPortal(t, ex)
+	req := Request{ClientID: "alice", QID: 3, Query: "SELECT 1", TimeoutMS: 50}
+	req.MAC = SignRequestTimeout(key, req.ClientID, req.QID, req.Query, req.TimeoutMS)
+	// Tampered timeout → MAC reject, never executed.
+	forged := req
+	forged.TimeoutMS = 5000
+	if _, err := p.Serve(forged); !errors.Is(err, ErrUnauthorized) {
+		t.Fatalf("stretched timeout accepted: %v", err)
+	}
+	start := time.Now()
+	if _, err := p.Serve(req); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("dispatch stalled")
+	}
+	if !ex.deadline {
+		t.Fatal("executor context carried no deadline for TimeoutMS=50")
+	}
+}

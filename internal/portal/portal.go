@@ -6,6 +6,7 @@
 package portal
 
 import (
+	"context"
 	"crypto/hmac"
 	"crypto/sha256"
 	"encoding/binary"
@@ -13,8 +14,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"veridb/internal/enclave"
+	"veridb/internal/govern"
 	"veridb/internal/record"
 )
 
@@ -52,12 +55,26 @@ type SessionExecutor interface {
 	ExecuteSession(clientID, query string) (*Result, error)
 }
 
+// ContextExecutor is implemented by executors that honor per-request
+// deadlines and cancellation (core.DB does). When the executor supports
+// it, the portal derives a context from the request's TimeoutMS and the
+// statement is cancelled — resources released — once it elapses.
+type ContextExecutor interface {
+	Executor
+	ExecuteContext(ctx context.Context, clientID, query string) (*Result, error)
+}
+
 // Request is an authenticated client query.
 type Request struct {
 	ClientID string
 	QID      uint64 // unique per client; replays are rejected
 	Query    string
-	MAC      []byte // HMAC(k, clientID ‖ qid ‖ query)
+	// TimeoutMS, when nonzero, is the client's per-request deadline in
+	// milliseconds; the server's own StatementTimeout still applies
+	// (whichever is sooner wins). Folded into the MAC only when set, so
+	// requests without a deadline authenticate exactly as before.
+	TimeoutMS uint64
+	MAC       []byte // HMAC(k, clientID ‖ qid ‖ query [‖ timeout])
 }
 
 // Response carries the result, its sequence number and the portal's MAC.
@@ -91,6 +108,11 @@ type Quarantiner interface {
 // not unbounded history.
 const responseCacheSize = 128
 
+// defaultResponseCacheBytes bounds the response cache's total estimated
+// bytes across all clients: a handful of very large result sets must not
+// dwarf the per-client entry limit. Oldest entries are evicted first.
+const defaultResponseCacheBytes = 16 << 20
+
 // clientState is the portal's per-client replay defence: the full set of
 // served qids (replays are never re-executed) plus a bounded cache of the
 // most recent endorsed responses so a client retrying a lost response gets
@@ -98,7 +120,14 @@ const responseCacheSize = 128
 type clientState struct {
 	seen  map[uint64]bool
 	cache map[uint64]*Response
-	order []uint64 // cached qids, oldest first (eviction order)
+	size  map[uint64]int64 // cached entry byte estimates (for eviction)
+	order []uint64         // cached qids, oldest first (eviction order)
+}
+
+// cacheRef identifies one cached response in global insertion order.
+type cacheRef struct {
+	st  *clientState
+	qid uint64
 }
 
 // Portal is the enclave-resident query gateway.
@@ -109,16 +138,81 @@ type Portal struct {
 
 	mu      sync.Mutex
 	clients map[string]*clientState
+	// Response-cache byte accounting: total estimated bytes, the bound,
+	// the global oldest-first eviction order, and the eviction counter.
+	cacheBytes int64
+	cacheMax   int64
+	cacheOrder []cacheRef
+	evictions  int64
+	// budget, when set, is charged for cached response bytes so the cache
+	// participates in the process memory governor.
+	budget *govern.Budget
 }
 
 // New builds a portal over an enclave and executor.
 func New(enc *enclave.Enclave, exec Executor) *Portal {
 	return &Portal{
-		enc:     enc,
-		exec:    exec,
-		seq:     enc.MonotonicCounter("portal-seq"),
-		clients: make(map[string]*clientState),
+		enc:      enc,
+		exec:     exec,
+		seq:      enc.MonotonicCounter("portal-seq"),
+		clients:  make(map[string]*clientState),
+		cacheMax: defaultResponseCacheBytes,
 	}
+}
+
+// SetBudget charges cached response bytes against the process memory
+// budget (nil detaches). Call before serving traffic.
+func (p *Portal) SetBudget(b *govern.Budget) {
+	p.mu.Lock()
+	p.budget = b
+	p.mu.Unlock()
+}
+
+// SetResponseCacheBytes bounds the response cache's total estimated bytes;
+// n <= 0 restores the default. Shrinking evicts oldest-first immediately.
+func (p *Portal) SetResponseCacheBytes(n int64) {
+	p.mu.Lock()
+	if n <= 0 {
+		n = defaultResponseCacheBytes
+	}
+	p.cacheMax = n
+	p.evictOverBytesLocked()
+	p.mu.Unlock()
+}
+
+// CacheStats is a point-in-time snapshot of the response cache.
+type CacheStats struct {
+	// Entries is the number of cached responses across all clients.
+	Entries int
+	// Bytes is the estimated total size of cached responses.
+	Bytes int64
+	// Evictions counts responses dropped by either bound (per-client
+	// entries or total bytes) since the portal started.
+	Evictions int64
+}
+
+// CacheStats snapshots the response-cache counters.
+func (p *Portal) CacheStats() CacheStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	entries := 0
+	for _, st := range p.clients {
+		entries += len(st.cache)
+	}
+	return CacheStats{Entries: entries, Bytes: p.cacheBytes, Evictions: p.evictions}
+}
+
+// responseBytes estimates a cached response's heap footprint.
+func responseBytes(resp *Response) int64 {
+	n := int64(160) // struct, slice headers, MAC backing array
+	n += int64(len(resp.ErrMsg) + len(resp.MAC))
+	for _, c := range resp.Columns {
+		n += 16 + int64(len(c))
+	}
+	for _, row := range resp.Rows {
+		n += record.TupleBytes(row)
+	}
+	return n
 }
 
 // Seq returns the highest sequence number assigned so far — the floor a
@@ -129,6 +223,15 @@ func (p *Portal) Seq() uint64 { return p.seq.Load() }
 // SignRequest computes the request MAC with the pre-exchanged key. The
 // client package calls this on its own copy of the key.
 func SignRequest(key []byte, clientID string, qid uint64, query string) []byte {
+	return SignRequestTimeout(key, clientID, qid, query, 0)
+}
+
+// SignRequestTimeout is SignRequest for requests carrying a per-request
+// deadline. A zero timeout yields the exact legacy MAC (the field is
+// folded in only when set), so deadline-less clients and servers remain
+// bit-compatible; a nonzero timeout is authenticated so a relay cannot
+// strip or stretch a client's deadline.
+func SignRequestTimeout(key []byte, clientID string, qid uint64, query string, timeoutMS uint64) []byte {
 	mac := hmac.New(sha256.New, key)
 	writeField(mac, []byte("req"))
 	writeField(mac, []byte(clientID))
@@ -136,6 +239,12 @@ func SignRequest(key []byte, clientID string, qid uint64, query string) []byte {
 	binary.LittleEndian.PutUint64(q[:], qid)
 	writeField(mac, q[:])
 	writeField(mac, []byte(query))
+	if timeoutMS != 0 {
+		var t [8]byte
+		binary.LittleEndian.PutUint64(t[:], timeoutMS)
+		writeField(mac, []byte("deadline"))
+		writeField(mac, t[:])
+	}
 	return mac.Sum(nil)
 }
 
@@ -191,14 +300,18 @@ func (p *Portal) Serve(req Request) (*Response, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: unknown client %q", ErrUnauthorized, req.ClientID)
 	}
-	want := SignRequest(key, req.ClientID, req.QID, req.Query)
+	want := SignRequestTimeout(key, req.ClientID, req.QID, req.Query, req.TimeoutMS)
 	if !hmac.Equal(want, req.MAC) {
 		return nil, fmt.Errorf("%w: MAC mismatch for client %q", ErrUnauthorized, req.ClientID)
 	}
 	p.mu.Lock()
 	st := p.clients[req.ClientID]
 	if st == nil {
-		st = &clientState{seen: make(map[uint64]bool), cache: make(map[uint64]*Response)}
+		st = &clientState{
+			seen:  make(map[uint64]bool),
+			cache: make(map[uint64]*Response),
+			size:  make(map[uint64]int64),
+		}
 		p.clients[req.ClientID] = st
 	}
 	if st.seen[req.QID] {
@@ -228,7 +341,15 @@ func (p *Portal) Serve(req Request) (*Response, error) {
 	}
 	var res *Result
 	var err error
-	if se, ok := p.exec.(SessionExecutor); ok {
+	if ce, ok := p.exec.(ContextExecutor); ok {
+		ctx := context.Background()
+		if req.TimeoutMS > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+			defer cancel()
+		}
+		res, err = ce.ExecuteContext(ctx, req.ClientID, req.Query)
+	} else if se, ok := p.exec.(SessionExecutor); ok {
 		res, err = se.ExecuteSession(req.ClientID, req.Query)
 	} else {
 		res, err = p.exec.Execute(req.Query)
@@ -245,17 +366,52 @@ func (p *Portal) Serve(req Request) (*Response, error) {
 	return resp, nil
 }
 
-// cacheResponse stores an endorsed response for retry idempotence,
-// evicting the oldest cached entry beyond the per-client budget.
+// cacheResponse stores an endorsed response for retry idempotence. Two
+// bounds apply: the per-client entry cap (replay-window depth) and the
+// portal-wide byte cap (total memory), both evicting oldest-first. Cached
+// bytes are charged to the process budget unconditionally — the cache is
+// already-committed memory, so overshoot shows up as pressure for future
+// reservations rather than failing the response that was just served.
 func (p *Portal) cacheResponse(st *clientState, resp *Response) {
+	sz := responseBytes(resp)
 	p.mu.Lock()
 	st.cache[resp.QID] = resp
+	st.size[resp.QID] = sz
 	st.order = append(st.order, resp.QID)
+	p.cacheOrder = append(p.cacheOrder, cacheRef{st: st, qid: resp.QID})
+	p.cacheBytes += sz
+	p.budget.Charge(sz)
 	for len(st.order) > responseCacheSize {
-		delete(st.cache, st.order[0])
+		p.dropEntryLocked(st, st.order[0])
 		st.order = st.order[1:]
 	}
+	p.evictOverBytesLocked()
 	p.mu.Unlock()
+}
+
+// evictOverBytesLocked drops oldest entries until the cache fits cacheMax.
+// Refs whose entry was already removed by the per-client cap are skipped
+// (dropEntryLocked no-ops on absent qids).
+func (p *Portal) evictOverBytesLocked() {
+	for p.cacheBytes > p.cacheMax && len(p.cacheOrder) > 0 {
+		ref := p.cacheOrder[0]
+		p.cacheOrder = p.cacheOrder[1:]
+		p.dropEntryLocked(ref.st, ref.qid)
+	}
+}
+
+// dropEntryLocked removes one cached response, returning its bytes to the
+// accounting and the budget. No-op if the entry is already gone.
+func (p *Portal) dropEntryLocked(st *clientState, qid uint64) {
+	sz, ok := st.size[qid]
+	if !ok {
+		return
+	}
+	delete(st.cache, qid)
+	delete(st.size, qid)
+	p.cacheBytes -= sz
+	p.budget.Release(sz)
+	p.evictions++
 }
 
 // ResumeAt fast-forwards the sequence counter after recovery. A machine

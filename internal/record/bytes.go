@@ -1,0 +1,31 @@
+package record
+
+// Memory-footprint estimators used by the govern budget. These are
+// deliberately cheap approximations of the in-heap size of a Value/Tuple
+// (struct layout plus string payload), not serialized sizes: the budget
+// guards the Go heap, and a consistent over-count beats an exact but
+// expensive one.
+
+// valueStructBytes is the flat size of the Value struct itself: Type/Null/B
+// pack with padding alongside I, F, and the string header, landing at 48
+// bytes on 64-bit platforms. Kept as a constant so the estimate is stable
+// across architectures.
+const valueStructBytes = 48
+
+// tupleHeaderBytes covers the Tuple slice header.
+const tupleHeaderBytes = 24
+
+// ValueBytes estimates the heap footprint of one Value.
+func ValueBytes(v Value) int64 {
+	return valueStructBytes + int64(len(v.S))
+}
+
+// TupleBytes estimates the heap footprint of one Tuple, including its
+// slice header and string payloads.
+func TupleBytes(t Tuple) int64 {
+	n := int64(tupleHeaderBytes)
+	for _, v := range t {
+		n += ValueBytes(v)
+	}
+	return n
+}

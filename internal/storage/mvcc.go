@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"veridb/internal/govern"
 	"veridb/internal/index"
 	"veridb/internal/record"
 )
@@ -140,6 +141,17 @@ func (c *commitClock) recomputeFloorLocked() {
 // watermark returns the largest seq with every seq ≤ it completed.
 func (c *commitClock) watermark() uint64 { return c.mark.Load() }
 
+// pinCount reports how many snapshot pins are currently held.
+func (c *commitClock) pinCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, cnt := range c.pins {
+		n += cnt
+	}
+	return n
+}
+
 // floor returns the reclamation floor: no live or future snapshot can read
 // below it.
 func (c *commitClock) floor() uint64 { return c.floorV.Load() }
@@ -229,6 +241,30 @@ func (sn *Snapshot) Close() {
 // Watermark returns the commit watermark: what a Snapshot opened now would
 // pin.
 func (s *Store) Watermark() uint64 { return s.clock.watermark() }
+
+// SnapshotPins reports how many snapshot pins are currently held across
+// all readers — the overload bench's post-drain leak check.
+func (s *Store) SnapshotPins() int { return s.clock.pinCount() }
+
+// SetBudget points the store at the process memory budget. Retired MVCC
+// version images are charged to it when captured and released when
+// reclaimed, so long version chains (held open by pinned snapshots) show
+// up as memory pressure instead of silent heap growth. nil detaches.
+func (s *Store) SetBudget(b *govern.Budget) { s.budget.Store(b) }
+
+// versionBytes estimates the trusted-heap footprint of one retired record
+// image: the record struct, its chain links, and the tuple payload. The
+// estimate is a pure function of the (immutable) image, so the release at
+// reclamation always matches the charge at capture.
+func versionBytes(rec *record.Record) int64 {
+	// Record struct + version bookkeeping ≈ 64 bytes; each ChainLink holds
+	// two Keys (two small structs with a byte-slice payload each).
+	n := int64(64)
+	for _, l := range rec.Links {
+		n += 96 + int64(len(l.Key.B)+len(l.NKey.B))
+	}
+	return n + record.TupleBytes(rec.Data)
+}
 
 // version is one retired record image: the record looked like rec for
 // commit seqs in [begin, end).
@@ -418,6 +454,7 @@ func (op *mvOp) finish() {
 	op.c.noteEff(eff)
 	floor := op.sh.t.store.clock.floor()
 	maxVer := int(op.sh.t.store.maxVersions.Load())
+	bud := op.sh.t.store.budget.Load()
 	for i := range op.pre {
 		for enc, img := range op.pre[i] {
 			b := mv.cur[i][enc]
@@ -427,15 +464,18 @@ func (op *mvOp) finish() {
 			vs := mv.hist[i][enc]
 			hadHist := len(vs) > 0
 			for len(vs) > 0 && vs[0].end <= floor {
+				bud.Release(versionBytes(vs[0].rec))
 				vs = vs[1:]
 				mv.retained--
 			}
 			vs = append(vs, version{begin: b, end: eff, rec: img})
 			mv.retained++
+			bud.Charge(versionBytes(img))
 			if maxVer > 0 && len(vs) > maxVer {
 				if f := vs[0].end; f > mv.verFloor {
 					mv.verFloor = f
 				}
+				bud.Release(versionBytes(vs[0].rec))
 				vs = vs[1:]
 				mv.retained--
 			}
@@ -604,6 +644,7 @@ type VersionGCStats struct {
 func (s *Store) VersionGCPass() VersionGCStats {
 	floor := s.clock.floor()
 	st := VersionGCStats{Floor: floor}
+	bud := s.budget.Load()
 	s.mu.RLock()
 	tables := make([]*Table, 0, len(s.tables))
 	for _, t := range s.tables {
@@ -622,6 +663,7 @@ func (s *Store) VersionGCPass() VersionGCStats {
 				for enc, vs := range mv.hist[i] {
 					n := 0
 					for n < len(vs) && vs[n].end <= floor {
+						bud.Release(versionBytes(vs[n].rec))
 						n++
 					}
 					if n == 0 {

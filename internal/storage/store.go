@@ -13,6 +13,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"veridb/internal/govern"
 	"veridb/internal/record"
 	"veridb/internal/vmem"
 )
@@ -70,6 +71,12 @@ type Store struct {
 	gcMu   sync.Mutex
 	gcStop chan struct{}
 	gcWG   sync.WaitGroup
+
+	// budget, when set, is charged for retired MVCC version images (they
+	// live in trusted heap until GC) so version-chain growth is visible to
+	// the process memory governor. Atomic pointer: SetBudget may race with
+	// concurrent commits.
+	budget atomic.Pointer[govern.Budget]
 }
 
 // CatalogVersion returns a counter that advances on every catalog or
@@ -181,8 +188,20 @@ func (s *Store) DropTable(name string) error {
 		return fmt.Errorf("%w: %q", ErrNoSuchTable, name)
 	}
 	s.version.Add(1)
+	bud := s.budget.Load()
 	for _, sh := range t.shards {
 		sh.mu.Lock()
+		if sh.mv != nil {
+			// The dropped table's retired versions go with it; return their
+			// budget charge so the governor doesn't count freed heap.
+			for i := range sh.mv.hist {
+				for _, vs := range sh.mv.hist[i] {
+					for _, v := range vs {
+						bud.Release(versionBytes(v.rec))
+					}
+				}
+			}
+		}
 		for _, pid := range sh.pages {
 			if err := s.mem.FreePage(pid); err != nil {
 				sh.mu.Unlock()

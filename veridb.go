@@ -26,12 +26,14 @@
 package veridb
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"veridb/internal/client"
 	"veridb/internal/core"
 	"veridb/internal/enclave"
+	"veridb/internal/govern"
 	"veridb/internal/plan"
 	"veridb/internal/portal"
 	"veridb/internal/record"
@@ -118,6 +120,23 @@ type Health = core.Health
 // PlanCacheStats counts prepared-plan cache traffic (hits, misses,
 // invalidations, live entries).
 type PlanCacheStats = plan.CacheStats
+
+// GovernStats snapshots the overload-protection state: memory-budget
+// usage, admission/shed counters, expired sessions, live snapshot pins
+// and the portal response cache.
+type GovernStats = core.GovernStats
+
+// Overload-protection errors crossing the public API.
+var (
+	// ErrOverloaded means admission control shed the statement; the typed
+	// error carries a RetryAfter hint and the retrying client backs off.
+	ErrOverloaded = govern.ErrOverloaded
+	// ErrResourceExhausted means the statement would exceed MemBudget.
+	ErrResourceExhausted = govern.ErrResourceExhausted
+	// ErrSessionExpired means the idle reaper released this session's
+	// pinned snapshot (SessionMaxIdle); BEGIN SNAPSHOT again.
+	ErrSessionExpired = core.ErrSessionExpired
+)
 
 // JoinStrategy names for Config.Join.
 const (
@@ -222,6 +241,45 @@ type Config struct {
 	// reading an inconsistent cut. Zero keeps history bounded only by the
 	// GC floor.
 	MaxVersionsPerRow int
+	// StatementTimeout bounds each statement's wall-clock execution. The
+	// deadline is threaded as a context through the planner, engine
+	// operators and storage scans; at expiry the statement fails with
+	// context.DeadlineExceeded and releases its latches, snapshot pins,
+	// spool tables and merge producers. Zero disables the server-side
+	// deadline (per-request deadlines on the wire still apply; the sooner
+	// of the two wins).
+	StatementTimeout time.Duration
+	// MemBudget caps the estimated bytes of statement materialisations
+	// (sorts, hash tables, spools), MVCC version chains and the portal
+	// response cache, process-wide. Statements that would exceed it fail
+	// fast with a typed resource-exhausted error; under pressure
+	// spill-eligible operators degrade to smaller batches first. Zero
+	// tracks usage without refusing.
+	MemBudget int64
+	// MaxConcurrentStatements caps statements executing in the kernel at
+	// once. Excess statements wait in a bounded queue and are shed with a
+	// typed overloaded error carrying a RetryAfter hint once the queue is
+	// full or AdmissionMaxWait elapses; the retrying client honors the
+	// hint with jittered backoff. Zero disables admission control.
+	MaxConcurrentStatements int
+	// AdmissionQueueDepth bounds how many statements may wait for an
+	// execution slot before new arrivals are shed immediately. Meaningful
+	// only with MaxConcurrentStatements > 0.
+	AdmissionQueueDepth int
+	// AdmissionMaxWait bounds how long a queued statement waits for a
+	// slot before being shed. Zero means 50ms. Meaningful only with
+	// MaxConcurrentStatements > 0.
+	AdmissionMaxWait time.Duration
+	// SessionMaxIdle expires a client session's pinned snapshot (BEGIN
+	// SNAPSHOT) after this much statement inactivity, so a vanished client
+	// cannot hold version garbage collection hostage. The expired
+	// session's next statement fails once with a session-expired error;
+	// the client re-pins with a fresh BEGIN SNAPSHOT. Zero never expires.
+	SessionMaxIdle time.Duration
+	// ResponseCacheBytes bounds the portal's retry-idempotence response
+	// cache by total estimated bytes, evicting oldest first (the
+	// per-client entry cap still applies). Zero keeps the default (16 MB).
+	ResponseCacheBytes int64
 }
 
 // validate rejects configurations that would otherwise surface as opaque
@@ -277,6 +335,33 @@ func (c Config) validate() error {
 	}
 	if c.MaxVersionsPerRow < 0 {
 		return fmt.Errorf("veridb: MaxVersionsPerRow is %d; want 0 (GC-floor bounded history) or a positive cap", c.MaxVersionsPerRow)
+	}
+	if c.StatementTimeout < 0 {
+		return fmt.Errorf("veridb: StatementTimeout is %v; want 0 (no server-side deadline) or a positive duration", c.StatementTimeout)
+	}
+	if c.MemBudget < 0 {
+		return fmt.Errorf("veridb: MemBudget is %d; want 0 (track without refusing) or a positive byte cap", c.MemBudget)
+	}
+	if c.MaxConcurrentStatements < 0 {
+		return fmt.Errorf("veridb: MaxConcurrentStatements is %d; want 0 (no admission control) or a positive slot count", c.MaxConcurrentStatements)
+	}
+	if c.AdmissionQueueDepth < 0 {
+		return fmt.Errorf("veridb: AdmissionQueueDepth is %d; want 0 (shed when all slots busy) or a positive queue depth", c.AdmissionQueueDepth)
+	}
+	if c.AdmissionQueueDepth > 0 && c.MaxConcurrentStatements == 0 {
+		return fmt.Errorf("veridb: AdmissionQueueDepth %d has no effect without MaxConcurrentStatements (admission control is off)", c.AdmissionQueueDepth)
+	}
+	if c.AdmissionMaxWait < 0 {
+		return fmt.Errorf("veridb: AdmissionMaxWait is %v; want 0 (default 50ms) or a positive wait", c.AdmissionMaxWait)
+	}
+	if c.AdmissionMaxWait > 0 && c.MaxConcurrentStatements == 0 {
+		return fmt.Errorf("veridb: AdmissionMaxWait %v has no effect without MaxConcurrentStatements (admission control is off)", c.AdmissionMaxWait)
+	}
+	if c.SessionMaxIdle < 0 {
+		return fmt.Errorf("veridb: SessionMaxIdle is %v; want 0 (sessions never expire) or a positive idle bound", c.SessionMaxIdle)
+	}
+	if c.ResponseCacheBytes < 0 {
+		return fmt.Errorf("veridb: ResponseCacheBytes is %d; want 0 (default 16 MB) or a positive byte cap", c.ResponseCacheBytes)
 	}
 	return nil
 }
@@ -340,6 +425,14 @@ func (c Config) coreConfig() (core.Config, error) {
 		PlanCacheSize:       planCache,
 		MVCCGCInterval:      c.MVCCGCInterval,
 		MaxVersionsPerRow:   c.MaxVersionsPerRow,
+
+		StatementTimeout:        c.StatementTimeout,
+		MemBudget:               c.MemBudget,
+		MaxConcurrentStatements: c.MaxConcurrentStatements,
+		AdmissionQueueDepth:     c.AdmissionQueueDepth,
+		AdmissionMaxWait:        c.AdmissionMaxWait,
+		SessionMaxIdle:          c.SessionMaxIdle,
+		ResponseCacheBytes:      c.ResponseCacheBytes,
 	}, nil
 }
 
@@ -411,6 +504,28 @@ func (db *DB) Explain(query string) (string, error) { return db.inner.Explain(qu
 
 // PlanCache snapshots the prepared-plan cache counters.
 func (db *DB) PlanCache() PlanCacheStats { return db.inner.PlanCacheStats() }
+
+// Govern snapshots the overload-protection counters (memory budget,
+// admission queue, expired sessions, snapshot pins, response cache).
+func (db *DB) Govern() GovernStats { return db.inner.GovernStats() }
+
+// ExecTimeout is Exec with a per-statement deadline: the statement is
+// cancelled (resources released) when the timeout elapses, failing with
+// context.DeadlineExceeded. A configured StatementTimeout still applies;
+// the sooner deadline wins.
+func (db *DB) ExecTimeout(query string, timeout time.Duration) (*Result, error) {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	res, err := db.inner.ExecuteContext(ctx, "", query)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: res.Columns, Rows: res.Rows, Affected: res.Affected}, nil
+}
 
 // Checkpoint (durable instances only) freezes the verified tables into
 // immutable on-disk segment files with a MACed manifest and rotates the
