@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint test race bench bench-query bench-wal bench-mvcc bench-overload chaos crash fuzz ci
+.PHONY: build vet lint test race bench bench-query bench-wal bench-mvcc bench-overload bench-wire chaos crash fuzz ci
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,14 @@ bench-mvcc:
 bench-overload:
 	$(GO) run ./cmd/veridb-bench overload -overload-rows 500 -seconds 1 -overload-json ""
 
+# Wire-protocol smoke: a short closed-loop sweep of both protocols over
+# real sockets. The bench itself hard-fails on any MAC-verification
+# failure or post-drain goroutine leak, so this doubles as a regression
+# gate for the pipelined server path. Real measurements use the defaults:
+# veridb-bench serve.
+bench-wire:
+	$(GO) run ./cmd/veridb-bench serve -wire-rows 500 -wire-ops 300 -inflights 1,16 -wire-json ""
+
 # Fault-injection suite: the chaos injector, quarantine/failover paths in
 # core, the retrying client, the portal response cache, and the end-to-end
 # fault-recovery bench — all under the race detector, uncached, with a
@@ -63,7 +71,8 @@ bench-overload:
 chaos:
 	$(GO) test -race -count=1 -timeout 5m \
 		./internal/chaos ./internal/core ./internal/client \
-		./internal/portal ./internal/bench ./internal/govern
+		./internal/portal ./internal/bench ./internal/govern \
+		./internal/server ./internal/wire
 
 # Crash matrix: the durable-storage proof. Kills the WAL at every record
 # boundary and mid-record (clean truncation + torn half-synced writes),
@@ -80,11 +89,15 @@ crash:
 
 # Fuzz smoke: each decode-path fuzzer runs briefly over its committed
 # seed corpus plus fresh mutations. The invariant under test: arbitrary
-# disk bytes produce a typed error or a valid result, never a panic.
+# disk or network bytes produce a typed error or a valid result, never a
+# panic.
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzWALRecordDecode$$' -fuzztime 10s ./internal/wal
 	$(GO) test -run '^$$' -fuzz '^FuzzWALHeaderDecode$$' -fuzztime 10s ./internal/wal
 	$(GO) test -run '^$$' -fuzz '^FuzzManifestDecode$$' -fuzztime 10s ./internal/wal
 	$(GO) test -run '^$$' -fuzz '^FuzzSegmentDecode$$' -fuzztime 10s ./internal/wal
+	$(GO) test -run '^$$' -fuzz '^FuzzFrameDecode$$' -fuzztime 10s ./internal/wire
+	$(GO) test -run '^$$' -fuzz '^FuzzQueryDecode$$' -fuzztime 10s ./internal/wire
+	$(GO) test -run '^$$' -fuzz '^FuzzResultDecode$$' -fuzztime 10s ./internal/wire
 
-ci: build lint test race chaos crash bench-query bench-wal bench-mvcc bench-overload
+ci: build lint test race chaos crash bench-query bench-wal bench-mvcc bench-overload bench-wire

@@ -1,4 +1,4 @@
-package veridb
+package veridb_test
 
 // One benchmark family per figure in the paper's evaluation (§6). These
 // run at reduced scale so `go test -bench=.` completes in minutes; the

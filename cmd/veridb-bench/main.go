@@ -17,6 +17,7 @@
 //	veridb-bench wal    [-statements N] [-checkpoint-every N] [-wal-json BENCH_wal.json]
 //	veridb-bench mvcc   [-warehouses N] [-seconds S] [-mvcc-clients N] [-mvcc-json BENCH_mvcc.json]
 //	veridb-bench overload [-overload-rows N] [-seconds S] [-overload-workers N] [-overload-json BENCH_overload.json]
+//	veridb-bench serve [-wire-rows N] [-wire-ops N] [-inflights 1,4,16,64] [-wire-json BENCH_wire.json]
 //	veridb-bench ablations [-rows N]
 //	veridb-bench all
 //
@@ -46,6 +47,15 @@
 // readers), and records the non-shed p99 against the unloaded p99, the
 // typed shed refusals, and the post-drain leak checks (goroutines,
 // tracked memory, snapshot pins). Every delivered response MAC-verifies.
+//
+// The serve subcommand measures the wire protocols end to end: a
+// closed-loop load generator over real TCP sockets sweeps concurrency
+// {1,4,16,64} × protocol {json, binary}. JSON legs run one serial request
+// per connection (the legacy protocol cannot pipeline); binary legs put
+// the whole window in flight on ONE connection through the client
+// pipeline. Every response is MAC-verified, and the run hard-fails on a
+// verification failure or a post-drain goroutine leak. The headline is
+// the binary-pipelined speedup over serial JSON (acceptance: ≥ 3x).
 //
 // The mvcc subcommand measures snapshot-read retention: TPC-C writer
 // throughput with and without a concurrent reader that pins snapshots
@@ -99,6 +109,11 @@ func main() {
 	overloadRows := fs.Int("overload-rows", 2000, "seeded kv rows (overload)")
 	overloadWorkers := fs.Int("overload-workers", 8, "point-query storm workers (overload)")
 	overloadJSON := fs.String("overload-json", "BENCH_overload.json", "write the overload run as JSON to this path (overload); empty disables")
+	wireRows := fs.Int("wire-rows", 2000, "seeded kv rows (serve)")
+	wireOps := fs.Int("wire-ops", 2000, "measured queries per protocol x inflight leg (serve)")
+	inflightList := fs.String("inflights", "1,4,16,64", "comma-separated concurrency sweep (serve)")
+	rttMS := fs.Float64("rtt", 0.5, "modeled round-trip link latency, ms (serve); 0 measures raw loopback")
+	wireJSON := fs.String("wire-json", "BENCH_wire.json", "write the wire sweep as JSON to this path (serve); empty disables")
 	fs.Parse(os.Args[2:])
 
 	run := func(name string, f func() error) {
@@ -112,7 +127,7 @@ func main() {
 	known := map[string]bool{"fig9": true, "fig10": true, "fig11": true,
 		"fig12": true, "fig13": true, "verify": true, "fault": true,
 		"query": true, "wal": true, "mvcc": true, "overload": true,
-		"ablations": true, "all": true}
+		"serve": true, "ablations": true, "all": true}
 	if !known[cmd] {
 		usage()
 		os.Exit(2)
@@ -128,11 +143,12 @@ func main() {
 	run("wal", func() error { return walBench(*statements, *checkpointEvery, *walJSON) })
 	run("mvcc", func() error { return mvccBench(*warehouses, *seconds, *mvccClients, *mvccJSON) })
 	run("overload", func() error { return overloadBench(*overloadRows, *seconds, *overloadWorkers, *overloadJSON) })
+	run("serve", func() error { return wireBench(*wireRows, *wireOps, *inflightList, *rttMS, *wireJSON) })
 	run("ablations", func() error { return ablations(*rows) })
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `veridb-bench <fig9|fig10|fig11|fig12|fig13|verify|fault|query|wal|mvcc|overload|ablations|all> [flags]`)
+	fmt.Fprintln(os.Stderr, `veridb-bench <fig9|fig10|fig11|fig12|fig13|verify|fault|query|wal|mvcc|overload|serve|ablations|all> [flags]`)
 }
 
 func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
@@ -504,6 +520,49 @@ func overloadBench(rows int, seconds float64, workers int, jsonPath string) erro
 	fmt.Printf("-- post-drain: mem %d (net of %d cache bytes), pins %d, goroutines %d (baseline %d)\n",
 		run.PostDrainMemUsed, run.ResponseCacheBytes, run.PostDrainPins,
 		run.PostCloseGoroutines, run.BaselineGoroutines)
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(run, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("-- wrote %s\n", jsonPath)
+	}
+	fmt.Println()
+	return nil
+}
+
+func wireBench(rows, ops int, inflightList string, rttMS float64, jsonPath string) error {
+	var inflights []int
+	for _, s := range strings.Split(inflightList, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -inflights entry %q", s)
+		}
+		inflights = append(inflights, n)
+	}
+	rtt := time.Duration(rttMS * float64(time.Millisecond))
+	if rtt <= 0 {
+		rtt = -1 // WireConfig: negative means a true zero-latency link
+	}
+	fmt.Printf("== Wire protocols: closed-loop QPS over real sockets (rows=%d, ops=%d/leg, rtt=%.2fms) ==\n",
+		rows, ops, rttMS)
+	run, err := bench.RunWire(bench.WireConfig{Rows: rows, Ops: ops, Inflights: inflights, RTT: rtt})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-9s %9s %10s %10s %12s %12s %10s\n",
+		"protocol", "inflight", "ops", "QPS", "p50(us)", "p99(us)", "verified")
+	for _, leg := range run.Legs {
+		fmt.Printf("%-9s %9d %10d %10.0f %12.1f %12.1f %10d\n",
+			leg.Protocol, leg.Inflight, leg.Ops, leg.QPS, leg.P50US, leg.P99US, leg.Verified)
+	}
+	fmt.Printf("-- headline: binary pipelined vs serial JSON speedup %.2fx (target >= 3x); every response MAC-verified\n",
+		run.SpeedupBinaryPipelined)
+	fmt.Printf("-- post-drain goroutines %d (baseline %d): no connection, handler or writer leaked\n",
+		run.PostDrainGoroutines, run.BaselineGoroutines)
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(run, "", "  ")
 		if err != nil {

@@ -1,10 +1,15 @@
 // Command veridb-server exposes a VeriDB instance over TCP with the
-// paper's client protocol (Fig. 2): newline-delimited JSON messages
-// carrying MAC-authenticated queries in and sequenced, MAC-endorsed
-// responses out, plus an attestation operation for session setup and a
-// health operation for supervisors.
+// paper's client protocol (Fig. 2). Two wire encodings share the port,
+// selected per connection by its first byte (see internal/server and
+// DESIGN.md "Wire protocol"):
 //
-// Message formats (one JSON object per line):
+//   - newline-delimited JSON, one request at a time per connection
+//     (legacy, bit-identical to earlier releases), and
+//   - the length-prefixed binary protocol with per-connection pipelining:
+//     many MAC-authenticated requests in flight per connection, responses
+//     returned in completion order and matched by qid.
+//
+// Legacy message formats (one JSON object per line):
 //
 //	→ {"op":"attest","nonce":"<base64>"}
 //	← {"measurement":"<base64>","publicKey":"<base64>","nonce":"<base64>","signature":"<base64>"}
@@ -18,31 +23,27 @@
 // Clients are provisioned with -client id:hexkey (repeatable).
 //
 // Hardening: per-connection read/write deadlines (-io-timeout), a maximum
-// request line size (-max-line) answered with a structured error instead
-// of a silent drop, a connection cap (-max-conns) answered with a
-// structured busy error, and graceful drain on SIGINT/SIGTERM (stop
-// accepting, wait for in-flight connections up to -drain-timeout).
+// request size (-max-line, covering JSON lines and binary frame payloads
+// alike) answered with a typed error instead of a silent drop, a
+// connection cap (-max-conns) answered with a structured busy error, a
+// per-connection pipelining bound (-max-inflight), and graceful drain on
+// SIGINT/SIGTERM (stop accepting, wait for in-flight connections up to
+// -drain-timeout).
 package main
 
 import (
-	"bufio"
-	"encoding/base64"
 	"encoding/hex"
-	"encoding/json"
-	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net"
 	"os"
 	"os/signal"
 	"strings"
-	"sync"
 	"syscall"
 	"time"
 
 	"veridb"
-	"veridb/internal/record"
+	"veridb/internal/server"
 )
 
 type clientFlags []string
@@ -51,69 +52,6 @@ func (c *clientFlags) String() string { return strings.Join(*c, ",") }
 func (c *clientFlags) Set(v string) error {
 	*c = append(*c, v)
 	return nil
-}
-
-type wireRequest struct {
-	Op     string `json:"op"`
-	Nonce  string `json:"nonce,omitempty"`
-	Client string `json:"client,omitempty"`
-	QID    uint64 `json:"qid,omitempty"`
-	Query  string `json:"query,omitempty"`
-	// TimeoutMS is an optional per-request deadline in milliseconds,
-	// folded into the MAC when nonzero (see portal.SignRequestTimeout).
-	TimeoutMS uint64 `json:"timeout_ms,omitempty"`
-	MAC       string `json:"mac,omitempty"`
-}
-
-type wireResponse struct {
-	QID         uint64     `json:"qid"`
-	Seq         uint64     `json:"seq"`
-	Columns     []string   `json:"columns,omitempty"`
-	Rows        [][]string `json:"rows,omitempty"`
-	Affected    int        `json:"affected"`
-	Err         string     `json:"err,omitempty"`
-	Quarantined bool       `json:"quarantined,omitempty"`
-	MAC         string     `json:"mac"`
-}
-
-type wireQuote struct {
-	Measurement string `json:"measurement"`
-	PublicKey   string `json:"publicKey"`
-	Nonce       string `json:"nonce"`
-	Signature   string `json:"signature"`
-}
-
-type wireHealth struct {
-	Quarantined     bool       `json:"quarantined"`
-	Alarm           string     `json:"alarm,omitempty"`
-	VerifierRunning bool       `json:"verifierRunning"`
-	Epochs          []uint64   `json:"epochs"`
-	Govern          wireGovern `json:"govern"`
-}
-
-// wireGovern is the overload-protection slice of the health response:
-// what a capacity planner watches (high-water memory, shed counts) and
-// what a load balancer keys on (in-flight and waiting depths).
-type wireGovern struct {
-	MemUsed            int64 `json:"memUsed"`
-	MemLimit           int64 `json:"memLimit"`
-	MemHighWater       int64 `json:"memHighWater"`
-	MemDenied          int64 `json:"memDenied"`
-	InFlight           int64 `json:"inFlight"`
-	Waiting            int64 `json:"waiting"`
-	Shed               int64 `json:"shed"`
-	SessionsExpired    int64 `json:"sessionsExpired"`
-	SnapshotPins       int   `json:"snapshotPins"`
-	ResponseCacheBytes int64 `json:"responseCacheBytes"`
-}
-
-// server is the connection-handling state shared by every session.
-type server struct {
-	db        *veridb.DB
-	maxLine   int           // largest accepted request line, bytes
-	ioTimeout time.Duration // per-read and per-write deadline (0 = none)
-	sem       chan struct{} // connection-cap semaphore (nil = uncapped)
-	wg        sync.WaitGroup
 }
 
 func main() {
@@ -138,7 +76,9 @@ func main() {
 	sessionMaxIdle := flag.Duration("session-max-idle", 0, "expire idle pinned snapshots after this inactivity (0 = never)")
 	respCacheBytes := flag.Int64("response-cache-bytes", 0, "portal response cache byte bound (0 = default 16 MB)")
 	initSQL := flag.String("init", "", "semicolon-separated SQL to run at startup")
-	maxLine := flag.Int("max-line", 1<<20, "maximum request line size, bytes")
+	wireMode := flag.String("wire", server.WireAuto, "accepted wire protocol: auto (sniff per connection), json, or binary")
+	maxLine := flag.Int("max-line", 1<<20, "maximum request size, bytes (JSON line or binary frame payload)")
+	maxInflight := flag.Int("max-inflight", server.DefaultMaxInflight, "pipelined requests executing per connection (binary protocol)")
 	maxConns := flag.Int("max-conns", 256, "maximum concurrent connections (0 = unlimited)")
 	ioTimeout := flag.Duration("io-timeout", 5*time.Minute, "per-connection read/write deadline (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown wait for in-flight connections")
@@ -205,16 +145,23 @@ func main() {
 		}
 	}
 
-	srv := &server{db: db, maxLine: *maxLine, ioTimeout: *ioTimeout}
-	if *maxConns > 0 {
-		srv.sem = make(chan struct{}, *maxConns)
+	srv, err := server.New(server.Config{
+		DB:          db,
+		Wire:        *wireMode,
+		MaxMessage:  *maxLine,
+		MaxInflight: *maxInflight,
+		IOTimeout:   *ioTimeout,
+		MaxConns:    *maxConns,
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("veridb-server listening on %s (%d clients provisioned)", ln.Addr(), len(clients))
+	log.Printf("veridb-server listening on %s (wire=%s, %d clients provisioned)", ln.Addr(), *wireMode, len(clients))
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
@@ -224,161 +171,12 @@ func main() {
 		ln.Close() // unblocks Accept; in-flight sessions finish
 	}()
 
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
-				break
-			}
-			log.Print(err)
-			continue
-		}
-		if srv.sem != nil {
-			select {
-			case srv.sem <- struct{}{}:
-			default:
-				// Over capacity: a structured refusal beats a silent RST.
-				srv.writeLine(conn, map[string]string{"err": "server at connection capacity"})
-				conn.Close()
-				continue
-			}
-		}
-		srv.wg.Add(1)
-		go func() {
-			defer srv.wg.Done()
-			if srv.sem != nil {
-				defer func() { <-srv.sem }()
-			}
-			srv.handle(conn)
-		}()
+	if err := srv.Serve(ln); err != nil {
+		log.Print(err)
 	}
-
-	drained := make(chan struct{})
-	go func() {
-		srv.wg.Wait()
-		close(drained)
-	}()
-	select {
-	case <-drained:
+	if srv.Drain(*drainTimeout) {
 		log.Print("drained; shutting down")
-	case <-time.After(*drainTimeout):
+	} else {
 		log.Printf("drain timeout (%v) elapsed with connections still open", *drainTimeout)
 	}
-}
-
-// writeLine encodes one JSON line under the write deadline.
-func (s *server) writeLine(conn net.Conn, v any) error {
-	if s.ioTimeout > 0 {
-		conn.SetWriteDeadline(time.Now().Add(s.ioTimeout))
-	}
-	return json.NewEncoder(conn).Encode(v)
-}
-
-// handle runs one session: read a line under the deadline, dispatch,
-// answer. Oversized requests get a structured error before the connection
-// closes — a silently dropped session is indistinguishable from an
-// adversarial one, so the server never drops silently.
-func (s *server) handle(conn net.Conn) {
-	defer conn.Close()
-	sc := bufio.NewScanner(conn)
-	// Scanner's limit is max(cap(buf), maxLine): keep the initial buffer
-	// at or below the line limit so the limit actually binds.
-	initial := 64 * 1024
-	if initial > s.maxLine {
-		initial = s.maxLine
-	}
-	sc.Buffer(make([]byte, initial), s.maxLine)
-	for {
-		if s.ioTimeout > 0 {
-			conn.SetReadDeadline(time.Now().Add(s.ioTimeout))
-		}
-		if !sc.Scan() {
-			if errors.Is(sc.Err(), bufio.ErrTooLong) {
-				s.writeLine(conn, map[string]string{
-					"err": fmt.Sprintf("request exceeds %d-byte line limit", s.maxLine),
-				})
-			}
-			return
-		}
-		var req wireRequest
-		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
-			s.writeLine(conn, map[string]string{"err": "bad request: " + err.Error()})
-			continue
-		}
-		if err := s.dispatch(conn, req); err != nil {
-			return // write failed: the peer is gone
-		}
-	}
-}
-
-func (s *server) dispatch(conn net.Conn, req wireRequest) error {
-	switch req.Op {
-	case "attest":
-		nonce, err := base64.StdEncoding.DecodeString(req.Nonce)
-		if err != nil {
-			return s.writeLine(conn, map[string]string{"err": "bad nonce"})
-		}
-		q := s.db.Attest(nonce)
-		m := s.db.Measurement()
-		return s.writeLine(conn, wireQuote{
-			Measurement: base64.StdEncoding.EncodeToString(m[:]),
-			PublicKey:   base64.StdEncoding.EncodeToString(q.PublicKey),
-			Nonce:       base64.StdEncoding.EncodeToString(q.Nonce),
-			Signature:   base64.StdEncoding.EncodeToString(q.Signature),
-		})
-	case "query":
-		mac, err := base64.StdEncoding.DecodeString(req.MAC)
-		if err != nil {
-			return s.writeLine(conn, map[string]string{"err": "bad mac encoding"})
-		}
-		resp, err := s.db.Serve(veridb.Request{
-			ClientID: req.Client, QID: req.QID, Query: req.Query,
-			TimeoutMS: req.TimeoutMS, MAC: mac,
-		})
-		if err != nil {
-			// Authorisation failures have no authenticated response.
-			return s.writeLine(conn, map[string]string{"err": err.Error()})
-		}
-		out := wireResponse{
-			QID: resp.QID, Seq: resp.Seq, Columns: resp.Columns,
-			Affected: resp.Affected, Err: resp.ErrMsg,
-			Quarantined: resp.Quarantined,
-			MAC:         base64.StdEncoding.EncodeToString(resp.MAC),
-		}
-		for _, row := range resp.Rows {
-			out.Rows = append(out.Rows, renderRow(row))
-		}
-		return s.writeLine(conn, out)
-	case "health":
-		h := s.db.Health()
-		g := s.db.Govern()
-		return s.writeLine(conn, wireHealth{
-			Quarantined:     h.Quarantined,
-			Alarm:           h.Alarm,
-			VerifierRunning: h.VerifierRunning,
-			Epochs:          h.Epochs,
-			Govern: wireGovern{
-				MemUsed:            g.MemUsed,
-				MemLimit:           g.MemLimit,
-				MemHighWater:       g.MemHighWater,
-				MemDenied:          g.MemDenied,
-				InFlight:           g.Admission.InFlight,
-				Waiting:            g.Admission.Waiting,
-				Shed:               g.Admission.Shed,
-				SessionsExpired:    g.SessionsExpired,
-				SnapshotPins:       g.SnapshotPins,
-				ResponseCacheBytes: g.ResponseCache.Bytes,
-			},
-		})
-	default:
-		return s.writeLine(conn, map[string]string{"err": fmt.Sprintf("unknown op %q", req.Op)})
-	}
-}
-
-func renderRow(row record.Tuple) []string {
-	out := make([]string, len(row))
-	for i, v := range row {
-		out[i] = v.String()
-	}
-	return out
 }

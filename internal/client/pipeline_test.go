@@ -1,0 +1,331 @@
+package client_test
+
+// Pipeline tests run against the real server stack (internal/server over
+// TCP), not a mock: the contract under test is the wire behavior —
+// out-of-order completion, per-frame shed handling, at-most-once
+// retransmission — and only the real reader/writer/handler loops exhibit
+// it. This file is an external test package because the veridb root
+// package imports internal/client.
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"veridb"
+	"veridb/internal/client"
+	"veridb/internal/server"
+	"veridb/internal/wire"
+)
+
+func startServer(t *testing.T, db *veridb.DB, cfg server.Config) net.Listener {
+	t.Helper()
+	cfg.DB = db
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close(); srv.Drain(5 * time.Second) })
+	go srv.Serve(ln)
+	return ln
+}
+
+func dialPipeline(t *testing.T, c *client.Client, addr string, cfg client.PipelineConfig) *client.Pipeline {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := client.NewPipeline(c, conn, cfg)
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func seedBig(t *testing.T, db *veridb.DB, rows int) {
+	t.Helper()
+	if _, err := db.Exec(`CREATE TABLE big (a INT PRIMARY KEY, b INT)`); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString(`INSERT INTO big VALUES `)
+	for i := 0; i < rows; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "(%d, %d)", i, i)
+	}
+	if _, err := db.Exec(sb.String()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelineVerifiedQueriesAttestAndHealth pushes a window of concurrent
+// queries through one connection and MAC-verifies every response; attest
+// and health share the pipeline with them.
+func TestPipelineVerifiedQueriesAttestAndHealth(t *testing.T) {
+	db, err := veridb.Open(veridb.Config{Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE t (a INT PRIMARY KEY, b TEXT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec(`INSERT INTO t VALUES (1, 'one'), (2, 'two'), (3, 'three')`); err != nil {
+		t.Fatal(err)
+	}
+	key := []byte("pipe-secret")
+	db.ProvisionClient("alice", key)
+	alice := client.New("alice", key)
+
+	ln := startServer(t, db, server.Config{})
+	p := dialPipeline(t, alice, ln.Addr().String(), client.PipelineConfig{MaxInflight: 4})
+
+	if err := p.Attest(db.Measurement(), []byte("pipeline-nonce")); err != nil {
+		t.Fatalf("attest over pipeline: %v", err)
+	}
+
+	calls := make([]*client.Call, 40)
+	for i := range calls {
+		calls[i] = p.Go(fmt.Sprintf(`SELECT b FROM t WHERE a = %d`, i%3+1))
+	}
+	for i, call := range calls {
+		resp, err := call.Wait()
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if len(resp.Rows) != 1 {
+			t.Fatalf("call %d: %+v", i, resp)
+		}
+	}
+	// Every sequence number arrived exactly once: 40 data responses, no
+	// rollback alarms, whatever order they completed in.
+	if n := alice.Tracker().Max(); n == 0 {
+		t.Fatal("tracker recorded nothing")
+	}
+
+	raw, err := p.Health()
+	if err != nil {
+		t.Fatalf("health over pipeline: %v", err)
+	}
+	if !strings.Contains(string(raw), `"epochs"`) {
+		t.Fatalf("health payload %q", raw)
+	}
+
+	// An authenticated execution error surfaces as ServerError, verified.
+	if _, err := p.Do(`SELECT b FROM nope`); err == nil {
+		t.Fatal("query against missing table succeeded")
+	} else {
+		var se *client.ServerError
+		if !errors.As(err, &se) {
+			t.Fatalf("want ServerError, got %v", err)
+		}
+	}
+}
+
+// TestPipelineOverloadRetriesFreshQID: calls launched while the single
+// admission slot is pinned are shed with the typed overload refusal; the
+// pipeline retries them under fresh qids (the shed consumed the old ones)
+// honoring RetryAfter, and they succeed once the slot frees — without the
+// caller seeing any of it.
+func TestPipelineOverloadRetriesFreshQID(t *testing.T) {
+	db, err := veridb.Open(veridb.Config{
+		Seed:                    22,
+		MaxConcurrentStatements: 1,
+		AdmissionMaxWait:        time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	seedBig(t, db, 20000)
+	key := []byte("shed-pipe")
+	db.ProvisionClient("alice", key)
+	alice := client.New("alice", key)
+
+	ln := startServer(t, db, server.Config{})
+	p := dialPipeline(t, alice, ln.Addr().String(), client.PipelineConfig{
+		MaxInflight: 8,
+		Retries:     50,
+		Backoff:     2 * time.Millisecond,
+	})
+
+	// Pin the only slot with a direct slow scan.
+	hold := make(chan error, 1)
+	go func() {
+		_, err := db.Exec(`SELECT a, b FROM big WHERE b >= 0 ORDER BY a`)
+		hold <- err
+	}()
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if db.Govern().Admission.InFlight >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("direct statement never acquired the admission slot")
+		}
+	}
+
+	calls := make([]*client.Call, 3)
+	for i := range calls {
+		calls[i] = p.Go(`SELECT a FROM big WHERE a = 1`)
+	}
+	if err := <-hold; err != nil {
+		t.Fatalf("pinned statement failed: %v", err)
+	}
+	retried := 0
+	for i, call := range calls {
+		resp, err := call.Wait()
+		if err != nil {
+			t.Fatalf("call %d never recovered from shed: %v", i, err)
+		}
+		if len(resp.Rows) != 1 {
+			t.Fatalf("call %d: %+v", i, resp)
+		}
+		if call.Attempts() > 0 {
+			retried++
+		}
+	}
+	if retried == 0 {
+		t.Fatal("no call was shed while the slot was pinned — the test exercised nothing")
+	}
+	// The shed statistics confirm typed refusals happened server-side.
+	if db.Govern().Admission.Shed == 0 {
+		t.Fatal("admission gate recorded no sheds")
+	}
+}
+
+// TestPipelineRetransmitIsAtMostOnce: a retransmission (same qid, same
+// MAC) racing its original execution draws the portal's "query id
+// replayed" refusal, which the pipeline ignores — the original response
+// completes the call, exactly one execution happens, and the sequence
+// tracker sees no duplicate.
+func TestPipelineRetransmitIsAtMostOnce(t *testing.T) {
+	db, err := veridb.Open(veridb.Config{Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	seedBig(t, db, 20000)
+	key := []byte("rexmit-pipe")
+	db.ProvisionClient("alice", key)
+	alice := client.New("alice", key)
+
+	ln := startServer(t, db, server.Config{})
+	p := dialPipeline(t, alice, ln.Addr().String(), client.PipelineConfig{
+		MaxInflight:  4,
+		RetryTimeout: 10 * time.Millisecond,
+		Retries:      200,
+	})
+
+	// The scan takes many RetryTimeouts: the call retransmits while the
+	// original executes.
+	call := p.Go(`SELECT a, b FROM big WHERE b >= 0 ORDER BY a`)
+	resp, rerr := call.Wait()
+	if rerr != nil {
+		t.Fatalf("slow call failed: %v", rerr)
+	}
+	if len(resp.Rows) != 20000 {
+		t.Fatalf("scan returned %d rows", len(resp.Rows))
+	}
+	if call.Attempts() == 0 {
+		t.Fatal("call never retransmitted — RetryTimeout did not fire")
+	}
+	// One more query: the connection survived the replay refusals.
+	if resp, err := p.Do(`SELECT a FROM big WHERE a = 7`); err != nil || len(resp.Rows) != 1 {
+		t.Fatalf("follow-up after retransmissions: %v %+v", err, resp)
+	}
+}
+
+// TestPipelineSurfacesCapacityRefusal: the server's connection-capacity
+// refusal is a JSON line even on a binary connection; the pipeline's
+// first-byte fallback surfaces it as a structured error instead of a
+// bad-magic mystery.
+func TestPipelineSurfacesCapacityRefusal(t *testing.T) {
+	db, err := veridb.Open(veridb.Config{Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	key := []byte("cap-pipe")
+	db.ProvisionClient("alice", key)
+	alice := client.New("alice", key)
+
+	ln := startServer(t, db, server.Config{MaxConns: 1})
+
+	// Occupy the only connection slot.
+	holder, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer holder.Close()
+	if err := wire.WriteFrame(holder, wire.Frame{Type: wire.THealth, QID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the holder is being served (its health response arrives).
+	if _, err := wire.ReadFrame(holder, 0); err != nil {
+		t.Fatalf("holder connection not serving: %v", err)
+	}
+
+	p := dialPipeline(t, alice, ln.Addr().String(), client.PipelineConfig{MaxInflight: 2})
+	_, derr := p.Do(`SELECT 1`)
+	if derr == nil {
+		t.Fatal("call over refused connection succeeded")
+	}
+	if !errors.Is(derr, client.ErrPipelineClosed) || !strings.Contains(derr.Error(), "capacity") {
+		t.Fatalf("refusal surfaced as %v", derr)
+	}
+	// Later calls fail fast rather than hanging on a dead window.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := p.Do(`SELECT 1`); err == nil {
+			t.Error("call on dead pipeline succeeded")
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("call on dead pipeline hung")
+	}
+}
+
+// TestPipelineServerVanishesMidFlight: the peer dying mid-pipeline fails
+// every in-flight call with ErrPipelineClosed instead of stranding
+// waiters.
+func TestPipelineServerVanishesMidFlight(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- conn
+	}()
+
+	alice := client.New("alice", []byte("k"))
+	p := dialPipeline(t, alice, ln.Addr().String(), client.PipelineConfig{MaxInflight: 4})
+	calls := []*client.Call{p.Go(`SELECT 1`), p.Go(`SELECT 2`)}
+
+	conn := <-accepted
+	buf := make([]byte, 256)
+	conn.Read(buf) // absorb some frames, then vanish
+	conn.Close()
+
+	for i, call := range calls {
+		if _, err := call.Wait(); !errors.Is(err, client.ErrPipelineClosed) {
+			t.Fatalf("call %d: want ErrPipelineClosed, got %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,523 @@
+// Package server hosts VeriDB's TCP front end: the connection loop that
+// exposes a veridb.DB over the paper's client protocol (Fig. 2). Two wire
+// encodings share one port:
+//
+//   - The legacy newline-delimited JSON protocol, handled one request at a
+//     time per connection, bit-identical to earlier releases.
+//   - The length-prefixed binary protocol (internal/wire) with
+//     per-connection pipelining: a reader goroutine demuxes frames into
+//     bounded per-request handler goroutines and a single writer goroutine
+//     serializes completions, so responses may return out of order,
+//     matched to requests by qid.
+//
+// The first byte of a connection selects the protocol: wire.Magic0 routes
+// to the binary path, anything else (in practice '{') to the JSON path.
+// Oversized messages are refused with the same typed wire.TooLargeError
+// through both protocols before the connection closes.
+package server
+
+import (
+	"bufio"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"veridb"
+	"veridb/internal/record"
+	"veridb/internal/wire"
+)
+
+// Wire protocol modes for Config.Wire.
+const (
+	// WireAuto sniffs the first byte of each connection (the default).
+	WireAuto = "auto"
+	// WireJSON accepts only the legacy JSON protocol.
+	WireJSON = "json"
+	// WireBinary accepts only the binary protocol.
+	WireBinary = "binary"
+)
+
+// Config tunes the front end. Zero values take the documented defaults.
+type Config struct {
+	// DB is the database instance to serve. Required.
+	DB *veridb.DB
+	// Wire selects the accepted protocol(s): WireAuto (default), WireJSON
+	// or WireBinary.
+	Wire string
+	// MaxMessage caps one request's size in bytes — the JSON line limit
+	// and the binary frame payload limit are the same knob. Default 1 MiB.
+	MaxMessage int
+	// MaxInflight bounds per-connection pipelined query handlers on the
+	// binary path. The database's own admission gate (if configured) still
+	// sheds beyond its slots; this bound keeps one connection from
+	// spawning unbounded goroutines regardless. Default 64.
+	MaxInflight int
+	// IOTimeout is the per-read and per-write deadline (0 = none).
+	IOTimeout time.Duration
+	// MaxConns caps concurrent connections (0 = unlimited); excess
+	// connections get a structured refusal, never a silent RST.
+	MaxConns int
+}
+
+// DefaultMaxInflight bounds per-connection pipelining when Config leaves
+// MaxInflight zero.
+const DefaultMaxInflight = 64
+
+// Server is the connection-handling state shared by every session.
+type Server struct {
+	db          *veridb.DB
+	wire        string
+	maxMessage  int
+	maxInflight int
+	ioTimeout   time.Duration
+	sem         chan struct{} // connection-cap semaphore (nil = uncapped)
+	wg          sync.WaitGroup
+}
+
+// New builds a server over an open database.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("server: Config.DB is required")
+	}
+	switch cfg.Wire {
+	case "", WireAuto:
+		cfg.Wire = WireAuto
+	case WireJSON, WireBinary:
+	default:
+		return nil, fmt.Errorf("server: unknown wire mode %q (want %s, %s or %s)", cfg.Wire, WireAuto, WireJSON, WireBinary)
+	}
+	if cfg.MaxMessage <= 0 {
+		cfg.MaxMessage = wire.DefaultMaxPayload
+	}
+	if cfg.MaxInflight <= 0 {
+		cfg.MaxInflight = DefaultMaxInflight
+	}
+	s := &Server{
+		db:          cfg.DB,
+		wire:        cfg.Wire,
+		maxMessage:  cfg.MaxMessage,
+		maxInflight: cfg.MaxInflight,
+		ioTimeout:   cfg.IOTimeout,
+	}
+	if cfg.MaxConns > 0 {
+		s.sem = make(chan struct{}, cfg.MaxConns)
+	}
+	return s, nil
+}
+
+// Serve accepts connections until the listener closes, then returns nil.
+// Callers drain in-flight sessions with Drain.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+			default:
+				// Over capacity: a structured refusal beats a silent RST.
+				// The refusal is a JSON line — a binary client surfaces it
+				// through its bad-magic fallback (see client.Pipeline).
+				s.writeLine(conn, map[string]string{"err": "server at connection capacity"})
+				conn.Close()
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			if s.sem != nil {
+				defer func() { <-s.sem }()
+			}
+			s.Handle(conn)
+		}()
+	}
+}
+
+// Drain waits for in-flight connections, up to timeout (0 waits forever).
+// It reports whether the server drained fully.
+func (s *Server) Drain(timeout time.Duration) bool {
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	if timeout <= 0 {
+		<-done
+		return true
+	}
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// Handle runs one connection to completion: sniff the protocol from the
+// first byte (unless Config.Wire pinned one), then hand off to the
+// protocol loop.
+func (s *Server) Handle(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	mode := s.wire
+	if mode == WireAuto {
+		if s.ioTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.ioTimeout))
+		}
+		first, err := br.Peek(1)
+		if err != nil {
+			return
+		}
+		if first[0] == wire.Magic0 {
+			mode = WireBinary
+		} else {
+			mode = WireJSON
+		}
+	}
+	if mode == WireBinary {
+		s.handleBinary(conn, br)
+		return
+	}
+	s.handleJSON(conn, br)
+}
+
+// --- Legacy JSON protocol (bit-identical to prior releases) ---
+
+type wireRequest struct {
+	Op     string `json:"op"`
+	Nonce  string `json:"nonce,omitempty"`
+	Client string `json:"client,omitempty"`
+	QID    uint64 `json:"qid,omitempty"`
+	Query  string `json:"query,omitempty"`
+	// TimeoutMS is an optional per-request deadline in milliseconds,
+	// folded into the MAC when nonzero (see portal.SignRequestTimeout).
+	TimeoutMS uint64 `json:"timeout_ms,omitempty"`
+	MAC       string `json:"mac,omitempty"`
+}
+
+type wireResponse struct {
+	QID         uint64     `json:"qid"`
+	Seq         uint64     `json:"seq"`
+	Columns     []string   `json:"columns,omitempty"`
+	Rows        [][]string `json:"rows,omitempty"`
+	Affected    int        `json:"affected"`
+	Err         string     `json:"err,omitempty"`
+	Quarantined bool       `json:"quarantined,omitempty"`
+	MAC         string     `json:"mac"`
+}
+
+type wireQuote struct {
+	Measurement string `json:"measurement"`
+	PublicKey   string `json:"publicKey"`
+	Nonce       string `json:"nonce"`
+	Signature   string `json:"signature"`
+}
+
+type wireHealth struct {
+	Quarantined     bool       `json:"quarantined"`
+	Alarm           string     `json:"alarm,omitempty"`
+	VerifierRunning bool       `json:"verifierRunning"`
+	Epochs          []uint64   `json:"epochs"`
+	Govern          wireGovern `json:"govern"`
+}
+
+// wireGovern is the overload-protection slice of the health response:
+// what a capacity planner watches (high-water memory, shed counts) and
+// what a load balancer keys on (in-flight and waiting depths).
+type wireGovern struct {
+	MemUsed            int64 `json:"memUsed"`
+	MemLimit           int64 `json:"memLimit"`
+	MemHighWater       int64 `json:"memHighWater"`
+	MemDenied          int64 `json:"memDenied"`
+	InFlight           int64 `json:"inFlight"`
+	Waiting            int64 `json:"waiting"`
+	Shed               int64 `json:"shed"`
+	SessionsExpired    int64 `json:"sessionsExpired"`
+	SnapshotPins       int   `json:"snapshotPins"`
+	ResponseCacheBytes int64 `json:"responseCacheBytes"`
+}
+
+// writeLine encodes one JSON line under the write deadline.
+func (s *Server) writeLine(conn net.Conn, v any) error {
+	if s.ioTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(s.ioTimeout))
+	}
+	return json.NewEncoder(conn).Encode(v)
+}
+
+// handleJSON runs one legacy session: read a line under the deadline,
+// dispatch, answer. Oversized requests get a structured error carrying
+// the typed wire.TooLargeError message before the connection closes — a
+// silently dropped session is indistinguishable from an adversarial one,
+// so the server never drops silently.
+func (s *Server) handleJSON(conn net.Conn, br *bufio.Reader) {
+	sc := bufio.NewScanner(br)
+	// Scanner's limit is max(cap(buf), maxMessage): keep the initial
+	// buffer at or below the message limit so the limit actually binds.
+	initial := 64 * 1024
+	if initial > s.maxMessage {
+		initial = s.maxMessage
+	}
+	sc.Buffer(make([]byte, initial), s.maxMessage)
+	for {
+		if s.ioTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.ioTimeout))
+		}
+		if !sc.Scan() {
+			if errors.Is(sc.Err(), bufio.ErrTooLong) {
+				s.writeLine(conn, map[string]string{
+					"err": wire.NewTooLarge(s.maxMessage, 0).Error(),
+				})
+			}
+			return
+		}
+		var req wireRequest
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			s.writeLine(conn, map[string]string{"err": "bad request: " + err.Error()})
+			continue
+		}
+		if err := s.dispatchJSON(conn, req); err != nil {
+			return // write failed: the peer is gone
+		}
+	}
+}
+
+func (s *Server) dispatchJSON(conn net.Conn, req wireRequest) error {
+	switch req.Op {
+	case "attest":
+		nonce, err := base64.StdEncoding.DecodeString(req.Nonce)
+		if err != nil {
+			return s.writeLine(conn, map[string]string{"err": "bad nonce"})
+		}
+		q := s.db.Attest(nonce)
+		m := s.db.Measurement()
+		return s.writeLine(conn, wireQuote{
+			Measurement: base64.StdEncoding.EncodeToString(m[:]),
+			PublicKey:   base64.StdEncoding.EncodeToString(q.PublicKey),
+			Nonce:       base64.StdEncoding.EncodeToString(q.Nonce),
+			Signature:   base64.StdEncoding.EncodeToString(q.Signature),
+		})
+	case "query":
+		mac, err := base64.StdEncoding.DecodeString(req.MAC)
+		if err != nil {
+			return s.writeLine(conn, map[string]string{"err": "bad mac encoding"})
+		}
+		resp, err := s.db.Serve(veridb.Request{
+			ClientID: req.Client, QID: req.QID, Query: req.Query,
+			TimeoutMS: req.TimeoutMS, MAC: mac,
+		})
+		if err != nil {
+			// Authorisation failures have no authenticated response.
+			return s.writeLine(conn, map[string]string{"err": err.Error()})
+		}
+		out := wireResponse{
+			QID: resp.QID, Seq: resp.Seq, Columns: resp.Columns,
+			Affected: resp.Affected, Err: resp.ErrMsg,
+			Quarantined: resp.Quarantined,
+			MAC:         base64.StdEncoding.EncodeToString(resp.MAC),
+		}
+		for _, row := range resp.Rows {
+			out.Rows = append(out.Rows, renderRow(row))
+		}
+		return s.writeLine(conn, out)
+	case "health":
+		return s.writeLine(conn, s.health())
+	default:
+		return s.writeLine(conn, map[string]string{"err": fmt.Sprintf("unknown op %q", req.Op)})
+	}
+}
+
+func (s *Server) health() wireHealth {
+	h := s.db.Health()
+	g := s.db.Govern()
+	return wireHealth{
+		Quarantined:     h.Quarantined,
+		Alarm:           h.Alarm,
+		VerifierRunning: h.VerifierRunning,
+		Epochs:          h.Epochs,
+		Govern: wireGovern{
+			MemUsed:            g.MemUsed,
+			MemLimit:           g.MemLimit,
+			MemHighWater:       g.MemHighWater,
+			MemDenied:          g.MemDenied,
+			InFlight:           g.Admission.InFlight,
+			Waiting:            g.Admission.Waiting,
+			Shed:               g.Admission.Shed,
+			SessionsExpired:    g.SessionsExpired,
+			SnapshotPins:       g.SnapshotPins,
+			ResponseCacheBytes: g.ResponseCache.Bytes,
+		},
+	}
+}
+
+func renderRow(row record.Tuple) []string {
+	out := make([]string, len(row))
+	for i, v := range row {
+		out[i] = v.String()
+	}
+	return out
+}
+
+// --- Binary protocol: pipelined frames ---
+
+// handleBinary runs one pipelined session. Three goroutine roles share the
+// connection:
+//
+//   - this goroutine reads frames and demuxes: queries spawn handler
+//     goroutines (at most maxInflight concurrent per connection); attest
+//     and health are answered inline (they touch no database state worth
+//     parallelising).
+//   - handler goroutines execute through the portal — which already sheds
+//     past the admission gate's slots — and hand their completion to the
+//     writer. Completions are written in completion order, not arrival
+//     order; the client matches them by qid.
+//   - one writer goroutine serializes frames onto the socket, draining
+//     every ready completion before each flush so bursts of small
+//     responses share syscalls.
+//
+// Teardown never leaks a goroutine: when the writer dies (peer gone, write
+// error) it closes writerDone, unblocking any handler parked on the
+// completion channel; when the reader stops it waits out the handlers,
+// closes the completion channel, and the writer exits after the drain.
+func (s *Server) handleBinary(conn net.Conn, br *bufio.Reader) {
+	out := make(chan wire.Frame, s.maxInflight)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		bw := bufio.NewWriter(conn)
+		for f := range out {
+			for {
+				if s.ioTimeout > 0 {
+					conn.SetWriteDeadline(time.Now().Add(s.ioTimeout))
+				}
+				if err := wire.WriteFrame(bw, f); err != nil {
+					return
+				}
+				// Drain ready completions before paying for a flush.
+				var ok bool
+				select {
+				case f, ok = <-out:
+					if !ok {
+						bw.Flush()
+						return
+					}
+					continue
+				default:
+				}
+				break
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+		bw.Flush()
+	}()
+
+	// send hands a completion to the writer unless the writer is gone —
+	// a handler must never park forever on a dead connection.
+	send := func(f wire.Frame) bool {
+		select {
+		case out <- f:
+			return true
+		case <-writerDone:
+			return false
+		}
+	}
+	refuse := func(qid uint64, msg string) bool {
+		return send(wire.Frame{Type: wire.TError, QID: qid, Payload: []byte(msg)})
+	}
+
+	inflight := make(chan struct{}, s.maxInflight)
+	var handlers sync.WaitGroup
+reading:
+	for {
+		if s.ioTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.ioTimeout))
+		}
+		f, err := wire.ReadFrame(br, s.maxMessage)
+		if err != nil {
+			// An over-limit frame is refused by address (type and qid
+			// survive the typed error) and then, like the legacy path, the
+			// connection closes: the payload was never read, so the stream
+			// position is unrecoverable.
+			if errors.Is(err, wire.ErrTooLarge) {
+				refuse(f.QID, err.Error())
+			} else if !errors.Is(err, io.EOF) && !errors.Is(err, wire.ErrTruncated) {
+				refuse(f.QID, err.Error())
+			}
+			break
+		}
+		switch f.Type {
+		case wire.TQuery:
+			req, derr := wire.DecodeQuery(f.QID, f.Payload)
+			if derr != nil {
+				if !refuse(f.QID, "bad request: "+derr.Error()) {
+					break reading
+				}
+				continue
+			}
+			// Bound pipelining: a connection gets at most maxInflight
+			// concurrent handlers; beyond that the reader itself waits,
+			// exerting backpressure on the socket instead of buffering
+			// unbounded goroutines. The admission gate inside the database
+			// sheds independently (typed, per-frame, with a RetryAfter
+			// hint) once its slots and queue fill.
+			select {
+			case inflight <- struct{}{}:
+			case <-writerDone:
+				break reading
+			}
+			handlers.Add(1)
+			go func() {
+				defer handlers.Done()
+				defer func() { <-inflight }()
+				resp, serr := s.db.Serve(req)
+				if serr != nil {
+					// Authorisation failures have no authenticated
+					// response (same contract as the JSON path).
+					refuse(req.QID, serr.Error())
+					return
+				}
+				send(wire.Frame{Type: wire.TResult, QID: resp.QID, Payload: wire.EncodeResult(resp)})
+			}()
+		case wire.TAttest:
+			nonce, derr := wire.DecodeAttest(f.Payload)
+			if derr != nil {
+				if !refuse(f.QID, "bad nonce: "+derr.Error()) {
+					break reading
+				}
+				continue
+			}
+			q := s.db.Attest(nonce)
+			if !send(wire.Frame{Type: wire.TQuote, QID: f.QID, Payload: wire.EncodeQuote(q)}) {
+				break reading
+			}
+		case wire.THealth:
+			payload, merr := json.Marshal(s.health())
+			if merr != nil {
+				payload = []byte("{}")
+			}
+			if !send(wire.Frame{Type: wire.THealthInfo, QID: f.QID, Payload: payload}) {
+				break reading
+			}
+		default:
+			if !refuse(f.QID, fmt.Sprintf("unexpected frame type %q", f.Type)) {
+				break reading
+			}
+		}
+	}
+	handlers.Wait()
+	close(out)
+	<-writerDone
+}

@@ -1,0 +1,786 @@
+package server
+
+import (
+	"bufio"
+	"crypto/ed25519"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"veridb"
+	"veridb/internal/client"
+	"veridb/internal/enclave"
+	"veridb/internal/govern"
+	"veridb/internal/portal"
+	"veridb/internal/wire"
+)
+
+// serveTCP runs a server with cfg on an ephemeral port.
+func serveTCP(t *testing.T, cfg Config) net.Listener {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close(); srv.Drain(5 * time.Second) })
+	go srv.Serve(ln)
+	return ln
+}
+
+func openDB(t *testing.T, cfg veridb.Config) *veridb.DB {
+	t.Helper()
+	db, err := veridb.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func mustExec(t *testing.T, db *veridb.DB, stmts ...string) {
+	t.Helper()
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+}
+
+// --- Legacy JSON protocol (moved from cmd/veridb-server, behavior
+// unchanged except the typed oversized-message refusal) ---
+
+// TestServerProtocolRoundTrip drives the full legacy client protocol over
+// the wire: attestation, an authenticated query, and rejection of a forged
+// request.
+func TestServerProtocolRoundTrip(t *testing.T) {
+	db := openDB(t, veridb.Config{Seed: 1})
+	mustExec(t, db,
+		`CREATE TABLE t (a INT PRIMARY KEY, b TEXT)`,
+		`INSERT INTO t VALUES (1, 'hello'), (2, 'world')`)
+	key := []byte("wire-secret")
+	db.ProvisionClient("alice", key)
+
+	ln := serveTCP(t, Config{DB: db})
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	sc := bufio.NewScanner(conn)
+
+	// Attestation.
+	nonce := []byte("fresh-nonce")
+	if err := enc.Encode(wireRequest{Op: "attest", Nonce: base64.StdEncoding.EncodeToString(nonce)}); err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Scan() {
+		t.Fatal("no attestation response")
+	}
+	var q wireQuote
+	if err := json.Unmarshal(sc.Bytes(), &q); err != nil {
+		t.Fatal(err)
+	}
+	mBytes, _ := base64.StdEncoding.DecodeString(q.Measurement)
+	pub, _ := base64.StdEncoding.DecodeString(q.PublicKey)
+	sig, _ := base64.StdEncoding.DecodeString(q.Signature)
+	var m [32]byte
+	copy(m[:], mBytes)
+	if m != db.Measurement() {
+		t.Fatal("measurement mismatch over the wire")
+	}
+	if _, err := enclave.VerifyQuote(enclave.Quote{
+		Measurement: m, PublicKey: ed25519.PublicKey(pub), Nonce: nonce, Signature: sig,
+	}, db.Measurement(), nonce); err != nil {
+		t.Fatalf("wire quote rejected: %v", err)
+	}
+
+	// Authenticated query.
+	query := `SELECT b FROM t WHERE a = 2`
+	mac := portal.SignRequest(key, "alice", 1, query)
+	if err := enc.Encode(wireRequest{
+		Op: "query", Client: "alice", QID: 1, Query: query,
+		MAC: base64.StdEncoding.EncodeToString(mac),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Scan() {
+		t.Fatal("no query response")
+	}
+	var resp wireResponse
+	if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err != "" || len(resp.Rows) != 1 || resp.Rows[0][0] != "world" {
+		t.Fatalf("response %+v", resp)
+	}
+	if resp.Seq == 0 || resp.MAC == "" {
+		t.Fatalf("response missing sequencing/MAC: %+v", resp)
+	}
+
+	// Forged MAC is rejected without an authenticated response.
+	if err := enc.Encode(wireRequest{
+		Op: "query", Client: "alice", QID: 2, Query: query,
+		MAC: base64.StdEncoding.EncodeToString([]byte("forged")),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Scan() {
+		t.Fatal("no rejection response")
+	}
+	if !strings.Contains(sc.Text(), "authorization failed") {
+		t.Fatalf("forged request not rejected: %s", sc.Text())
+	}
+
+	// Unknown op.
+	enc.Encode(wireRequest{Op: "shutdown"})
+	if !sc.Scan() || !strings.Contains(sc.Text(), "unknown op") {
+		t.Fatalf("unknown op not rejected: %s", sc.Text())
+	}
+}
+
+// TestServerRejectsOversizedLineWithStructuredError: a request beyond the
+// message limit gets a JSON error carrying the typed wire.TooLargeError
+// message before the connection closes — never a silent drop, and the
+// refusal parses back to the same typed error the binary protocol uses.
+func TestServerRejectsOversizedLineWithStructuredError(t *testing.T) {
+	db := openDB(t, veridb.Config{Seed: 2})
+	ln := serveTCP(t, Config{DB: db, MaxMessage: 256})
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	big := strings.Repeat("x", 1024)
+	if _, err := conn.Write([]byte(`{"op":"query","query":"` + big + "\"}\n")); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		t.Fatal("oversized request dropped silently")
+	}
+	var resp map[string]string
+	if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+		t.Fatalf("unparseable error response %q: %v", sc.Text(), err)
+	}
+	tl, ok := wire.ParseTooLarge(resp["err"])
+	if !ok || tl.Limit != 256 {
+		t.Fatalf("refusal %q did not parse as a typed too-large error (%+v, %v)", resp["err"], tl, ok)
+	}
+	// The connection is closed after the refusal.
+	if sc.Scan() {
+		t.Fatalf("connection still open after oversized request: %q", sc.Text())
+	}
+}
+
+// TestServerConnectionDeadline: an idle session is reaped once the
+// per-connection read deadline elapses (the deadline also covers the
+// protocol-sniffing first byte).
+func TestServerConnectionDeadline(t *testing.T) {
+	db := openDB(t, veridb.Config{Seed: 3})
+	ln := serveTCP(t, Config{DB: db, IOTimeout: 50 * time.Millisecond})
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	// Send nothing; the server should hang up on its own.
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("idle connection not closed by deadline")
+	}
+}
+
+// TestServerHealthOp: the health operation reports the verifier state and
+// flips to quarantined after injected tampering is detected.
+func TestServerHealthOp(t *testing.T) {
+	db := openDB(t, veridb.Config{Seed: 4})
+	mustExec(t, db,
+		`CREATE TABLE t (a INT PRIMARY KEY, b TEXT)`,
+		`INSERT INTO t VALUES (1, 'hello')`)
+	ln := serveTCP(t, Config{DB: db})
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	sc := bufio.NewScanner(conn)
+
+	health := func() wireHealth {
+		t.Helper()
+		if err := enc.Encode(wireRequest{Op: "health"}); err != nil {
+			t.Fatal(err)
+		}
+		if !sc.Scan() {
+			t.Fatal("no health response")
+		}
+		var h wireHealth
+		if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	if h := health(); h.Quarantined || h.Alarm != "" {
+		t.Fatalf("clean instance reports %+v", h)
+	}
+	if err := db.InjectTamper("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Verify(); err == nil {
+		t.Fatal("tamper not detected")
+	}
+	if h := health(); !h.Quarantined || h.Alarm == "" {
+		t.Fatalf("tampered instance reports %+v", h)
+	}
+
+	// Queries are now fenced with an authenticated quarantine response.
+	key := []byte("k")
+	db.ProvisionClient("alice", key)
+	query := `SELECT b FROM t WHERE a = 1`
+	mac := portal.SignRequest(key, "alice", 1, query)
+	if err := enc.Encode(wireRequest{
+		Op: "query", Client: "alice", QID: 1, Query: query,
+		MAC: base64.StdEncoding.EncodeToString(mac),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !sc.Scan() {
+		t.Fatal("no query response")
+	}
+	var resp wireResponse
+	if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Quarantined || resp.MAC == "" || len(resp.Rows) != 0 {
+		t.Fatalf("quarantined query answered %+v", resp)
+	}
+}
+
+// TestServerSnapshotSessionOverWire drives BEGIN SNAPSHOT / COMMIT over
+// TCP with the client package's request helpers: the pinned client's
+// reads stay frozen while another wire client writes, the pinned session
+// is read-only, and COMMIT releases the pin.
+func TestServerSnapshotSessionOverWire(t *testing.T) {
+	db := openDB(t, veridb.Config{Seed: 3})
+	mustExec(t, db,
+		`CREATE TABLE t (a INT PRIMARY KEY, b INT)`,
+		`INSERT INTO t VALUES (1, 10), (2, 20)`)
+	db.ProvisionClient("alice", []byte("ka"))
+	db.ProvisionClient("bob", []byte("kb"))
+	alice := client.New("alice", []byte("ka"))
+	bob := client.New("bob", []byte("kb"))
+
+	ln := serveTCP(t, Config{DB: db})
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	enc := json.NewEncoder(conn)
+	sc := bufio.NewScanner(conn)
+
+	send := func(req portal.Request) wireResponse {
+		t.Helper()
+		if err := enc.Encode(wireRequest{
+			Op: "query", Client: req.ClientID, QID: req.QID, Query: req.Query,
+			MAC: base64.StdEncoding.EncodeToString(req.MAC),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !sc.Scan() {
+			t.Fatal("no response")
+		}
+		var resp wireResponse
+		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	begin := send(alice.NewBeginSnapshotRequest())
+	if begin.Err != "" || len(begin.Rows) != 1 || begin.Columns[0] != "snapshot_seq" {
+		t.Fatalf("BEGIN SNAPSHOT over wire: %+v", begin)
+	}
+	if r := send(bob.NewRequest(`INSERT INTO t VALUES (3, 30)`)); r.Err != "" {
+		t.Fatalf("bob insert: %+v", r)
+	}
+	if r := send(alice.NewRequest(`SELECT a FROM t ORDER BY a`)); r.Err != "" || len(r.Rows) != 2 {
+		t.Fatalf("alice pinned read saw bob's write: %+v", r)
+	}
+	if r := send(bob.NewRequest(`SELECT a FROM t ORDER BY a`)); r.Err != "" || len(r.Rows) != 3 {
+		t.Fatalf("bob read: %+v", r)
+	}
+	if r := send(alice.NewRequest(`DELETE FROM t WHERE a = 1`)); !strings.Contains(r.Err, "read-only") {
+		t.Fatalf("alice write under pin: %+v", r)
+	}
+	if r := send(alice.NewCommitSnapshotRequest()); r.Err != "" {
+		t.Fatalf("alice COMMIT: %+v", r)
+	}
+	if r := send(alice.NewRequest(`SELECT a FROM t ORDER BY a`)); r.Err != "" || len(r.Rows) != 3 {
+		t.Fatalf("alice post-COMMIT read: %+v", r)
+	}
+}
+
+// --- Binary protocol ---
+
+// binConn wraps a raw connection speaking frames.
+type binConn struct {
+	t    *testing.T
+	conn net.Conn
+	br   *bufio.Reader
+}
+
+func dialBinary(t *testing.T, addr string) *binConn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return &binConn{t: t, conn: conn, br: bufio.NewReader(conn)}
+}
+
+func (b *binConn) write(f wire.Frame) {
+	b.t.Helper()
+	if err := wire.WriteFrame(b.conn, f); err != nil {
+		b.t.Fatal(err)
+	}
+}
+
+func (b *binConn) read() wire.Frame {
+	b.t.Helper()
+	b.conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	f, err := wire.ReadFrame(b.br, 0)
+	if err != nil {
+		b.t.Fatalf("read frame: %v", err)
+	}
+	return f
+}
+
+func (b *binConn) query(req portal.Request) {
+	b.write(wire.Frame{Type: wire.TQuery, QID: req.QID, Payload: wire.EncodeQuery(req)})
+}
+
+// TestBinaryPipelinedRoundTrip pushes a window of pipelined queries down
+// one connection, then attestation and health, and MAC-verifies every
+// response client-side — the binary codec carries typed row images, so
+// the client checks the portal's endorsement end to end (the legacy JSON
+// path cannot: it stringifies rows).
+func TestBinaryPipelinedRoundTrip(t *testing.T) {
+	db := openDB(t, veridb.Config{Seed: 5})
+	mustExec(t, db, `CREATE TABLE t (a INT PRIMARY KEY, b TEXT)`,
+		`INSERT INTO t VALUES (1, 'one'), (2, 'two'), (3, 'three')`)
+	key := []byte("bin-secret")
+	db.ProvisionClient("alice", key)
+	alice := client.New("alice", key)
+
+	ln := serveTCP(t, Config{DB: db})
+	bc := dialBinary(t, ln.Addr().String())
+
+	// Pipeline 8 queries: write them all before reading anything.
+	reqs := make(map[uint64]portal.Request, 8)
+	for i := 0; i < 8; i++ {
+		req := alice.NewRequest(fmt.Sprintf(`SELECT b FROM t WHERE a = %d`, i%3+1))
+		reqs[req.QID] = req
+		bc.query(req)
+	}
+	for i := 0; i < 8; i++ {
+		f := bc.read()
+		if f.Type != wire.TResult {
+			t.Fatalf("frame %d: type %v payload %q", i, f.Type, f.Payload)
+		}
+		req, ok := reqs[f.QID]
+		if !ok {
+			t.Fatalf("response for unknown qid %d", f.QID)
+		}
+		delete(reqs, f.QID)
+		resp, err := wire.DecodeResult(f.QID, f.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := alice.VerifyResponse(req, resp); err != nil {
+			t.Fatalf("qid %d fails MAC verification: %v", f.QID, err)
+		}
+		if resp.ErrMsg != "" || len(resp.Rows) != 1 {
+			t.Fatalf("qid %d: %+v", f.QID, resp)
+		}
+	}
+	if len(reqs) != 0 {
+		t.Fatalf("%d responses missing", len(reqs))
+	}
+
+	// Attestation over the binary protocol.
+	nonce := []byte("bin-nonce")
+	bc.write(wire.Frame{Type: wire.TAttest, QID: 100, Payload: wire.EncodeAttest(nonce)})
+	f := bc.read()
+	if f.Type != wire.TQuote || f.QID != 100 {
+		t.Fatalf("attest answered with %v qid %d", f.Type, f.QID)
+	}
+	q, err := wire.DecodeQuote(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.Attest(q, db.Measurement(), nonce); err != nil {
+		t.Fatalf("binary quote rejected: %v", err)
+	}
+
+	// Health over the binary protocol (JSON payload, same shape).
+	bc.write(wire.Frame{Type: wire.THealth, QID: 101})
+	f = bc.read()
+	if f.Type != wire.THealthInfo || f.QID != 101 {
+		t.Fatalf("health answered with %v qid %d", f.Type, f.QID)
+	}
+	var h wireHealth
+	if err := json.Unmarshal(f.Payload, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Quarantined || h.Alarm != "" {
+		t.Fatalf("health %+v", h)
+	}
+
+	// A forged MAC gets an unauthenticated TError, and the connection
+	// keeps serving afterwards.
+	forged := alice.NewRequest(`SELECT 1`)
+	forged.MAC = []byte("forged")
+	bc.query(forged)
+	f = bc.read()
+	if f.Type != wire.TError || !strings.Contains(string(f.Payload), "authorization failed") {
+		t.Fatalf("forged request answered with %v %q", f.Type, f.Payload)
+	}
+	ok := alice.NewRequest(`SELECT b FROM t WHERE a = 1`)
+	bc.query(ok)
+	f = bc.read()
+	if f.Type != wire.TResult || f.QID != ok.QID {
+		t.Fatalf("connection unusable after refusal: %v %q", f.Type, f.Payload)
+	}
+}
+
+// TestBinaryOutOfOrderCompletion: a slow scan pipelined ahead of a point
+// lookup completes after it — the writer emits responses in completion
+// order and the client matches by qid. Scheduling is probabilistic, so the
+// test retries; one out-of-order observation proves the path.
+func TestBinaryOutOfOrderCompletion(t *testing.T) {
+	db := openDB(t, veridb.Config{Seed: 6})
+	mustExec(t, db, `CREATE TABLE big (a INT PRIMARY KEY, b INT)`,
+		`CREATE TABLE small (a INT PRIMARY KEY, b INT)`,
+		`INSERT INTO small VALUES (1, 10)`)
+	var sb strings.Builder
+	sb.WriteString(`INSERT INTO big VALUES `)
+	for i := 0; i < 4000; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "(%d, %d)", i, i)
+	}
+	mustExec(t, db, sb.String())
+	key := []byte("ooo-secret")
+	db.ProvisionClient("alice", key)
+	alice := client.New("alice", key)
+
+	ln := serveTCP(t, Config{DB: db})
+
+	for attempt := 0; attempt < 10; attempt++ {
+		bc := dialBinary(t, ln.Addr().String())
+		slow := alice.NewRequest(`SELECT a, b FROM big WHERE b >= 0 ORDER BY a`)
+		fast := alice.NewRequest(`SELECT b FROM small WHERE a = 1`)
+		bc.query(slow)
+		bc.query(fast)
+		first, second := bc.read(), bc.read()
+		for _, f := range []wire.Frame{first, second} {
+			if f.Type != wire.TResult {
+				t.Fatalf("type %v payload %q", f.Type, f.Payload)
+			}
+			req := slow
+			if f.QID == fast.QID {
+				req = fast
+			}
+			resp, err := wire.DecodeResult(f.QID, f.Payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := alice.VerifyResponse(req, resp); err != nil {
+				t.Fatalf("qid %d fails MAC verification: %v", f.QID, err)
+			}
+		}
+		if first.QID == fast.QID && second.QID == slow.QID {
+			return // out-of-order completion observed
+		}
+		bc.conn.Close()
+	}
+	t.Fatal("pipelined fast query never completed ahead of the slow scan")
+}
+
+// TestBinaryPerFrameOverload: with a one-slot admission gate (no queue)
+// and the slot pinned by a direct slow statement, every query in a
+// pipelined burst is refused per-frame with a typed ErrOverloaded carrying
+// a RetryAfter hint — the refusals don't stall the window or poison the
+// connection, and a fresh-qid retry succeeds once the slot frees.
+func TestBinaryPerFrameOverload(t *testing.T) {
+	db := openDB(t, veridb.Config{
+		Seed:                    7,
+		MaxConcurrentStatements: 1,
+		AdmissionMaxWait:        time.Millisecond,
+	})
+	mustExec(t, db, `CREATE TABLE big (a INT PRIMARY KEY, b INT)`)
+	var sb strings.Builder
+	sb.WriteString(`INSERT INTO big VALUES `)
+	for i := 0; i < 20000; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "(%d, %d)", i, i)
+	}
+	mustExec(t, db, sb.String())
+	key := []byte("shed-secret")
+	db.ProvisionClient("alice", key)
+	alice := client.New("alice", key)
+
+	ln := serveTCP(t, Config{DB: db})
+	bc := dialBinary(t, ln.Addr().String())
+
+	// Pin the only admission slot with a direct slow scan, then wait until
+	// the gate reports it in flight.
+	hold := make(chan error, 1)
+	go func() {
+		_, err := db.Exec(`SELECT a, b FROM big WHERE b >= 0 ORDER BY a`)
+		hold <- err
+	}()
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if db.Govern().Admission.InFlight >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("direct statement never acquired the admission slot")
+		}
+	}
+
+	const burst = 16
+	reqs := make(map[uint64]portal.Request, burst)
+	for i := 0; i < burst; i++ {
+		req := alice.NewRequest(`SELECT a FROM big WHERE a = 1`)
+		reqs[req.QID] = req
+		bc.query(req)
+	}
+	for i := 0; i < burst; i++ {
+		f := bc.read()
+		req, ok := reqs[f.QID]
+		if !ok {
+			t.Fatalf("response for unknown qid %d", f.QID)
+		}
+		delete(reqs, f.QID)
+		// A shed is still an authenticated response: the portal endorses
+		// the refusal so a middlebox cannot forge overload signals.
+		if f.Type != wire.TResult {
+			t.Fatalf("qid %d answered with %v (%q) while the slot was pinned", f.QID, f.Type, f.Payload)
+		}
+		resp, err := wire.DecodeResult(f.QID, f.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if verr := alice.VerifyResponse(req, resp); !errors.Is(verr, govern.ErrOverloaded) {
+			t.Fatalf("qid %d: want a MAC-verified overload refusal, got %v (resp %+v)", f.QID, verr, resp)
+		}
+		oe, ok := govern.ParseOverloaded(resp.ErrMsg)
+		if !ok || oe.RetryAfter <= 0 {
+			t.Fatalf("overload refusal without a RetryAfter hint: %q", resp.ErrMsg)
+		}
+	}
+	if err := <-hold; err != nil {
+		t.Fatalf("pinned statement failed: %v", err)
+	}
+	// Shed load did not poison the connection: a retry with a FRESH qid
+	// succeeds once the slot frees (the shed qids were consumed — the
+	// portal's at-most-once window rejects their reuse, so the client must
+	// and does sign a new qid).
+	retry := alice.NewRequest(`SELECT a FROM big WHERE a = 1`)
+	bc.query(retry)
+	f := bc.read()
+	if f.Type != wire.TResult || f.QID != retry.QID {
+		t.Fatalf("post-shed retry answered with %v %q", f.Type, f.Payload)
+	}
+}
+
+// TestBinaryOversizedFrameTypedRefusal: a frame declaring a payload past
+// the cap is refused by address — the TError carries the offending qid and
+// a message that parses back to the typed too-large error, matching the
+// legacy path's refusal — then the connection closes.
+func TestBinaryOversizedFrameTypedRefusal(t *testing.T) {
+	db := openDB(t, veridb.Config{Seed: 8})
+	ln := serveTCP(t, Config{DB: db, MaxMessage: 256})
+	bc := dialBinary(t, ln.Addr().String())
+
+	// Header only: declares 1024 payload bytes against a 256-byte cap.
+	hdr := wire.AppendHeader(nil, wire.TQuery, 77, 1024)
+	if _, err := bc.conn.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+	f := bc.read()
+	if f.Type != wire.TError || f.QID != 77 {
+		t.Fatalf("refusal %v qid %d", f.Type, f.QID)
+	}
+	tl, ok := wire.ParseTooLarge(string(f.Payload))
+	if !ok || tl.Limit != 256 {
+		t.Fatalf("refusal %q did not parse as typed too-large (%+v, %v)", f.Payload, tl, ok)
+	}
+	// Connection closes after the refusal, like the legacy path.
+	bc.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := wire.ReadFrame(bc.br, 0); err == nil {
+		t.Fatal("connection still open after oversized frame")
+	}
+}
+
+// TestBinaryAbruptDisconnectLeaksNothing: killing a client mid-pipeline
+// (responses unread, handlers in flight) must unwind the reader, all
+// handler goroutines, and the writer.
+func TestBinaryAbruptDisconnectLeaksNothing(t *testing.T) {
+	db := openDB(t, veridb.Config{Seed: 9})
+	mustExec(t, db, `CREATE TABLE big (a INT PRIMARY KEY, b INT)`)
+	var sb strings.Builder
+	sb.WriteString(`INSERT INTO big VALUES `)
+	for i := 0; i < 2000; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "(%d, %d)", i, i)
+	}
+	mustExec(t, db, sb.String())
+	key := []byte("leak-secret")
+	db.ProvisionClient("alice", key)
+	alice := client.New("alice", key)
+
+	srv, err := New(Config{DB: db, MaxInflight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go srv.Serve(ln)
+
+	before := runtime.NumGoroutine()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the pipeline with slow scans, read nothing, and vanish.
+	for i := 0; i < 8; i++ {
+		req := alice.NewRequest(`SELECT a, b FROM big WHERE b >= 0 ORDER BY a`)
+		if err := wire.WriteFrame(conn, wire.Frame{Type: wire.TQuery, QID: req.QID, Payload: wire.EncodeQuery(req)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	conn.Close()
+
+	// The session must fully unwind: reader, handlers, writer.
+	ln.Close()
+	if !srv.Drain(10 * time.Second) {
+		t.Fatal("server did not drain after abrupt client disconnect")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked after disconnect: %d -> %d\n%s",
+				before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The database is still healthy and serving (no pinned state left by
+	// the dead connection).
+	if _, err := db.Exec(`INSERT INTO big VALUES (100000, 1)`); err != nil {
+		t.Fatalf("database unusable after disconnect: %v", err)
+	}
+}
+
+// TestDualProtocolSniffing: one listener serves a legacy JSON connection
+// and a binary connection side by side; pinned modes refuse the other
+// protocol's first byte instead of misparsing it.
+func TestDualProtocolSniffing(t *testing.T) {
+	db := openDB(t, veridb.Config{Seed: 10})
+	mustExec(t, db, `CREATE TABLE t (a INT PRIMARY KEY)`, `INSERT INTO t VALUES (1)`)
+	key := []byte("sniff-secret")
+	db.ProvisionClient("alice", key)
+	alice := client.New("alice", key)
+
+	ln := serveTCP(t, Config{DB: db})
+
+	// Legacy JSON connection.
+	jc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jc.Close()
+	req := alice.NewRequest(`SELECT a FROM t`)
+	if err := json.NewEncoder(jc).Encode(wireRequest{
+		Op: "query", Client: req.ClientID, QID: req.QID, Query: req.Query,
+		MAC: base64.StdEncoding.EncodeToString(req.MAC),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(jc)
+	if !sc.Scan() {
+		t.Fatal("no JSON response")
+	}
+	var jresp wireResponse
+	if err := json.Unmarshal(sc.Bytes(), &jresp); err != nil {
+		t.Fatal(err)
+	}
+	if jresp.Err != "" || len(jresp.Rows) != 1 {
+		t.Fatalf("JSON leg: %+v", jresp)
+	}
+
+	// Binary connection on the same listener.
+	bc := dialBinary(t, ln.Addr().String())
+	breq := alice.NewRequest(`SELECT a FROM t`)
+	bc.query(breq)
+	f := bc.read()
+	if f.Type != wire.TResult || f.QID != breq.QID {
+		t.Fatalf("binary leg: %v %q", f.Type, f.Payload)
+	}
+	resp, err := wire.DecodeResult(f.QID, f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alice.VerifyResponse(breq, resp); err != nil {
+		t.Fatal(err)
+	}
+
+	// A json-pinned server treats a binary frame as a (malformed) JSON
+	// line — it never reaches the binary path.
+	jln := serveTCP(t, Config{DB: db, Wire: WireJSON})
+	pc, err := net.Dial("tcp", jln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	wire.WriteFrame(pc, wire.Frame{Type: wire.THealth, QID: 1})
+	pc.Write([]byte("\n"))
+	pc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	psc := bufio.NewScanner(pc)
+	if !psc.Scan() || !strings.Contains(psc.Text(), "bad request") {
+		t.Fatalf("json-pinned server did not refuse a binary frame as bad JSON: %q", psc.Text())
+	}
+}

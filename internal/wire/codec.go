@@ -1,0 +1,294 @@
+// Type-specific payload codecs for the binary protocol. Every codec uses
+// the same field primitive as the MAC layer (u32 length prefix + bytes,
+// little-endian fixed-width integers), and response rows travel as
+// record.Encode images — the exact bytes portal.ResponseDigest folds into
+// the response MAC — so a client can rebuild the typed tuples and verify
+// the endorsement bit-for-bit. That is a capability the legacy JSON
+// protocol lacks: it renders rows to strings, erasing the types the digest
+// covers.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"veridb/internal/enclave"
+	"veridb/internal/portal"
+	"veridb/internal/record"
+)
+
+// Field primitives.
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// reader consumes payload fields with bounds checking; every failure is
+// typed ErrTruncated (ran out of bytes) or ErrBadPayload (inconsistent
+// structure).
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) u32() (uint32, error) {
+	if r.off+4 > len(r.b) {
+		return 0, fmt.Errorf("%w: u32 at offset %d of %d", ErrTruncated, r.off, len(r.b))
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if r.off+8 > len(r.b) {
+		return 0, fmt.Errorf("%w: u64 at offset %d of %d", ErrTruncated, r.off, len(r.b))
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) byte() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, fmt.Errorf("%w: byte at offset %d of %d", ErrTruncated, r.off, len(r.b))
+	}
+	v := r.b[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint32(len(r.b)-r.off) < n {
+		return nil, fmt.Errorf("%w: field of %d bytes with %d remaining", ErrTruncated, n, len(r.b)-r.off)
+	}
+	v := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return v, nil
+}
+
+func (r *reader) str() (string, error) {
+	b, err := r.bytes()
+	return string(b), err
+}
+
+func (r *reader) done() error {
+	if r.off != len(r.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadPayload, len(r.b)-r.off)
+	}
+	return nil
+}
+
+// EncodeQuery encodes an authenticated query request. The qid travels in
+// the frame header, not the payload; the MAC bytes are exactly
+// portal.SignRequestTimeout's output, unchanged from the JSON protocol.
+func EncodeQuery(req portal.Request) []byte {
+	b := make([]byte, 0, 4+len(req.ClientID)+4+len(req.Query)+8+4+len(req.MAC))
+	b = appendString(b, req.ClientID)
+	b = appendString(b, req.Query)
+	b = appendU64(b, req.TimeoutMS)
+	b = appendBytes(b, req.MAC)
+	return b
+}
+
+// DecodeQuery decodes a TQuery payload; qid comes from the frame header.
+func DecodeQuery(qid uint64, payload []byte) (portal.Request, error) {
+	r := reader{b: payload}
+	req := portal.Request{QID: qid}
+	var err error
+	if req.ClientID, err = r.str(); err != nil {
+		return portal.Request{}, err
+	}
+	if req.Query, err = r.str(); err != nil {
+		return portal.Request{}, err
+	}
+	if req.TimeoutMS, err = r.u64(); err != nil {
+		return portal.Request{}, err
+	}
+	mac, err := r.bytes()
+	if err != nil {
+		return portal.Request{}, err
+	}
+	if len(mac) > 0 {
+		req.MAC = append([]byte(nil), mac...)
+	}
+	if err := r.done(); err != nil {
+		return portal.Request{}, err
+	}
+	return req, nil
+}
+
+// EncodeResult encodes a sequenced, endorsed response. Rows are
+// record.Encode images — the same bytes the response digest covers — so
+// DecodeResult rebuilds tuples the client can MAC-verify.
+func EncodeResult(resp *portal.Response) []byte {
+	var b []byte
+	b = appendU64(b, resp.Seq)
+	b = appendU64(b, uint64(resp.Affected))
+	b = appendString(b, resp.ErrMsg)
+	q := byte(0)
+	if resp.Quarantined {
+		q = 1
+	}
+	b = append(b, q)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(resp.Columns)))
+	for _, c := range resp.Columns {
+		b = appendString(b, c)
+	}
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(resp.Rows)))
+	for _, row := range resp.Rows {
+		b = appendBytes(b, record.Encode(&record.Record{Data: row}))
+	}
+	b = appendBytes(b, resp.MAC)
+	return b
+}
+
+// DecodeResult decodes a TResult payload; qid comes from the frame header.
+func DecodeResult(qid uint64, payload []byte) (*portal.Response, error) {
+	r := reader{b: payload}
+	resp := &portal.Response{QID: qid}
+	var err error
+	if resp.Seq, err = r.u64(); err != nil {
+		return nil, err
+	}
+	aff, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	resp.Affected = int(aff)
+	if resp.ErrMsg, err = r.str(); err != nil {
+		return nil, err
+	}
+	q, err := r.byte()
+	if err != nil {
+		return nil, err
+	}
+	if q > 1 {
+		return nil, fmt.Errorf("%w: quarantine flag %d", ErrBadPayload, q)
+	}
+	resp.Quarantined = q == 1
+	ncols, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	// Each column costs at least its 4-byte length prefix: a count beyond
+	// that is a length lie, refused before it becomes an allocation.
+	if uint64(ncols)*4 > uint64(len(payload)-r.off) {
+		return nil, fmt.Errorf("%w: %d columns in %d bytes", ErrBadPayload, ncols, len(payload)-r.off)
+	}
+	if ncols > 0 {
+		resp.Columns = make([]string, ncols)
+		for i := range resp.Columns {
+			if resp.Columns[i], err = r.str(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	nrows, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(nrows)*4 > uint64(len(payload)-r.off) {
+		return nil, fmt.Errorf("%w: %d rows in %d bytes", ErrBadPayload, nrows, len(payload)-r.off)
+	}
+	if nrows > 0 {
+		resp.Rows = make([]record.Tuple, nrows)
+		for i := range resp.Rows {
+			img, err := r.bytes()
+			if err != nil {
+				return nil, err
+			}
+			rec, err := record.Decode(img)
+			if err != nil {
+				return nil, fmt.Errorf("%w: row %d: %v", ErrBadPayload, i, err)
+			}
+			resp.Rows[i] = rec.Data
+		}
+	}
+	mac, err := r.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if len(mac) > 0 {
+		resp.MAC = append([]byte(nil), mac...)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// EncodeAttest encodes an attestation request's nonce.
+func EncodeAttest(nonce []byte) []byte {
+	return appendBytes(nil, nonce)
+}
+
+// DecodeAttest decodes a TAttest payload.
+func DecodeAttest(payload []byte) ([]byte, error) {
+	r := reader{b: payload}
+	nonce, err := r.bytes()
+	if err != nil {
+		return nil, err
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), nonce...), nil
+}
+
+// EncodeQuote encodes an attestation quote.
+func EncodeQuote(q enclave.Quote) []byte {
+	var b []byte
+	b = appendBytes(b, q.Measurement[:])
+	b = appendBytes(b, q.PublicKey)
+	b = appendBytes(b, q.Nonce)
+	b = appendBytes(b, q.Signature)
+	return b
+}
+
+// DecodeQuote decodes a TQuote payload.
+func DecodeQuote(payload []byte) (enclave.Quote, error) {
+	r := reader{b: payload}
+	var q enclave.Quote
+	m, err := r.bytes()
+	if err != nil {
+		return q, err
+	}
+	if len(m) != len(q.Measurement) {
+		return q, fmt.Errorf("%w: measurement of %d bytes", ErrBadPayload, len(m))
+	}
+	copy(q.Measurement[:], m)
+	pub, err := r.bytes()
+	if err != nil {
+		return q, err
+	}
+	q.PublicKey = append([]byte(nil), pub...)
+	nonce, err := r.bytes()
+	if err != nil {
+		return q, err
+	}
+	q.Nonce = append([]byte(nil), nonce...)
+	sig, err := r.bytes()
+	if err != nil {
+		return q, err
+	}
+	q.Signature = append([]byte(nil), sig...)
+	if err := r.done(); err != nil {
+		return q, err
+	}
+	return q, nil
+}

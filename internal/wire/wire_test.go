@@ -1,0 +1,202 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"veridb/internal/enclave"
+	"veridb/internal/portal"
+	"veridb/internal/record"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("hello frames")
+	buf := AppendFrame(nil, TQuery, 42, payload)
+	f, n, err := DecodeFrame(buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) || f.Type != TQuery || f.QID != 42 || !bytes.Equal(f.Payload, payload) {
+		t.Fatalf("decoded %+v (consumed %d of %d)", f, n, len(buf))
+	}
+	// Streaming read agrees with the in-place decode.
+	rf, err := ReadFrame(bytes.NewReader(buf), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Type != f.Type || rf.QID != f.QID || !bytes.Equal(rf.Payload, payload) {
+		t.Fatalf("ReadFrame %+v != DecodeFrame %+v", rf, f)
+	}
+	var w bytes.Buffer
+	if err := WriteFrame(&w, f); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w.Bytes(), buf) {
+		t.Fatal("WriteFrame bytes differ from AppendFrame")
+	}
+}
+
+func TestFrameTypedErrors(t *testing.T) {
+	good := AppendFrame(nil, TResult, 7, []byte("abc"))
+
+	bad := append([]byte(nil), good...)
+	bad[0] = '{'
+	if _, _, err := DecodeFrame(bad, 0); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	bad = append([]byte(nil), good...)
+	bad[2] = 99
+	if _, _, err := DecodeFrame(bad, 0); !errors.Is(err, ErrBadVersion) {
+		t.Fatalf("bad version: %v", err)
+	}
+	bad = append([]byte(nil), good...)
+	bad[3] = 0xEE
+	if _, _, err := DecodeFrame(bad, 0); !errors.Is(err, ErrBadType) {
+		t.Fatalf("bad type: %v", err)
+	}
+	if _, _, err := DecodeFrame(good[:HeaderSize-1], 0); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short header: %v", err)
+	}
+	if _, _, err := DecodeFrame(good[:len(good)-1], 0); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short payload: %v", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(good[:len(good)-1]), 0); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("streaming short payload: %v", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(nil), 0); err != io.EOF {
+		t.Fatalf("clean EOF: %v", err)
+	}
+}
+
+func TestFrameTooLargeCarriesAddress(t *testing.T) {
+	buf := AppendFrame(nil, TQuery, 9, bytes.Repeat([]byte{'x'}, 100))
+	f, _, err := DecodeFrame(buf, 50)
+	var tl *TooLargeError
+	if !errors.As(err, &tl) || !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want TooLargeError, got %v", err)
+	}
+	if tl.Limit != 50 || tl.Size != HeaderSize+100 {
+		t.Fatalf("refusal %+v", tl)
+	}
+	// The refusal is addressable: type and qid survive so the server can
+	// answer the offending request before closing.
+	if f.Type != TQuery || f.QID != 9 {
+		t.Fatalf("refused frame lost its address: %+v", f)
+	}
+	// And the message round-trips through a string error channel.
+	parsed, ok := ParseTooLarge(tl.Error())
+	if !ok || parsed.Limit != 50 {
+		t.Fatalf("ParseTooLarge(%q) = %+v, %v", tl.Error(), parsed, ok)
+	}
+	if _, ok := ParseTooLarge("some other error"); ok {
+		t.Fatal("ParseTooLarge matched an unrelated message")
+	}
+}
+
+func TestQueryCodecRoundTrip(t *testing.T) {
+	req := portal.Request{
+		ClientID:  "alice",
+		QID:       31337,
+		Query:     "SELECT * FROM t WHERE a = 'x'",
+		TimeoutMS: 1500,
+		MAC:       []byte{1, 2, 3, 4},
+	}
+	got, err := DecodeQuery(req.QID, EncodeQuery(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ClientID != req.ClientID || got.Query != req.Query ||
+		got.TimeoutMS != req.TimeoutMS || !bytes.Equal(got.MAC, req.MAC) || got.QID != req.QID {
+		t.Fatalf("round trip %+v != %+v", got, req)
+	}
+	// Truncation at every prefix is a typed error, never a panic.
+	enc := EncodeQuery(req)
+	for i := 0; i < len(enc); i++ {
+		if _, err := DecodeQuery(req.QID, enc[:i]); err == nil {
+			t.Fatalf("truncated payload at %d accepted", i)
+		} else if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadPayload) {
+			t.Fatalf("untyped error at %d: %v", i, err)
+		}
+	}
+	if _, err := DecodeQuery(req.QID, append(enc, 0)); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("trailing byte accepted: %v", err)
+	}
+}
+
+func TestResultCodecRoundTripPreservesMACVerifiability(t *testing.T) {
+	key := []byte("codec-key")
+	resp := &portal.Response{
+		QID: 5, Seq: 77, Affected: 0,
+		Columns: []string{"a", "b", "c", "d"},
+		Rows: []record.Tuple{
+			{record.Int(1), record.Float(2.5), record.Text("x'y"), record.Bool(true)},
+			{record.Null(record.TypeInt), record.Float(-0.0), record.Text(""), record.Bool(false)},
+		},
+	}
+	resp.MAC = portal.SignResponse(key, resp)
+	got, err := DecodeResult(resp.QID, EncodeResult(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The decoded response must re-sign to the identical MAC: the codec
+	// preserved every byte the digest covers, types included.
+	if !bytes.Equal(portal.SignResponse(key, got), resp.MAC) {
+		t.Fatalf("decoded response re-signs differently:\n  sent %+v\n  got  %+v", resp, got)
+	}
+	if !bytes.Equal(got.MAC, resp.MAC) {
+		t.Fatal("carried MAC differs")
+	}
+}
+
+func TestResultCodecErrorAndQuarantine(t *testing.T) {
+	resp := &portal.Response{QID: 8, Seq: 2, ErrMsg: "no such table", Quarantined: true, MAC: []byte("m")}
+	got, err := DecodeResult(resp.QID, EncodeResult(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ErrMsg != resp.ErrMsg || !got.Quarantined {
+		t.Fatalf("round trip %+v", got)
+	}
+}
+
+func TestResultCodecRefusesLengthLies(t *testing.T) {
+	resp := &portal.Response{QID: 1, Seq: 1, Columns: []string{"a"}, Rows: []record.Tuple{{record.Int(1)}}}
+	enc := EncodeResult(resp)
+	// Every truncation of a valid payload is a typed error.
+	for i := 0; i < len(enc); i++ {
+		if _, err := DecodeResult(1, enc[:i]); err == nil {
+			t.Fatalf("truncated payload at %d accepted", i)
+		} else if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadPayload) {
+			t.Fatalf("untyped error at %d: %v", i, err)
+		}
+	}
+}
+
+func TestAttestQuoteCodecs(t *testing.T) {
+	nonce := []byte("fresh")
+	got, err := DecodeAttest(EncodeAttest(nonce))
+	if err != nil || !bytes.Equal(got, nonce) {
+		t.Fatalf("attest round trip %q %v", got, err)
+	}
+	var q enclave.Quote
+	copy(q.Measurement[:], bytes.Repeat([]byte{0xAB}, 32))
+	q.PublicKey = []byte("pubkey")
+	q.Nonce = nonce
+	q.Signature = []byte("sig")
+	dq, err := DecodeQuote(EncodeQuote(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dq.Measurement != q.Measurement || !bytes.Equal(dq.PublicKey, q.PublicKey) ||
+		!bytes.Equal(dq.Nonce, q.Nonce) || !bytes.Equal(dq.Signature, q.Signature) {
+		t.Fatalf("quote round trip %+v != %+v", dq, q)
+	}
+	// A quote with a short measurement is refused, not mis-copied.
+	bad := EncodeQuote(q)
+	bad[0] = 5 // shrink the measurement field length
+	if _, err := DecodeQuote(bad[:4+5+len(bad)-4-32]); err == nil {
+		t.Fatal("short measurement accepted")
+	}
+}
